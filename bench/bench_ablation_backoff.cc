@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation of the collision-resolution policy (§5.3).
+ *
+ * The paper chooses exponential backoff with window [0, 2^i - 1] and
+ * leaves adaptive policies as future work. This bench sweeps the
+ * maximum backoff exponent on the Data-channel barrier (WiSyncNoT,
+ * where barrier-arrival bursts collide): a tiny window thrashes the
+ * channel with repeat collisions, while an over-large window adds
+ * idle latency after bursts.
+ */
+
+#include <iostream>
+
+#include "harness/report.hh"
+#include "workloads/tight_loop.hh"
+
+using namespace wisync;
+
+int
+main()
+{
+    const std::uint32_t cores =
+        harness::sweepMode() == harness::SweepMode::Quick ? 16 : 64;
+    workloads::TightLoopParams params;
+    params.iterations = 10;
+    // A degenerate window (max exp 1 at 64 colliding senders) can
+    // livelock; cap the run so the bench reports it instead.
+    params.runLimit = 3'000'000;
+
+    harness::TextTable tab(
+        "Ablation: MAC backoff window vs TightLoop (WiSyncNoT, " +
+        std::to_string(cores) + " cores)");
+    tab.header({"Max backoff exp", "Cycles/iter", "Collisions"});
+    for (const std::uint32_t max_exp : {1u, 2u, 4u, 6u, 10u, 14u}) {
+        auto cfg = core::MachineConfig::make(core::ConfigKind::WiSyncNoT,
+                                             cores);
+        cfg.wireless.maxBackoffExp = max_exp;
+        const auto r = workloads::runTightLoopCfg(cfg, params);
+        tab.row({std::to_string(max_exp),
+                 r.completed
+                     ? harness::fmt(static_cast<double>(r.cycles) /
+                                        static_cast<double>(r.operations),
+                                    0)
+                     : std::string("livelock (>3M cycles)"),
+                 std::to_string(r.collisions)});
+    }
+    tab.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Figure 10: speedup of Baseline+, WiSyncNoT and WiSync
+ * over Baseline for the 26 PARSEC + SPLASH-2 applications at 64
+ * cores, plus the arithmetic and geometric means. Expected shape
+ * (paper): barrier-storm apps (streamcluster, ocean) and lock-bound
+ * apps (raytrace, radiosity) gain several-fold; most apps are
+ * sync-light and sit near 1.0; WiSync geomean ~1.2 over Baseline and
+ * ~1.1 over Baseline+.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "harness/report.hh"
+#include "workloads/apps.hh"
+
+using namespace wisync;
+
+int
+main()
+{
+    using core::ConfigKind;
+    const std::uint32_t cores =
+        harness::sweepMode() == harness::SweepMode::Quick ? 16 : 64;
+
+    harness::TextTable fig(
+        "Figure 10: speedup over Baseline, " + std::to_string(cores) +
+        " cores (PARSEC + SPLASH-2)");
+    fig.header({"App", "Baseline+", "WiSyncNoT", "WiSync"});
+
+    std::vector<double> sp_plus, sp_not, sp_full;
+    for (const auto &app : workloads::appSuite()) {
+        const auto base =
+            workloads::runApp(app, ConfigKind::Baseline, cores);
+        const auto plus =
+            workloads::runApp(app, ConfigKind::BaselinePlus, cores);
+        const auto not_ =
+            workloads::runApp(app, ConfigKind::WiSyncNoT, cores);
+        const auto full =
+            workloads::runApp(app, ConfigKind::WiSync, cores);
+        const double b = static_cast<double>(base.cycles);
+        sp_plus.push_back(b / static_cast<double>(plus.cycles));
+        sp_not.push_back(b / static_cast<double>(not_.cycles));
+        sp_full.push_back(b / static_cast<double>(full.cycles));
+        fig.row({app.name, harness::fmt(sp_plus.back()),
+                 harness::fmt(sp_not.back()),
+                 harness::fmt(sp_full.back())});
+    }
+    fig.row({"mean", harness::fmt(harness::mean(sp_plus)),
+             harness::fmt(harness::mean(sp_not)),
+             harness::fmt(harness::mean(sp_full))});
+    fig.row({"geoMean", harness::fmt(harness::geomean(sp_plus)),
+             harness::fmt(harness::geomean(sp_not)),
+             harness::fmt(harness::geomean(sp_full))});
+    fig.print(std::cout);
+
+    std::cout << "WiSync vs Baseline+ geomean: "
+              << harness::fmt(harness::geomean(sp_full) /
+                              harness::geomean(sp_plus))
+              << " (paper: 1.12)\n";
+    return 0;
+}

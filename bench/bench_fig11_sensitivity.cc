@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Figure 11: geometric-mean speedup over Baseline of
+ * Baseline+, WiSyncNoT and WiSync under the Table 6 memory/network
+ * variants at 64 cores. Expected shape (paper): WiSync gains grow
+ * with a slower NoC and shrink with a faster one; the L2 and BM
+ * latency variations barely move the needle.
+ *
+ * To keep the run time reasonable this uses a representative subset
+ * of the suite (the sync-intensive apps plus several sync-light ones,
+ * preserving the mix); the full suite is used with WISYNC_FULL=1.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "workloads/apps.hh"
+
+using namespace wisync;
+
+int
+main()
+{
+    using core::ConfigKind;
+    using core::Variant;
+    const std::uint32_t cores =
+        harness::sweepMode() == harness::SweepMode::Quick ? 16 : 64;
+
+    std::vector<std::string> names;
+    if (harness::sweepMode() == harness::SweepMode::Full) {
+        for (const auto &app : workloads::appSuite())
+            names.push_back(app.name);
+    } else {
+        names = {"streamcluster", "ocean-c", "raytrace", "radiosity",
+                 "water-ns",      "barnes",  "fft",      "blackscholes",
+                 "canneal",       "lu-c"};
+    }
+    const std::vector<Variant> variants = {
+        Variant::Default, Variant::SlowNet, Variant::SlowNetL2,
+        Variant::FastNet, Variant::SlowBmem};
+
+    harness::TextTable fig("Figure 11: geomean speedup over Baseline "
+                           "under Table 6 variants, " +
+                           std::to_string(cores) + " cores");
+    fig.header({"Variant", "Baseline+", "WiSyncNoT", "WiSync"});
+    for (const auto v : variants) {
+        std::vector<double> sp_plus, sp_not, sp_full;
+        for (const auto &name : names) {
+            const auto &app = workloads::appByName(name);
+            const auto base =
+                workloads::runApp(app, ConfigKind::Baseline, cores, v);
+            const double b = static_cast<double>(base.cycles);
+            sp_plus.push_back(
+                b / static_cast<double>(
+                        workloads::runApp(app, ConfigKind::BaselinePlus,
+                                          cores, v)
+                            .cycles));
+            sp_not.push_back(
+                b / static_cast<double>(
+                        workloads::runApp(app, ConfigKind::WiSyncNoT,
+                                          cores, v)
+                            .cycles));
+            sp_full.push_back(
+                b / static_cast<double>(
+                        workloads::runApp(app, ConfigKind::WiSync, cores,
+                                          v)
+                            .cycles));
+        }
+        fig.row({core::toString(v), harness::fmt(harness::geomean(sp_plus)),
+                 harness::fmt(harness::geomean(sp_not)),
+                 harness::fmt(harness::geomean(sp_full))});
+    }
+    fig.print(std::cout);
+    return 0;
+}

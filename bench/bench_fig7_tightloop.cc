@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Figure 7: TightLoop execution time (cycles/iteration)
+ * on the four configurations as the core count scales 16 -> 256.
+ * Expected shape (paper): WiSync stays low and flat thanks to the
+ * Tone channel; WiSyncNoT is 2-6x above it; Baseline+ is ~an order of
+ * magnitude above WiSync; Baseline is 2-3 orders above.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "harness/report.hh"
+#include "workloads/tight_loop.hh"
+
+using namespace wisync;
+
+int
+main()
+{
+    using core::ConfigKind;
+
+    std::vector<std::uint32_t> cores;
+    switch (harness::sweepMode()) {
+      case harness::SweepMode::Quick:
+        cores = {16, 64};
+        break;
+      case harness::SweepMode::Default:
+      case harness::SweepMode::Full:
+        cores = {16, 32, 64, 128, 256};
+        break;
+    }
+
+    workloads::TightLoopParams params;
+    params.iterations =
+        harness::sweepMode() == harness::SweepMode::Quick ? 5 : 20;
+
+    harness::TextTable fig(
+        "Figure 7: TightLoop cycles/iteration vs core count");
+    fig.header({"Cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync",
+                "Base/WiSync"});
+    for (const auto n : cores) {
+        const auto base =
+            workloads::runTightLoop(ConfigKind::Baseline, n, params);
+        const auto plus =
+            workloads::runTightLoop(ConfigKind::BaselinePlus, n, params);
+        const auto not_ =
+            workloads::runTightLoop(ConfigKind::WiSyncNoT, n, params);
+        const auto full =
+            workloads::runTightLoop(ConfigKind::WiSync, n, params);
+        auto per = [](const workloads::KernelResult &r) {
+            return static_cast<double>(r.cycles) /
+                   static_cast<double>(r.operations);
+        };
+        fig.row({std::to_string(n), harness::fmt(per(base), 0),
+                 harness::fmt(per(plus), 0), harness::fmt(per(not_), 0),
+                 harness::fmt(per(full), 0),
+                 harness::fmt(per(base) / per(full), 1) + "x"});
+    }
+    fig.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Figure 8: Livermore loops 2, 3 and 6 execution time
+ * (cycles) on the four configurations over a vector-length sweep, at
+ * 64 and 128 cores. Expected shape (paper): WiSync/WiSyncNoT are
+ * several times faster than Baseline+ and ~2 orders below Baseline at
+ * small vectors; Baseline+ closes the gap as vectors grow (compute
+ * starts to dominate), fastest for loop 6's large bodies.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "harness/report.hh"
+#include "workloads/livermore.hh"
+
+using namespace wisync;
+
+namespace {
+
+void
+sweep(workloads::LivermoreLoop loop, const char *name,
+      std::uint32_t cores, const std::vector<std::uint32_t> &lengths)
+{
+    using core::ConfigKind;
+    harness::TextTable fig(std::string("Figure 8: Livermore ") + name +
+                           " execution cycles, " +
+                           std::to_string(cores) + " cores");
+    fig.header({"VecLen", "Baseline", "Baseline+", "WiSyncNoT", "WiSync",
+                "Base/WiSync"});
+    for (const auto n : lengths) {
+        workloads::LivermoreParams params;
+        params.n = n;
+        params.passes = 1;
+        auto run = [&](ConfigKind kind) {
+            return workloads::runLivermore(loop, kind, cores, params)
+                .cycles;
+        };
+        const auto base = run(ConfigKind::Baseline);
+        const auto plus = run(ConfigKind::BaselinePlus);
+        const auto not_ = run(ConfigKind::WiSyncNoT);
+        const auto full = run(ConfigKind::WiSync);
+        fig.row({std::to_string(n), harness::fmtCycles(base),
+                 harness::fmtCycles(plus), harness::fmtCycles(not_),
+                 harness::fmtCycles(full),
+                 harness::fmt(static_cast<double>(base) /
+                                  static_cast<double>(full),
+                              1) +
+                     "x"});
+    }
+    fig.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<std::uint32_t> len23, len6, corecounts;
+    switch (harness::sweepMode()) {
+      case harness::SweepMode::Quick:
+        len23 = {16, 256};
+        len6 = {16, 64};
+        corecounts = {64};
+        break;
+      case harness::SweepMode::Default:
+        len23 = {16, 64, 256, 1024, 4096, 16384};
+        len6 = {16, 64, 256, 512};
+        corecounts = {64, 128};
+        break;
+      case harness::SweepMode::Full:
+        len23 = {16, 64, 256, 1024, 4096, 16384};
+        len6 = {16, 32, 64, 128, 256, 512, 1024, 2048};
+        corecounts = {64, 128};
+        break;
+    }
+
+    for (const auto cores : corecounts) {
+        sweep(workloads::LivermoreLoop::Iccg, "loop 2 (ICCG)", cores,
+              len23);
+        sweep(workloads::LivermoreLoop::InnerProduct,
+              "loop 3 (inner product)", cores, len23);
+        sweep(workloads::LivermoreLoop::LinearRecurrence,
+              "loop 6 (linear recurrence)", cores, len6);
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Figure 9: CAS throughput (successful CASes per 1000
+ * cycles) of the FIFO, LIFO and ADD lock-free kernels on Baseline vs
+ * WiSync, sweeping the critical-section size (instructions between
+ * CASes) at 64 and 128 cores. Expected shape (paper): near parity at
+ * 8-16K+ instructions, with WiSync pulling ~an order of magnitude
+ * ahead as the critical section shrinks and contention rises.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "harness/report.hh"
+#include "workloads/cas_kernels.hh"
+
+using namespace wisync;
+
+namespace {
+
+void
+sweep(workloads::CasKernel kernel, const char *name, std::uint32_t cores,
+      const std::vector<std::uint32_t> &cs_sizes)
+{
+    using core::ConfigKind;
+    harness::TextTable fig(std::string("Figure 9: ") + name +
+                           " CAS throughput per 1000 cycles, " +
+                           std::to_string(cores) + " cores");
+    fig.header({"CS instr", "Baseline", "WiSync", "WiSync/Base"});
+    for (const auto cs : cs_sizes) {
+        workloads::CasKernelParams params;
+        params.criticalSectionInstr = cs;
+        params.duration = 200'000 + static_cast<sim::Cycle>(cs) * 16;
+        const auto base = workloads::runCasKernel(
+            kernel, ConfigKind::Baseline, cores, params);
+        const auto wis = workloads::runCasKernel(
+            kernel, ConfigKind::WiSync, cores, params);
+        fig.row({std::to_string(cs),
+                 harness::fmt(base.opsPerKiloCycle(), 2),
+                 harness::fmt(wis.opsPerKiloCycle(), 2),
+                 harness::fmt(wis.opsPerKiloCycle() /
+                                  std::max(0.001,
+                                           base.opsPerKiloCycle()),
+                              1) +
+                     "x"});
+    }
+    fig.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<std::uint32_t> cs_sizes, corecounts;
+    switch (harness::sweepMode()) {
+      case harness::SweepMode::Quick:
+        cs_sizes = {4096, 64};
+        corecounts = {64};
+        break;
+      case harness::SweepMode::Default:
+        cs_sizes = {65536, 16384, 4096, 1024, 256, 64, 16, 4};
+        corecounts = {64};
+        break;
+      case harness::SweepMode::Full:
+        cs_sizes = {65536, 16384, 4096, 1024, 256, 64, 16, 4};
+        corecounts = {64, 128};
+        break;
+    }
+
+    for (const auto cores : corecounts) {
+        sweep(workloads::CasKernel::Fifo, "FIFO", cores, cs_sizes);
+        sweep(workloads::CasKernel::Lifo, "LIFO", cores, cs_sizes);
+        sweep(workloads::CasKernel::Add, "ADD", cores, cs_sizes);
+    }
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulation substrate: event
+ * queue throughput, coroutine task chains, wireless arbitration, mesh
+ * transfers and coherent accesses. These bound how long the figure
+ * benches take, and catch performance regressions in the kernel.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coro/primitives.hh"
+#include "core/machine.hh"
+#include "mem/mem_system.hh"
+#include "noc/mesh.hh"
+#include "sim/engine.hh"
+#include "wireless/data_channel.hh"
+
+using namespace wisync;
+
+namespace {
+
+void
+BM_EngineScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Engine eng;
+        for (int i = 0; i < 10000; ++i)
+            eng.schedule(static_cast<sim::Cycle>(i), [] {});
+        eng.run();
+        benchmark::DoNotOptimize(eng.now());
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+coro::Task<void>
+chain(sim::Engine &eng, int depth)
+{
+    if (depth == 0)
+        co_return;
+    co_await coro::delay(eng, 1);
+    co_await chain(eng, depth - 1);
+}
+
+void
+BM_CoroutineChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Engine eng;
+        coro::spawnDetached(eng, chain(eng, 1000));
+        eng.run();
+        benchmark::DoNotOptimize(eng.now());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineChain);
+
+coro::Task<void>
+sendMany(wireless::Mac &mac, int count)
+{
+    for (int i = 0; i < count; ++i)
+        co_await mac.send(false, [] {});
+}
+
+void
+BM_WirelessUncontended(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Engine eng;
+        wireless::DataChannel ch(eng, wireless::WirelessConfig{});
+        wireless::Mac mac(eng, ch, sim::Rng(1));
+        coro::spawnDetached(eng, sendMany(mac, 1000));
+        eng.run();
+        benchmark::DoNotOptimize(ch.stats().messages.value());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_WirelessUncontended);
+
+coro::Task<void>
+meshMany(noc::Mesh &mesh, int count)
+{
+    for (int i = 0; i < count; ++i)
+        co_await mesh.send(0, 63, 576);
+}
+
+void
+BM_MeshCornerToCorner(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Engine eng;
+        noc::MeshConfig cfg;
+        cfg.numNodes = 64;
+        noc::Mesh mesh(eng, cfg);
+        coro::spawnDetached(eng, meshMany(mesh, 500));
+        eng.run();
+        benchmark::DoNotOptimize(mesh.stats().messages.value());
+    }
+    state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_MeshCornerToCorner);
+
+void
+BM_CoherentPingPong(benchmark::State &state)
+{
+    // Two cores alternately writing one line: the worst-case coherence
+    // pattern driving the Baseline synchronization results.
+    for (auto _ : state) {
+        core::Machine m(
+            core::MachineConfig::make(core::ConfigKind::Baseline, 16));
+        const sim::Addr addr = m.allocMem(64, 64);
+        for (int t = 0; t < 2; ++t) {
+            m.spawnThread(static_cast<sim::NodeId>(t),
+                          [addr](core::ThreadCtx &ctx) -> coro::Task<void> {
+                              for (int i = 0; i < 200; ++i)
+                                  co_await ctx.fetchAdd(addr, 1);
+                          });
+        }
+        m.run();
+        benchmark::DoNotOptimize(m.engine().now());
+    }
+    state.SetItemsProcessed(state.iterations() * 400);
+}
+BENCHMARK(BM_CoherentPingPong);
+
+void
+BM_BmBroadcastStore(benchmark::State &state)
+{
+    for (auto _ : state) {
+        core::Machine m(
+            core::MachineConfig::make(core::ConfigKind::WiSync, 64));
+        m.bm()->storeArray().setTag(0, 1);
+        m.spawnThread(0, [](core::ThreadCtx &ctx) -> coro::Task<void> {
+            for (int i = 0; i < 500; ++i)
+                co_await ctx.bmStore(0, static_cast<std::uint64_t>(i));
+        });
+        m.run();
+        benchmark::DoNotOptimize(m.engine().now());
+    }
+    state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_BmBroadcastStore);
+
+} // namespace
+
+BENCHMARK_MAIN();

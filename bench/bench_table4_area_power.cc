@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Table 4: area and power of the WiSync transceiver plus
+ * two antennas (T+2A) at 22 nm versus a Xeon Haswell core and an Atom
+ * Silvermont core, from the RF scaling model (§2, §7.1).
+ */
+
+#include <iostream>
+
+#include "harness/report.hh"
+#include "wireless/rf_model.hh"
+
+using namespace wisync;
+
+int
+main()
+{
+    using wireless::RfScalingModel;
+
+    const auto ref = RfScalingModel::yu65Reference();
+    const auto scaled = RfScalingModel::scale(ref, 22);
+    const auto tone = RfScalingModel::toneExtension22();
+    const auto t2a = RfScalingModel::wisyncTransceiver22();
+
+    harness::TextTable steps("RF scaling steps (Yu et al. 65nm -> 22nm)");
+    steps.header({"Component", "Tech", "Area mm2", "Power mW",
+                  "BW Gb/s"});
+    steps.row({"Transceiver+antenna [51]", "65nm",
+               harness::fmt(ref.areaMm2), harness::fmt(ref.powerMw, 1),
+               harness::fmt(ref.bandwidthGbps, 0)});
+    steps.row({"Transceiver+antenna scaled", "22nm",
+               harness::fmt(scaled.areaMm2), harness::fmt(scaled.powerMw, 1),
+               harness::fmt(scaled.bandwidthGbps, 0)});
+    steps.row({"Tone extension + 2nd antenna", "22nm",
+               harness::fmt(tone.areaMm2), harness::fmt(tone.powerMw, 1),
+               "-"});
+    steps.row({"Total T+2A", "22nm", harness::fmt(t2a.areaMm2),
+               harness::fmt(t2a.powerMw, 1), "-"});
+    steps.print(std::cout);
+
+    harness::TextTable t4(
+        "Table 4: T+2A vs 22nm cores (paper: 0.7/0.4 and 5.6/1.8 %)");
+    t4.header({"Core", "Core area mm2", "Core TDP W", "(T+2A)/core area %",
+               "(T+2A)/core TDP %"});
+    for (const auto &row : RfScalingModel::table4()) {
+        const auto cores = RfScalingModel::referenceCores();
+        for (const auto &core : cores) {
+            if (core.name != row.name)
+                continue;
+            t4.row({row.name, harness::fmt(core.areaMm2, 1),
+                    harness::fmt(core.powerW, 0),
+                    harness::fmt(row.areaPct, 1),
+                    harness::fmt(row.powerPct, 1)});
+        }
+    }
+    t4.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Barrier shoot-out: the same phase loop on all four Table 2
+ * configurations, reporting cycles per barrier. This is the paper's
+ * headline effect in one screen of code.
+ *
+ * Build & run:
+ *   ./build/examples/barrier_comparison
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/machine.hh"
+#include "sync/factory.hh"
+
+using namespace wisync;
+
+namespace {
+
+constexpr std::uint32_t kCores = 64;
+constexpr int kPhases = 25;
+
+coro::Task<void>
+phaseLoop(core::ThreadCtx &ctx, sync::Barrier *barrier)
+{
+    for (int p = 0; p < kPhases; ++p) {
+        co_await ctx.compute(100); // tiny phase: barrier dominates
+        co_await barrier->wait(ctx);
+    }
+}
+
+sim::Cycle
+run(core::ConfigKind kind)
+{
+    core::Machine machine(core::MachineConfig::make(kind, kCores));
+    sync::SyncFactory factory(machine);
+    std::vector<sim::NodeId> nodes;
+    for (sim::NodeId n = 0; n < kCores; ++n)
+        nodes.push_back(n);
+    auto barrier = factory.makeBarrier(nodes);
+    for (sim::NodeId n = 0; n < kCores; ++n) {
+        machine.spawnThread(n, [&](core::ThreadCtx &ctx) {
+            return phaseLoop(ctx, barrier.get());
+        });
+    }
+    machine.run();
+    return machine.engine().now();
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Row
+    {
+        const char *name;
+        core::ConfigKind kind;
+        const char *impl;
+    };
+    const Row rows[] = {
+        {"Baseline", core::ConfigKind::Baseline,
+         "centralized (CAS count + release flag)"},
+        {"Baseline+", core::ConfigKind::BaselinePlus,
+         "tournament (arrival + wakeup trees)"},
+        {"WiSyncNoT", core::ConfigKind::WiSyncNoT,
+         "BM fetch&inc over the Data channel"},
+        {"WiSync", core::ConfigKind::WiSync,
+         "hardware Tone-channel barrier"},
+    };
+
+    std::printf("%u threads, %d barriers, ~50-cycle phases\n\n", kCores,
+                kPhases);
+    std::printf("%-10s  %12s  %s\n", "Config", "cycles/barrier",
+                "implementation");
+    double baseline = 0;
+    for (const auto &row : rows) {
+        const auto cycles = run(row.kind);
+        const double per =
+            static_cast<double>(cycles) / static_cast<double>(kPhases);
+        if (row.kind == core::ConfigKind::Baseline)
+            baseline = per;
+        std::printf("%-10s  %12.0f  %s (%.1fx)\n", row.name, per,
+                    row.impl, baseline / per);
+    }
+    return 0;
+}

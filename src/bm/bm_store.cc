@@ -1,0 +1,78 @@
+#include "bm/bm_store.hh"
+
+#include "sim/logging.hh"
+
+namespace wisync::bm {
+
+BmStore::BmStore(sim::Engine &engine, std::uint32_t num_nodes,
+                 std::uint32_t words_per_node)
+    : engine_(engine), numNodes_(num_nodes), words_(words_per_node)
+{
+    replicas_.assign(numNodes_, std::vector<std::uint64_t>(words_, 0));
+    tags_.assign(words_, kNoPid);
+}
+
+std::uint64_t
+BmStore::read(sim::NodeId node, sim::BmAddr addr) const
+{
+    WISYNC_ASSERT(node < numNodes_ && addr < words_, "BM read OOB");
+    return replicas_[node][addr];
+}
+
+void
+BmStore::writeAll(sim::BmAddr addr, std::uint64_t value)
+{
+    WISYNC_ASSERT(addr < words_, "BM write OOB");
+    for (std::uint32_t n = 0; n < numNodes_; ++n)
+        replicas_[n][addr] = value;
+    for (std::uint32_t n = 0; n < numNodes_; ++n) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(addr) << 10) | n;
+        if (const auto it = watches_.find(key); it != watches_.end())
+            it->second->raise();
+    }
+}
+
+void
+BmStore::toggleAll(sim::BmAddr addr)
+{
+    WISYNC_ASSERT(addr < words_, "BM toggle OOB");
+    // The tone-release location "can only take the values zero or
+    // non-zero" (§4.2.2).
+    writeAll(addr, replicas_[0][addr] == 0 ? 1 : 0);
+}
+
+bool
+BmStore::replicasConsistent() const
+{
+    for (std::uint32_t n = 1; n < numNodes_; ++n)
+        if (replicas_[n] != replicas_[0])
+            return false;
+    return true;
+}
+
+void
+BmStore::setTag(sim::BmAddr addr, sim::Pid pid)
+{
+    WISYNC_ASSERT(addr < words_, "BM tag OOB");
+    tags_[addr] = pid;
+}
+
+sim::Pid
+BmStore::tag(sim::BmAddr addr) const
+{
+    WISYNC_ASSERT(addr < words_, "BM tag OOB");
+    return tags_[addr];
+}
+
+coro::VersionedEvent &
+BmStore::watch(sim::NodeId node, sim::BmAddr addr)
+{
+    const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 10) | node;
+    auto &slot = watches_[key];
+    if (!slot)
+        slot = std::make_unique<coro::VersionedEvent>(engine_);
+    return *slot;
+}
+
+} // namespace wisync::bm

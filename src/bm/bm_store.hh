@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The replicated Broadcast Memory arrays (paper §3.2, §4.2).
+ *
+ * Every node holds a BM with space for all allocated broadcast
+ * variables; the replicas hold identical values at all times because
+ * the only write path is the Data-channel broadcast, whose delivery
+ * instant updates every replica in one simulation step. Each 64-bit
+ * entry is tagged with the PID of the owning program; a PID mismatch
+ * on access is a protection violation (§4.4).
+ */
+
+#ifndef WISYNC_BM_BM_STORE_HH
+#define WISYNC_BM_BM_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coro/primitives.hh"
+#include "sim/engine.hh"
+#include "sim/types.hh"
+
+namespace wisync::bm {
+
+/** Tag value for unallocated entries. */
+inline constexpr sim::Pid kNoPid = 0xFFFF;
+
+/** Per-node replicated broadcast memories + word-update events. */
+class BmStore
+{
+  public:
+    BmStore(sim::Engine &engine, std::uint32_t num_nodes,
+            std::uint32_t words_per_node);
+
+    std::uint32_t words() const { return words_; }
+    std::uint32_t nodes() const { return numNodes_; }
+
+    /** Read @p node's replica of word @p addr. */
+    std::uint64_t read(sim::NodeId node, sim::BmAddr addr) const;
+
+    /**
+     * Write every replica of @p addr (the broadcast-delivery commit)
+     * and wake word watchers on all nodes.
+     */
+    void writeAll(sim::BmAddr addr, std::uint64_t value);
+
+    /** Toggle 0 <-> 1 on every replica (tone-barrier release). */
+    void toggleAll(sim::BmAddr addr);
+
+    /** Verify all replicas agree (model invariant; for tests). */
+    bool replicasConsistent() const;
+
+    /** PID tag management (chunk-granularity protection, §4.4). */
+    void setTag(sim::BmAddr addr, sim::Pid pid);
+    sim::Pid tag(sim::BmAddr addr) const;
+
+    /** Per-(node,word) update event for event-driven spinning. */
+    coro::VersionedEvent &watch(sim::NodeId node, sim::BmAddr addr);
+
+  private:
+    sim::Engine &engine_;
+    std::uint32_t numNodes_;
+    std::uint32_t words_;
+    std::vector<std::vector<std::uint64_t>> replicas_; // [node][word]
+    std::vector<sim::Pid> tags_;
+    std::unordered_map<std::uint64_t,
+                       std::unique_ptr<coro::VersionedEvent>>
+        watches_;
+};
+
+} // namespace wisync::bm
+
+#endif // WISYNC_BM_BM_STORE_HH

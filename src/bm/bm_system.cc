@@ -1,0 +1,326 @@
+#include "bm/bm_system.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace wisync::bm {
+
+BmSystem::BmSystem(sim::Engine &engine, std::uint32_t num_nodes,
+                   const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
+                   sim::Rng rng, bool with_tone)
+    : engine_(engine), numNodes_(num_nodes), cfg_(cfg),
+      store_(engine, num_nodes, cfg.words()), channel_(engine, wcfg)
+{
+    macs_.reserve(numNodes_);
+    for (std::uint32_t n = 0; n < numNodes_; ++n)
+        macs_.push_back(std::make_unique<wireless::Mac>(engine_, channel_,
+                                                        rng.fork()));
+    if (with_tone) {
+        tone_ = std::make_unique<wireless::ToneChannel>(engine_, numNodes_,
+                                                        cfg_.allocSlots);
+        tone_->setReleaseHandler(
+            [this](sim::BmAddr addr) { store_.toggleAll(addr); });
+    }
+    pendingRmw_.resize(numNodes_);
+}
+
+void
+BmSystem::checkPid(sim::BmAddr addr, sim::Pid pid, std::uint32_t count)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (store_.tag(addr + i) != pid) {
+            stats_.protectionFaults.inc();
+            throw ProtectionFault(addr + i, pid);
+        }
+    }
+}
+
+void
+BmSystem::deliverStore(sim::NodeId src, sim::BmAddr addr,
+                       const std::uint64_t *values, std::uint32_t count)
+{
+    for (std::uint32_t i = 0; i < count; ++i)
+        store_.writeAll(addr + i, values[i]);
+    // AFB: an incoming store that hits the address window of another
+    // node's pending RMW breaks that RMW's atomicity (§4.2.1).
+    for (sim::NodeId n = 0; n < numNodes_; ++n) {
+        PendingRmw &p = pendingRmw_[n];
+        if (p.active && n != src && p.addr >= addr && p.addr < addr + count)
+            p.afb = true;
+    }
+}
+
+coro::Task<std::uint64_t>
+BmSystem::load(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
+{
+    checkPid(addr, pid);
+    stats_.loads.inc();
+    co_await coro::delay(engine_, cfg_.bmRtCycles);
+    co_return store_.read(node, addr);
+}
+
+coro::Task<void>
+BmSystem::store(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
+                std::uint64_t value)
+{
+    checkPid(addr, pid);
+    stats_.stores.inc();
+    co_await macs_[node]->send(false, [this, node, addr, value] {
+        const std::uint64_t v = value;
+        deliverStore(node, addr, &v, 1);
+    });
+    // Local BM write + WCB after the broadcast succeeds (§4.2.1).
+    co_await coro::delay(engine_, cfg_.bmRtCycles);
+}
+
+coro::Task<std::array<std::uint64_t, 4>>
+BmSystem::bulkLoad(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
+{
+    checkPid(addr, pid, 4);
+    stats_.loads.inc();
+    co_await coro::delay(engine_, cfg_.bmRtCycles);
+    std::array<std::uint64_t, 4> out;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        out[i] = store_.read(node, addr + i);
+    co_return out;
+}
+
+coro::Task<void>
+BmSystem::bulkStore(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
+                    std::array<std::uint64_t, 4> values)
+{
+    checkPid(addr, pid, 4);
+    stats_.stores.inc();
+    stats_.bulkStores.inc();
+    co_await macs_[node]->send(true, [this, node, addr, values] {
+        deliverStore(node, addr, values.data(), 4);
+    });
+    co_await coro::delay(engine_, cfg_.bmRtCycles);
+}
+
+coro::Task<RmwResult>
+BmSystem::fetchAdd(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
+                   std::uint64_t delta)
+{
+    checkPid(addr, pid);
+    stats_.rmws.inc();
+    co_await coro::delay(engine_, cfg_.bmRtCycles); // local BM read
+    PendingRmw &p = pendingRmw_[node];
+    WISYNC_ASSERT(!p.active, "one outstanding RMW per node");
+    p.active = true;
+    p.addr = addr;
+    p.afb = false;
+    const std::uint64_t old = store_.read(node, addr);
+    co_await coro::delay(engine_, cfg_.rmwModifyCycles); // pipeline modify
+    const std::uint64_t desired = old + delta;
+    const std::function<bool()> abort = [&p] { return p.afb; };
+    co_await macs_[node]->send(
+        false,
+        [this, node, addr, desired] {
+            const std::uint64_t v = desired;
+            deliverStore(node, addr, &v, 1);
+        },
+        &abort);
+    const bool failed = p.afb;
+    p.active = false;
+    if (failed) {
+        stats_.afbFailures.inc();
+    } else {
+        co_await coro::delay(engine_, cfg_.bmRtCycles); // local write
+    }
+    co_return RmwResult{old, failed};
+}
+
+coro::Task<RmwResult>
+BmSystem::testAndSet(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
+{
+    checkPid(addr, pid);
+    stats_.rmws.inc();
+    co_await coro::delay(engine_, cfg_.bmRtCycles);
+    PendingRmw &p = pendingRmw_[node];
+    WISYNC_ASSERT(!p.active, "one outstanding RMW per node");
+    p.active = true;
+    p.addr = addr;
+    p.afb = false;
+    const std::uint64_t old = store_.read(node, addr);
+    co_await coro::delay(engine_, cfg_.rmwModifyCycles);
+    const std::function<bool()> abort = [&p] { return p.afb; };
+    co_await macs_[node]->send(
+        false,
+        [this, node, addr] {
+            const std::uint64_t v = 1;
+            deliverStore(node, addr, &v, 1);
+        },
+        &abort);
+    const bool failed = p.afb;
+    p.active = false;
+    if (failed) {
+        stats_.afbFailures.inc();
+    } else {
+        co_await coro::delay(engine_, cfg_.bmRtCycles);
+    }
+    co_return RmwResult{old, failed};
+}
+
+coro::Task<BmCasResult>
+BmSystem::cas(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
+              std::uint64_t expected, std::uint64_t desired)
+{
+    checkPid(addr, pid);
+    stats_.rmws.inc();
+    co_await coro::delay(engine_, cfg_.bmRtCycles);
+    PendingRmw &p = pendingRmw_[node];
+    WISYNC_ASSERT(!p.active, "one outstanding RMW per node");
+    p.active = true;
+    p.addr = addr;
+    p.afb = false;
+    const std::uint64_t old = store_.read(node, addr);
+    co_await coro::delay(engine_, cfg_.rmwModifyCycles);
+    if (old != expected) {
+        // Comparison failed: no write is attempted (Fig. 4(b) retries
+        // straight away without consulting AFB).
+        p.active = false;
+        co_return BmCasResult{old, false, false};
+    }
+    const std::function<bool()> abort = [&p] { return p.afb; };
+    co_await macs_[node]->send(
+        false,
+        [this, node, addr, desired] {
+            const std::uint64_t v = desired;
+            deliverStore(node, addr, &v, 1);
+        },
+        &abort);
+    const bool failed = p.afb;
+    p.active = false;
+    if (failed) {
+        stats_.afbFailures.inc();
+    } else {
+        co_await coro::delay(engine_, cfg_.bmRtCycles);
+    }
+    co_return BmCasResult{old, true, failed};
+}
+
+coro::Task<std::uint64_t>
+BmSystem::fetchAddRetry(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
+                        std::uint64_t delta)
+{
+    for (;;) {
+        const RmwResult r = co_await fetchAdd(node, pid, addr, delta);
+        if (!r.atomicityFailed)
+            co_return r.oldValue;
+    }
+}
+
+coro::Task<std::uint64_t>
+BmSystem::testAndSetRetry(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
+{
+    for (;;) {
+        const RmwResult r = co_await testAndSet(node, pid, addr);
+        if (!r.atomicityFailed)
+            co_return r.oldValue;
+    }
+}
+
+coro::Task<void>
+BmSystem::toneStore(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
+{
+    checkPid(addr, pid);
+    WISYNC_ASSERT(tone_ != nullptr,
+                  "tone_st requires the Tone channel (WiSync config)");
+    stats_.toneStores.inc();
+    co_await coro::delay(engine_, 1); // tone-controller access
+    WISYNC_ASSERT(tone_->isArmed(addr, node),
+                  "tone_st from a node not armed for this barrier");
+    if (tone_->needsAnnouncement(addr)) {
+        // First arrival (from this node's view): the tone controller
+        // announces the barrier on the Data channel with the Tone bit
+        // set. tone_st itself retires immediately — the MAC transmits
+        // asynchronously. If another node's announcement wins the race
+        // (or the whole barrier completes) while ours waits in the
+        // MAC, the controller cancels the now-redundant message at
+        // its transmit slot.
+        stats_.toneAnnouncements.inc();
+        tone_->arrive(addr, node); // pending until activation
+        coro::spawnDetached(engine_,
+                            announceTask(node, addr,
+                                         tone_->epochOf(addr)));
+    } else {
+        tone_->arrive(addr, node); // drop our tone
+    }
+}
+
+coro::Task<void>
+BmSystem::announceTask(sim::NodeId node, sim::BmAddr addr,
+                       std::uint64_t epoch)
+{
+    // The abort predicate lives in this frame for the whole send.
+    const std::function<bool()> abort = [this, addr, epoch] {
+        return tone_->isActive(addr) || tone_->epochOf(addr) != epoch;
+    };
+    co_await macs_[node]->send(
+        false, [this, addr] { tone_->activate(addr); }, &abort);
+}
+
+coro::Task<std::uint64_t>
+BmSystem::toneLoad(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
+{
+    checkPid(addr, pid);
+    co_await coro::delay(engine_, cfg_.bmRtCycles);
+    co_return store_.read(node, addr);
+}
+
+coro::Task<std::uint64_t>
+BmSystem::spinUntil(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
+                    std::function<bool(std::uint64_t)> pred)
+{
+    for (;;) {
+        coro::VersionedEvent &ev = store_.watch(node, addr);
+        const std::uint64_t gen = ev.gen();
+        const std::uint64_t v = co_await load(node, pid, addr);
+        if (pred(v))
+            co_return v;
+        co_await ev.waitChangedSince(gen);
+    }
+}
+
+coro::Task<void>
+BmSystem::allocEntries(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
+                       std::uint32_t count)
+{
+    WISYNC_ASSERT(addr + count <= cfg_.words(), "BM allocation OOB");
+    // One broadcast allocation message carries base + PID (§4.4); on
+    // delivery every node allocates and tags the same entries.
+    co_await macs_[node]->send(false, [this, pid, addr, count] {
+        for (std::uint32_t i = 0; i < count; ++i)
+            store_.setTag(addr + i, pid);
+    });
+    co_await coro::delay(engine_, cfg_.bmRtCycles);
+}
+
+coro::Task<void>
+BmSystem::deallocEntries(sim::NodeId node, sim::BmAddr addr,
+                         std::uint32_t count)
+{
+    co_await macs_[node]->send(false, [this, addr, count] {
+        for (std::uint32_t i = 0; i < count; ++i)
+            store_.setTag(addr + i, kNoPid);
+    });
+}
+
+bool
+BmSystem::allocToneBarrier(sim::BmAddr addr, std::vector<bool> armed)
+{
+    if (!tone_)
+        return false;
+    return tone_->alloc(addr, std::move(armed));
+}
+
+void
+BmSystem::deallocToneBarrier(sim::BmAddr addr)
+{
+    if (tone_)
+        tone_->dealloc(addr);
+}
+
+} // namespace wisync::bm

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * The Broadcast Memory controller: WiSync's instruction surface.
+ *
+ * Implements the paper's §4.2 semantics on top of the Data channel,
+ * Tone channel and BmStore:
+ *
+ *  - Plain loads read the local replica (2-cycle BM round trip) and
+ *    always succeed.
+ *  - Stores broadcast first; only when the wireless transfer succeeds
+ *    is any replica (including the local one) updated, which yields a
+ *    chip-wide total order of BM writes. The Write Completion Bit
+ *    (WCB) semantics are implicit: a store coroutine resolves exactly
+ *    when WCB would be set.
+ *  - RMW instructions (test&set, fetch&inc, fetch&add, CAS) read the
+ *    local replica, modify in the pipeline, and attempt the broadcast.
+ *    If a remote store to the same address arrives in between, the
+ *    Atomicity Failure Bit (AFB) is set and the write is aborted: the
+ *    instruction completes without broadcasting or updating the BM,
+ *    and software must retry (Fig. 4(a,b)).
+ *  - Bulk load/store move 4 consecutive words; a bulk broadcast takes
+ *    15 cycles instead of 4x5 (§4.1).
+ *  - tone_st / tone_ld drive the Tone channel's hardware barrier
+ *    (§4.2.2); the release toggles the barrier word in all replicas.
+ *  - Every access checks the entry's PID tag (§4.4); a mismatch throws
+ *    ProtectionFault.
+ */
+
+#ifndef WISYNC_BM_BM_SYSTEM_HH
+#define WISYNC_BM_BM_SYSTEM_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "bm/bm_store.hh"
+#include "coro/primitives.hh"
+#include "coro/task.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "wireless/data_channel.hh"
+#include "wireless/tone_channel.hh"
+
+namespace wisync::bm {
+
+/** BM geometry/timing knobs (Table 1 defaults). */
+struct BmConfig
+{
+    /** Per-node BM capacity (16 KB => 2048 64-bit entries). */
+    std::uint32_t bmBytes = 16 * 1024;
+    /** BM access round trip, cycles. */
+    std::uint32_t bmRtCycles = 2;
+    /** Pipeline modify stage of an RMW, cycles. */
+    std::uint32_t rmwModifyCycles = 1;
+    /** AllocB/ActiveB capacity for tone barriers. */
+    std::uint32_t allocSlots = 16;
+
+    std::uint32_t words() const { return bmBytes / 8; }
+};
+
+/** PID-tag mismatch on a BM access (§4.4). */
+class ProtectionFault : public std::runtime_error
+{
+  public:
+    ProtectionFault(sim::BmAddr addr, sim::Pid pid)
+        : std::runtime_error("BM protection fault"), addr(addr), pid(pid)
+    {}
+    sim::BmAddr addr;
+    sim::Pid pid;
+};
+
+/** Result of a BM RMW instruction (value + AFB register). */
+struct RmwResult
+{
+    std::uint64_t oldValue = 0;
+    /** AFB: set -> the write never occurred; retry the instruction. */
+    bool atomicityFailed = false;
+};
+
+/** Result of a BM CAS (Fig. 4(b) protocol). */
+struct BmCasResult
+{
+    std::uint64_t oldValue = 0;
+    /** Comparison outcome ("CAS returns zero if contents differ"). */
+    bool compared = false;
+    /** AFB: even a successful comparison may fail atomically. */
+    bool atomicityFailed = false;
+
+    bool succeeded() const { return compared && !atomicityFailed; }
+};
+
+/** BM-level statistics. */
+struct BmStats
+{
+    sim::Counter loads;
+    sim::Counter stores;
+    sim::Counter bulkStores;
+    sim::Counter rmws;
+    sim::Counter afbFailures;
+    sim::Counter toneStores;
+    sim::Counter toneAnnouncements;
+    sim::Counter protectionFaults;
+};
+
+/**
+ * One chip's Broadcast Memory system: replicated stores, per-node
+ * MACs on the shared Data channel, and the Tone channel controller.
+ */
+class BmSystem
+{
+  public:
+    /**
+     * @param with_tone  False for WiSyncNoT (no Tone channel; tone_st
+     *                   and tone barriers are unavailable).
+     */
+    BmSystem(sim::Engine &engine, std::uint32_t num_nodes,
+             const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
+             sim::Rng rng, bool with_tone = true);
+
+    // ---- Instruction surface -------------------------------------
+
+    /** Plain BM load: local replica, always succeeds. */
+    coro::Task<std::uint64_t> load(sim::NodeId node, sim::Pid pid,
+                                   sim::BmAddr addr);
+
+    /** Plain BM store: broadcast, then update all replicas. */
+    coro::Task<void> store(sim::NodeId node, sim::Pid pid,
+                           sim::BmAddr addr, std::uint64_t value);
+
+    /** Bulk load of 4 consecutive words from the local replica. */
+    coro::Task<std::array<std::uint64_t, 4>> bulkLoad(sim::NodeId node,
+                                                      sim::Pid pid,
+                                                      sim::BmAddr addr);
+
+    /** Bulk store of 4 consecutive words (one 15-cycle broadcast). */
+    coro::Task<void> bulkStore(sim::NodeId node, sim::Pid pid,
+                               sim::BmAddr addr,
+                               std::array<std::uint64_t, 4> values);
+
+    /** fetch&add (fetch&inc with delta=1). AFB semantics apply. */
+    coro::Task<RmwResult> fetchAdd(sim::NodeId node, sim::Pid pid,
+                                   sim::BmAddr addr, std::uint64_t delta);
+
+    /** test&set: writes 1. AFB semantics apply. */
+    coro::Task<RmwResult> testAndSet(sim::NodeId node, sim::Pid pid,
+                                     sim::BmAddr addr);
+
+    /** Compare-and-swap (Fig. 4(b)). */
+    coro::Task<BmCasResult> cas(sim::NodeId node, sim::Pid pid,
+                                sim::BmAddr addr, std::uint64_t expected,
+                                std::uint64_t desired);
+
+    /**
+     * Convenience retry loops (the software patterns of Fig. 4):
+     * repeat the RMW until AFB is clear.
+     */
+    coro::Task<std::uint64_t> fetchAddRetry(sim::NodeId node, sim::Pid pid,
+                                            sim::BmAddr addr,
+                                            std::uint64_t delta);
+    coro::Task<std::uint64_t> testAndSetRetry(sim::NodeId node,
+                                              sim::Pid pid,
+                                              sim::BmAddr addr);
+
+    // ---- Tone-channel instructions (§4.2.2) ----------------------
+
+    /** tone_st: arrival at the tone barrier on @p addr. */
+    coro::Task<void> toneStore(sim::NodeId node, sim::Pid pid,
+                               sim::BmAddr addr);
+
+    /** tone_ld: plain local read of the barrier word. */
+    coro::Task<std::uint64_t> toneLoad(sim::NodeId node, sim::Pid pid,
+                                       sim::BmAddr addr);
+
+    // ---- Spin support ---------------------------------------------
+
+    /** Event-driven spin on a BM word until pred(value). */
+    coro::Task<std::uint64_t> spinUntil(sim::NodeId node, sim::Pid pid,
+                                        sim::BmAddr addr,
+                                        std::function<bool(std::uint64_t)>
+                                            pred);
+
+    // ---- Allocation hooks (used by core::Os, §4.4) ----------------
+
+    /** Tag a chunk of words with a PID (broadcast alloc message). */
+    coro::Task<void> allocEntries(sim::NodeId node, sim::Pid pid,
+                                  sim::BmAddr addr, std::uint32_t count);
+
+    /** Release entries (broadcast dealloc message). */
+    coro::Task<void> deallocEntries(sim::NodeId node, sim::BmAddr addr,
+                                    std::uint32_t count);
+
+    /** Register a tone barrier; false if AllocB overflows or no tone. */
+    bool allocToneBarrier(sim::BmAddr addr, std::vector<bool> armed);
+    void deallocToneBarrier(sim::BmAddr addr);
+
+    // ---- Introspection --------------------------------------------
+
+    BmStore &storeArray() { return store_; }
+    wireless::DataChannel &dataChannel() { return channel_; }
+    wireless::ToneChannel *toneChannel() { return tone_.get(); }
+    wireless::Mac &mac(sim::NodeId node) { return *macs_[node]; }
+    const BmStats &stats() const { return stats_; }
+    const BmConfig &config() const { return cfg_; }
+    bool hasTone() const { return tone_ != nullptr; }
+
+  private:
+    void checkPid(sim::BmAddr addr, sim::Pid pid, std::uint32_t count = 1);
+
+    /** Track a pending RMW for AFB detection. */
+    struct PendingRmw
+    {
+        bool active = false;
+        sim::BmAddr addr = 0;
+        bool afb = false;
+    };
+
+    /** Broadcast-delivery commit for a (possibly bulk) store. */
+    void deliverStore(sim::NodeId src, sim::BmAddr addr,
+                      const std::uint64_t *values, std::uint32_t count);
+
+    /** Detached tone-barrier announcement (cancellable, see §5.1). */
+    coro::Task<void> announceTask(sim::NodeId node, sim::BmAddr addr,
+                                  std::uint64_t epoch);
+
+    sim::Engine &engine_;
+    std::uint32_t numNodes_;
+    BmConfig cfg_;
+    BmStore store_;
+    wireless::DataChannel channel_;
+    std::vector<std::unique_ptr<wireless::Mac>> macs_;
+    std::unique_ptr<wireless::ToneChannel> tone_;
+    std::vector<PendingRmw> pendingRmw_; // per node
+    BmStats stats_;
+};
+
+} // namespace wisync::bm
+
+#endif // WISYNC_BM_BM_SYSTEM_HH

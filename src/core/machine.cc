@@ -1,0 +1,199 @@
+#include "core/machine.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace wisync::core {
+
+Machine::Machine(const MachineConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
+{
+    WISYNC_FATAL_IF(cfg_.mesh.numNodes != cfg_.numCores,
+                    "mesh size must equal core count (use "
+                    "MachineConfig::make)");
+    mesh_ = std::make_unique<noc::Mesh>(engine_, cfg_.mesh);
+    mem_ = std::make_unique<mem::MemSystem>(engine_, *mesh_, memory_,
+                                            cfg_.numCores, cfg_.mem);
+    if (cfg_.hasWireless()) {
+        bm_ = std::make_unique<bm::BmSystem>(engine_, cfg_.numCores,
+                                             cfg_.bm, cfg_.wireless,
+                                             rng_.fork(), cfg_.hasTone());
+    }
+}
+
+ThreadCtx &
+Machine::spawnThread(sim::NodeId node, ThreadBody body, sim::Pid pid)
+{
+    WISYNC_FATAL_IF(node >= cfg_.numCores, "thread node out of range");
+    auto ctx = std::make_unique<ThreadCtx>(
+        *this, static_cast<sim::ThreadId>(threads_.size()), node, pid);
+    ThreadCtx *raw = ctx.get();
+    threads_.push_back(std::move(ctx));
+    ++liveThreads_;
+    coro::spawnFn(
+        engine_, 0,
+        [](ThreadBody b, ThreadCtx *c,
+           std::uint32_t *live) -> coro::Task<void> {
+            co_await b(*c);
+            --*live;
+        },
+        std::move(body), raw, &liveThreads_);
+    return *raw;
+}
+
+bool
+Machine::run(sim::Cycle limit)
+{
+    engine_.run(limit);
+    return liveThreads_ == 0;
+}
+
+sim::Addr
+Machine::allocMem(std::uint64_t bytes, std::uint64_t align)
+{
+    nextMem_ = (nextMem_ + align - 1) & ~(align - 1);
+    const sim::Addr out = nextMem_;
+    nextMem_ += bytes;
+    return out;
+}
+
+bool
+Machine::allocBm(std::uint32_t words, sim::BmAddr &out)
+{
+    WISYNC_ASSERT(bm_ != nullptr, "allocBm on a machine without BM");
+    if (nextBm_ + words > bm_->config().words())
+        return false;
+    out = nextBm_;
+    nextBm_ += words;
+    return true;
+}
+
+coro::Task<void>
+ThreadCtx::compute(std::uint64_t instructions)
+{
+    const auto width = machine_.config().issueWidth;
+    const sim::Cycle cycles = (instructions + width - 1) / width;
+    co_await coro::delay(machine_.engine(), cycles);
+}
+
+coro::Task<std::uint64_t>
+ThreadCtx::load(sim::Addr addr)
+{
+    return machine_.mem().load(node_, addr);
+}
+
+coro::Task<void>
+ThreadCtx::store(sim::Addr addr, std::uint64_t value)
+{
+    return machine_.mem().store(node_, addr, value);
+}
+
+coro::Task<std::uint64_t>
+ThreadCtx::fetchAdd(sim::Addr addr, std::uint64_t d)
+{
+    return machine_.mem().fetchAdd(node_, addr, d);
+}
+
+coro::Task<std::uint64_t>
+ThreadCtx::swap(sim::Addr addr, std::uint64_t v)
+{
+    return machine_.mem().swap(node_, addr, v);
+}
+
+coro::Task<mem::CasResult>
+ThreadCtx::cas(sim::Addr addr, std::uint64_t expected, std::uint64_t desired)
+{
+    return machine_.mem().cas(node_, addr, expected, desired);
+}
+
+coro::Task<std::uint64_t>
+ThreadCtx::spinUntil(sim::Addr addr, std::function<bool(std::uint64_t)> pred)
+{
+    return machine_.mem().spinUntil(node_, addr, std::move(pred));
+}
+
+coro::Task<std::uint64_t>
+ThreadCtx::bmLoad(sim::BmAddr addr)
+{
+    return machine_.bm()->load(node_, pid_, addr);
+}
+
+coro::Task<void>
+ThreadCtx::bmStore(sim::BmAddr addr, std::uint64_t value)
+{
+    return machine_.bm()->store(node_, pid_, addr, value);
+}
+
+coro::Task<std::uint64_t>
+ThreadCtx::bmFetchAdd(sim::BmAddr addr, std::uint64_t d)
+{
+    return machine_.bm()->fetchAddRetry(node_, pid_, addr, d);
+}
+
+coro::Task<std::uint64_t>
+ThreadCtx::bmTestAndSet(sim::BmAddr addr)
+{
+    return machine_.bm()->testAndSetRetry(node_, pid_, addr);
+}
+
+coro::Task<bm::BmCasResult>
+ThreadCtx::bmCas(sim::BmAddr addr, std::uint64_t expected,
+                 std::uint64_t desired)
+{
+    return machine_.bm()->cas(node_, pid_, addr, expected, desired);
+}
+
+coro::Task<std::array<std::uint64_t, 4>>
+ThreadCtx::bmBulkLoad(sim::BmAddr addr)
+{
+    return machine_.bm()->bulkLoad(node_, pid_, addr);
+}
+
+coro::Task<void>
+ThreadCtx::bmBulkStore(sim::BmAddr addr, std::array<std::uint64_t, 4> values)
+{
+    return machine_.bm()->bulkStore(node_, pid_, addr, values);
+}
+
+coro::Task<std::uint64_t>
+ThreadCtx::bmSpinUntil(sim::BmAddr addr,
+                       std::function<bool(std::uint64_t)> pred)
+{
+    return machine_.bm()->spinUntil(node_, pid_, addr, std::move(pred));
+}
+
+coro::Task<void>
+ThreadCtx::toneStore(sim::BmAddr addr)
+{
+    return machine_.bm()->toneStore(node_, pid_, addr);
+}
+
+coro::Task<void>
+ThreadCtx::preempt(sim::Cycle cycles, sim::Cycle switch_cost)
+{
+    // The core runs something else; our BM replica keeps receiving
+    // broadcasts, and the caches stay coherent, so nothing else to do.
+    co_await coro::delay(machine_.engine(), cycles + switch_cost);
+}
+
+coro::Task<void>
+ThreadCtx::migrate(sim::NodeId new_node, sim::Cycle migrate_cost)
+{
+    WISYNC_FATAL_IF(new_node >= machine_.config().numCores,
+                    "migration target out of range");
+    if (machine_.bm() && machine_.bm()->hasTone() &&
+        machine_.bm()->toneChannel()->anyArmedOn(node_)) {
+        throw std::runtime_error(
+            "cannot migrate: a tone barrier arms this node (§5.2)");
+    }
+    co_await coro::delay(machine_.engine(), migrate_cost);
+    node_ = new_node;
+}
+
+coro::Task<std::uint64_t>
+ThreadCtx::toneLoad(sim::BmAddr addr)
+{
+    return machine_.bm()->toneLoad(node_, pid_, addr);
+}
+
+} // namespace wisync::core

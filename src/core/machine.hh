@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The Machine facade: one simulated WiSync (or baseline) chip.
+ *
+ * Owns the engine and every substrate, wires them per MachineConfig,
+ * and manages simulated software threads (one per core by default;
+ * the model follows Table 1's 1 GHz, 2-issue cores by charging
+ * ceil(instructions / issueWidth) cycles for compute).
+ */
+
+#ifndef WISYNC_CORE_MACHINE_HH
+#define WISYNC_CORE_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bm/bm_system.hh"
+#include "core/machine_config.hh"
+#include "coro/primitives.hh"
+#include "coro/task.hh"
+#include "mem/mem_system.hh"
+#include "noc/mesh.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace wisync::core {
+
+class Machine;
+
+/**
+ * Per-thread execution context handed to workload bodies.
+ *
+ * Thin, allocation-free wrappers over the machine's subsystems plus
+ * the compute-time model.
+ */
+class ThreadCtx
+{
+  public:
+    ThreadCtx(Machine &machine, sim::ThreadId tid, sim::NodeId node,
+              sim::Pid pid)
+        : machine_(machine), tid_(tid), node_(node), pid_(pid)
+    {}
+
+    sim::ThreadId tid() const { return tid_; }
+    sim::NodeId node() const { return node_; }
+    sim::Pid pid() const { return pid_; }
+    Machine &machine() { return machine_; }
+
+    /** Execute @p instructions of straight-line code. */
+    coro::Task<void> compute(std::uint64_t instructions);
+
+    // Regular (cacheable) memory ops.
+    coro::Task<std::uint64_t> load(sim::Addr addr);
+    coro::Task<void> store(sim::Addr addr, std::uint64_t value);
+    coro::Task<std::uint64_t> fetchAdd(sim::Addr addr, std::uint64_t d);
+    coro::Task<std::uint64_t> swap(sim::Addr addr, std::uint64_t v);
+    coro::Task<mem::CasResult> cas(sim::Addr addr, std::uint64_t expected,
+                                   std::uint64_t desired);
+    coro::Task<std::uint64_t> spinUntil(sim::Addr addr,
+                                        std::function<bool(std::uint64_t)>
+                                            pred);
+
+    // Broadcast-memory ops (WiSync configs only).
+    coro::Task<std::uint64_t> bmLoad(sim::BmAddr addr);
+    coro::Task<void> bmStore(sim::BmAddr addr, std::uint64_t value);
+    coro::Task<std::uint64_t> bmFetchAdd(sim::BmAddr addr, std::uint64_t d);
+    coro::Task<std::uint64_t> bmTestAndSet(sim::BmAddr addr);
+    coro::Task<bm::BmCasResult> bmCas(sim::BmAddr addr,
+                                      std::uint64_t expected,
+                                      std::uint64_t desired);
+    coro::Task<std::array<std::uint64_t, 4>> bmBulkLoad(sim::BmAddr addr);
+    coro::Task<void> bmBulkStore(sim::BmAddr addr,
+                                 std::array<std::uint64_t, 4> values);
+    coro::Task<std::uint64_t> bmSpinUntil(sim::BmAddr addr,
+                                          std::function<bool(std::uint64_t)>
+                                              pred);
+    coro::Task<void> toneStore(sim::BmAddr addr);
+    coro::Task<std::uint64_t> toneLoad(sim::BmAddr addr);
+
+    /**
+     * Context switch: the thread is descheduled for @p cycles plus
+     * the OS switch overhead. While preempted, broadcast updates keep
+     * landing in every BM replica, so the thread resumes with current
+     * state (§5.2).
+     */
+    coro::Task<void> preempt(sim::Cycle cycles,
+                             sim::Cycle switch_cost = 200);
+
+    /**
+     * Migrate this thread to @p new_node (§5.2). Legal because BM
+     * state is identical on every node and caches stay coherent; the
+     * thread simply resumes on the new core after the migration cost
+     * (two context switches). Refused (ProtectionFault-style
+     * std::runtime_error) while any tone barrier arms the current
+     * node, because the Armed bit is per-node hardware state that
+     * cannot follow the thread.
+     */
+    coro::Task<void> migrate(sim::NodeId new_node,
+                             sim::Cycle migrate_cost = 400);
+
+  private:
+    Machine &machine_;
+    sim::ThreadId tid_;
+    sim::NodeId node_;
+    sim::Pid pid_;
+};
+
+/** One simulated chip. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+
+    using ThreadBody = std::function<coro::Task<void>(ThreadCtx &)>;
+
+    /**
+     * Create a thread on @p node (PID @p pid) running @p body.
+     * Threads spawned before run() start at cycle 0.
+     */
+    ThreadCtx &spawnThread(sim::NodeId node, ThreadBody body,
+                           sim::Pid pid = 1);
+
+    /**
+     * Run until every spawned thread finishes (or @p limit).
+     * @return true if all threads completed.
+     */
+    bool run(sim::Cycle limit = sim::kCycleMax);
+
+    std::uint32_t liveThreads() const { return liveThreads_; }
+
+    // Subsystem access.
+    sim::Engine &engine() { return engine_; }
+    noc::Mesh &mesh() { return *mesh_; }
+    mem::Memory &memory() { return memory_; }
+    mem::MemSystem &mem() { return *mem_; }
+    bm::BmSystem *bm() { return bm_.get(); }
+    const MachineConfig &config() const { return cfg_; }
+    sim::Rng &rng() { return rng_; }
+
+    /** Simple bump allocator for workload data in regular memory. */
+    sim::Addr allocMem(std::uint64_t bytes, std::uint64_t align = 64);
+
+    /**
+     * Bump allocator over BM words; returns true and the address when
+     * it fits, false when the BM is exhausted (caller falls back to
+     * regular memory, as dedup/fluidanimate do in §6).
+     */
+    bool allocBm(std::uint32_t words, sim::BmAddr &out);
+
+  private:
+    MachineConfig cfg_;
+    sim::Engine engine_;
+    sim::Rng rng_;
+    mem::Memory memory_;
+    std::unique_ptr<noc::Mesh> mesh_;
+    std::unique_ptr<mem::MemSystem> mem_;
+    std::unique_ptr<bm::BmSystem> bm_;
+    std::vector<std::unique_ptr<ThreadCtx>> threads_;
+    std::uint32_t liveThreads_ = 0;
+    sim::Addr nextMem_ = 0x1000'0000;
+    sim::BmAddr nextBm_ = 0;
+};
+
+} // namespace wisync::core
+
+#endif // WISYNC_CORE_MACHINE_HH

@@ -1,0 +1,82 @@
+#include "core/machine_config.hh"
+
+#include "sim/logging.hh"
+
+namespace wisync::core {
+
+const char *
+toString(ConfigKind kind)
+{
+    switch (kind) {
+      case ConfigKind::Baseline:
+        return "Baseline";
+      case ConfigKind::BaselinePlus:
+        return "Baseline+";
+      case ConfigKind::WiSyncNoT:
+        return "WiSyncNoT";
+      case ConfigKind::WiSync:
+        return "WiSync";
+    }
+    return "?";
+}
+
+const char *
+toString(Variant variant)
+{
+    switch (variant) {
+      case Variant::Default:
+        return "Default";
+      case Variant::SlowNet:
+        return "SlowNet";
+      case Variant::SlowNetL2:
+        return "SlowNet+L2";
+      case Variant::FastNet:
+        return "FastNet";
+      case Variant::SlowBmem:
+        return "SlowBMEM";
+    }
+    return "?";
+}
+
+MachineConfig
+MachineConfig::make(ConfigKind kind, std::uint32_t cores, Variant variant)
+{
+    WISYNC_FATAL_IF(cores == 0, "need at least one core");
+    MachineConfig cfg;
+    cfg.kind = kind;
+    cfg.variant = variant;
+    cfg.numCores = cores;
+    cfg.mesh.numNodes = cores;
+    cfg.mesh.treeMulticast = (kind == ConfigKind::BaselinePlus);
+
+    switch (variant) {
+      case Variant::Default:
+        break;
+      case Variant::SlowNet:
+        cfg.mesh.hopCycles = 6;
+        break;
+      case Variant::SlowNetL2:
+        cfg.mesh.hopCycles = 6;
+        cfg.mem.l2RtCycles = 12;
+        break;
+      case Variant::FastNet:
+        cfg.mesh.hopCycles = 2;
+        break;
+      case Variant::SlowBmem:
+        cfg.bm.bmRtCycles = 4;
+        break;
+    }
+    return cfg;
+}
+
+std::string
+MachineConfig::describe() const
+{
+    std::string out = toString(kind);
+    out += " cores=" + std::to_string(numCores);
+    out += " variant=";
+    out += toString(variant);
+    return out;
+}
+
+} // namespace wisync::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Chip configuration: the paper's Tables 1, 2 and 6 as code.
+ */
+
+#ifndef WISYNC_CORE_MACHINE_CONFIG_HH
+#define WISYNC_CORE_MACHINE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "bm/bm_system.hh"
+#include "mem/mem_system.hh"
+#include "noc/mesh.hh"
+#include "wireless/data_channel.hh"
+
+namespace wisync::core {
+
+/** The four architecture configurations compared in Table 2. */
+enum class ConfigKind
+{
+    /** Plain manycore: CAS locks + centralized barrier. */
+    Baseline,
+    /** + virtual-tree broadcast NoC, MCS locks, tournament barriers. */
+    BaselinePlus,
+    /** WiSync without the Tone channel. */
+    WiSyncNoT,
+    /** Full WiSync: Data + Tone channels. */
+    WiSync,
+};
+
+/** The memory/network variants of Table 6 (sensitivity study). */
+enum class Variant
+{
+    Default,  // L2 RT 6, BM RT 2, hop 4
+    SlowNet,  // hop 6
+    SlowNetL2, // hop 6, L2 RT 12
+    FastNet,  // hop 2
+    SlowBmem, // BM RT 4
+};
+
+const char *toString(ConfigKind kind);
+const char *toString(Variant variant);
+
+/** Everything needed to build a Machine. */
+struct MachineConfig
+{
+    ConfigKind kind = ConfigKind::WiSync;
+    Variant variant = Variant::Default;
+    std::uint32_t numCores = 64;
+    /** Issue width of the 1 GHz OoO core (Table 1: 2-issue). */
+    std::uint32_t issueWidth = 2;
+    std::uint64_t seed = 42;
+
+    mem::MemConfig mem;
+    noc::MeshConfig mesh;
+    wireless::WirelessConfig wireless;
+    bm::BmConfig bm;
+
+    bool
+    hasWireless() const
+    {
+        return kind == ConfigKind::WiSyncNoT || kind == ConfigKind::WiSync;
+    }
+    bool hasTone() const { return kind == ConfigKind::WiSync; }
+
+    /** Build a coherent config for @p kind / @p cores / @p variant. */
+    static MachineConfig make(ConfigKind kind, std::uint32_t cores,
+                              Variant variant = Variant::Default);
+
+    /** Human-readable one-liner for harness output. */
+    std::string describe() const;
+};
+
+} // namespace wisync::core
+
+#endif // WISYNC_CORE_MACHINE_CONFIG_HH

@@ -1,0 +1,102 @@
+#include "core/os.hh"
+
+#include "sim/logging.hh"
+
+namespace wisync::core {
+
+coro::Task<BVar>
+Os::allocBroadcast(ThreadCtx &ctx, std::uint32_t words)
+{
+    BVar var;
+    var.words = words;
+    var.pid = ctx.pid();
+    if (machine_.bm()) {
+        sim::BmAddr addr = 0;
+        if (machine_.allocBm(words, addr)) {
+            // Broadcast the allocation so every node tags the entries.
+            co_await machine_.bm()->allocEntries(ctx.node(), ctx.pid(),
+                                                 addr, words);
+            var.inBm = true;
+            var.bmAddr = addr;
+            co_return var;
+        }
+        // BM exhausted: transparently spill to regular memory (§4.2).
+    }
+    var.inBm = false;
+    var.memAddr = machine_.allocMem(static_cast<std::uint64_t>(words) * 8,
+                                    64);
+    co_return var;
+}
+
+coro::Task<void>
+Os::freeBroadcast(ThreadCtx &ctx, const BVar &var)
+{
+    if (var.inBm)
+        co_await machine_.bm()->deallocEntries(ctx.node(), var.bmAddr,
+                                               var.words);
+    // Regular-memory spills use the bump allocator (no reclamation in
+    // this model).
+}
+
+coro::Task<std::optional<sim::BmAddr>>
+Os::allocToneBarrier(ThreadCtx &ctx,
+                     std::vector<sim::NodeId> participant_nodes)
+{
+    if (!machine_.bm() || !machine_.bm()->hasTone())
+        co_return std::nullopt;
+    sim::BmAddr addr = 0;
+    if (!machine_.allocBm(1, addr))
+        co_return std::nullopt;
+    co_await machine_.bm()->allocEntries(ctx.node(), ctx.pid(), addr, 1);
+    std::vector<bool> armed(machine_.config().numCores, false);
+    for (const auto n : participant_nodes) {
+        WISYNC_FATAL_IF(n >= machine_.config().numCores,
+                        "tone participant out of range");
+        // §5.2: two threads of the same tone barrier may not share a
+        // core; the OS refuses such placements.
+        WISYNC_FATAL_IF(armed[n],
+                        "two tone-barrier threads on one core");
+        armed[n] = true;
+    }
+    if (!machine_.bm()->allocToneBarrier(addr, std::move(armed)))
+        co_return std::nullopt; // AllocB overflow
+    co_return addr;
+}
+
+void
+Os::freeToneBarrier(sim::BmAddr addr)
+{
+    machine_.bm()->deallocToneBarrier(addr);
+}
+
+coro::Task<std::uint64_t>
+bvarLoad(ThreadCtx &ctx, const BVar &var, std::uint32_t word)
+{
+    WISYNC_ASSERT(word < var.words, "BVar word out of range");
+    if (var.inBm)
+        co_return co_await ctx.bmLoad(var.bmAddr + word);
+    co_return co_await ctx.load(var.memAddr + word * 8);
+}
+
+coro::Task<void>
+bvarStore(ThreadCtx &ctx, const BVar &var, std::uint64_t value,
+          std::uint32_t word)
+{
+    WISYNC_ASSERT(word < var.words, "BVar word out of range");
+    if (var.inBm)
+        co_await ctx.bmStore(var.bmAddr + word, value);
+    else
+        co_await ctx.store(var.memAddr + word * 8, value);
+}
+
+coro::Task<std::uint64_t>
+bvarFetchAdd(ThreadCtx &ctx, const BVar &var, std::uint64_t delta,
+             std::uint32_t word)
+{
+    WISYNC_ASSERT(word < var.words, "BVar word out of range");
+    if (var.inBm)
+        co_return co_await ctx.bmFetchAdd(var.bmAddr + word, delta);
+    co_return co_await ctx.fetchAdd(var.memAddr + word * 8, delta);
+}
+
+} // namespace wisync::core

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal OS runtime for broadcast-variable management (paper §4.4).
+ *
+ * The OS owns PIDs and the BM address space. Allocating a broadcast
+ * variable sends the allocation broadcast (every node tags the same
+ * entries with the program's PID); if the BM is exhausted the
+ * variable is transparently placed in regular memory and accessed
+ * through the wired hierarchy, exactly as §4.2 prescribes. Tone
+ * barriers are registered in AllocB with the Armed bits derived from
+ * the participating threads' placement; if a program cannot get a
+ * tone barrier (AllocB full / no Tone channel), callers fall back to
+ * a Data-channel barrier.
+ */
+
+#ifndef WISYNC_CORE_OS_HH
+#define WISYNC_CORE_OS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/machine.hh"
+#include "coro/task.hh"
+#include "sim/types.hh"
+
+namespace wisync::core {
+
+/** Handle to an allocated broadcast variable. */
+struct BVar
+{
+    /** True: lives in the BM; false: spilled to regular memory. */
+    bool inBm = false;
+    sim::BmAddr bmAddr = 0;
+    sim::Addr memAddr = 0;
+    std::uint32_t words = 0;
+    sim::Pid pid = 0;
+};
+
+/** OS services for one simulated chip. */
+class Os
+{
+  public:
+    explicit Os(Machine &machine) : machine_(machine) {}
+
+    /** Start a new program: returns a fresh PID. */
+    sim::Pid newProgram() { return nextPid_++; }
+
+    /**
+     * Allocate @p words of broadcast storage for @p pid, issuing the
+     * allocation broadcast from @p ctx's node. Falls back to regular
+     * memory when the BM is full (the dedup/fluidanimate path).
+     */
+    coro::Task<BVar> allocBroadcast(ThreadCtx &ctx, std::uint32_t words);
+
+    /** Release a broadcast variable (broadcast dealloc message). */
+    coro::Task<void> freeBroadcast(ThreadCtx &ctx, const BVar &var);
+
+    /**
+     * Allocate and arm a tone barrier for threads placed on
+     * @p participant_nodes. Returns the barrier's BM word, or nullopt
+     * when AllocB overflows or the chip has no Tone channel.
+     */
+    coro::Task<std::optional<sim::BmAddr>>
+    allocToneBarrier(ThreadCtx &ctx,
+                     std::vector<sim::NodeId> participant_nodes);
+
+    /** Deallocate a tone barrier everywhere. */
+    void freeToneBarrier(sim::BmAddr addr);
+
+    Machine &machine() { return machine_; }
+
+  private:
+    Machine &machine_;
+    sim::Pid nextPid_ = 1;
+};
+
+/** Accessors that dispatch on where the broadcast variable lives. */
+coro::Task<std::uint64_t> bvarLoad(ThreadCtx &ctx, const BVar &var,
+                                   std::uint32_t word = 0);
+coro::Task<void> bvarStore(ThreadCtx &ctx, const BVar &var,
+                           std::uint64_t value, std::uint32_t word = 0);
+coro::Task<std::uint64_t> bvarFetchAdd(ThreadCtx &ctx, const BVar &var,
+                                       std::uint64_t delta,
+                                       std::uint32_t word = 0);
+
+} // namespace wisync::core
+
+#endif // WISYNC_CORE_OS_HH

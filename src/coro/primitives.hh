@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Timing and synchronization primitives for model coroutines.
+ *
+ * These are the only ways a Task can consume simulated time or block:
+ *   - delay(engine, n)        : advance n cycles
+ *   - SimMutex                : FIFO mutual exclusion (per-line MSHRs,
+ *                               channel senders, bank ports, ...)
+ *   - Resource                : counting semaphore (link/bank capacity)
+ *   - CondVar                 : broadcast wakeup (spin-wait subscription)
+ *   - Future<T>               : one-shot value handoff
+ *   - spawnDetached           : launch a root task onto the engine
+ *
+ * All wakeups go through the engine queue (never inline resumption) so
+ * event ordering stays deterministic and the host stack stays shallow.
+ */
+
+#ifndef WISYNC_CORO_PRIMITIVES_HH
+#define WISYNC_CORO_PRIMITIVES_HH
+
+#include <concepts>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "coro/task.hh"
+#include "sim/engine.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace wisync::coro {
+
+/** Awaitable that resumes after a fixed number of cycles. */
+class DelayAwaiter
+{
+  public:
+    DelayAwaiter(sim::Engine &engine, sim::Cycle cycles)
+        : engine_(engine), cycles_(cycles)
+    {}
+
+    bool await_ready() const noexcept { return cycles_ == 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        engine_.scheduleIn(cycles_, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    sim::Engine &engine_;
+    sim::Cycle cycles_;
+};
+
+/** co_await delay(engine, n): advance simulated time by n cycles. */
+inline DelayAwaiter
+delay(sim::Engine &engine, sim::Cycle cycles)
+{
+    return DelayAwaiter(engine, cycles);
+}
+
+/**
+ * FIFO mutex for coroutines.
+ *
+ * Models any hardware resource that serializes transactions: a
+ * directory entry busy-bit, a cache bank port, a MAC transmit slot.
+ */
+class SimMutex
+{
+  public:
+    explicit SimMutex(sim::Engine &engine) : engine_(engine) {}
+
+    class LockAwaiter
+    {
+      public:
+        explicit LockAwaiter(SimMutex &m) : mutex_(m) {}
+
+        bool
+        await_ready()
+        {
+            if (!mutex_.locked_) {
+                mutex_.locked_ = true;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            mutex_.waiters_.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+
+      private:
+        SimMutex &mutex_;
+    };
+
+    /** co_await lock(); ... unlock(); */
+    LockAwaiter lock() { return LockAwaiter(*this); }
+
+    void
+    unlock()
+    {
+        WISYNC_ASSERT(locked_, "unlock of unlocked SimMutex");
+        if (waiters_.empty()) {
+            locked_ = false;
+            return;
+        }
+        // Hand the lock to the oldest waiter; resume via the engine so
+        // the critical section starts at the current cycle but after
+        // the unlocker's event completes.
+        auto h = waiters_.front();
+        waiters_.pop_front();
+        engine_.scheduleIn(0, [h] { h.resume(); });
+    }
+
+    bool locked() const { return locked_; }
+    std::size_t waiting() const { return waiters_.size(); }
+
+  private:
+    sim::Engine &engine_;
+    bool locked_ = false;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/** RAII helper running a coroutine critical section. */
+class ScopedSimLock
+{
+  public:
+    explicit ScopedSimLock(SimMutex &m) : mutex_(&m) {}
+    ScopedSimLock(ScopedSimLock &&o) noexcept
+        : mutex_(std::exchange(o.mutex_, nullptr))
+    {}
+    ScopedSimLock(const ScopedSimLock &) = delete;
+    ScopedSimLock &operator=(const ScopedSimLock &) = delete;
+    ScopedSimLock &operator=(ScopedSimLock &&) = delete;
+
+    ~ScopedSimLock()
+    {
+        if (mutex_)
+            mutex_->unlock();
+    }
+
+  private:
+    SimMutex *mutex_;
+};
+
+/** Acquire @p m and return a releasing guard. */
+inline coro::Task<ScopedSimLock>
+scopedLock(SimMutex &m)
+{
+    co_await m.lock();
+    co_return ScopedSimLock(m);
+}
+
+/**
+ * Counting semaphore with FIFO grant order.
+ *
+ * Models capacity-limited resources such as NoC links (flit slots per
+ * cycle window) or DRAM controller queues.
+ */
+class Resource
+{
+  public:
+    Resource(sim::Engine &engine, std::uint32_t capacity)
+        : engine_(engine), available_(capacity), capacity_(capacity)
+    {}
+
+    class AcquireAwaiter
+    {
+      public:
+        explicit AcquireAwaiter(Resource &r) : res_(r) {}
+
+        bool
+        await_ready()
+        {
+            if (res_.available_ > 0) {
+                --res_.available_;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            res_.waiters_.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+
+      private:
+        Resource &res_;
+    };
+
+    AcquireAwaiter acquire() { return AcquireAwaiter(*this); }
+
+    void
+    release()
+    {
+        if (!waiters_.empty()) {
+            auto h = waiters_.front();
+            waiters_.pop_front();
+            engine_.scheduleIn(0, [h] { h.resume(); });
+            return;
+        }
+        WISYNC_ASSERT(available_ < capacity_, "Resource over-release");
+        ++available_;
+    }
+
+    std::uint32_t available() const { return available_; }
+
+  private:
+    sim::Engine &engine_;
+    std::uint32_t available_;
+    std::uint32_t capacity_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Broadcast condition variable.
+ *
+ * The simulator's event-driven replacement for busy polling: a thread
+ * spinning on a memory location subscribes here and is woken when the
+ * watched state may have changed (line invalidated, BM word updated,
+ * tone toggled). Spurious wakeups are expected; callers re-check.
+ */
+class CondVar
+{
+  public:
+    explicit CondVar(sim::Engine &engine) : engine_(engine) {}
+
+    class WaitAwaiter
+    {
+      public:
+        explicit WaitAwaiter(CondVar &cv) : cv_(cv) {}
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            cv_.waiters_.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+
+      private:
+        CondVar &cv_;
+    };
+
+    /** Block until the next notifyAll(). */
+    WaitAwaiter wait() { return WaitAwaiter(*this); }
+
+    /** Wake every current waiter (at the present cycle). */
+    void
+    notifyAll()
+    {
+        if (waiters_.empty())
+            return;
+        std::vector<std::coroutine_handle<>> woken;
+        woken.swap(waiters_);
+        for (auto h : woken)
+            engine_.scheduleIn(0, [h] { h.resume(); });
+    }
+
+    std::size_t waiting() const { return waiters_.size(); }
+
+  private:
+    sim::Engine &engine_;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * One-shot future: produced once, consumable by many waiters.
+ *
+ * Used for transaction completions (e.g. a cache miss response).
+ */
+template <typename T>
+class Future
+{
+  public:
+    explicit Future(sim::Engine &engine) : engine_(engine) {}
+
+    bool ready() const { return ready_; }
+
+    void
+    set(T value)
+    {
+        WISYNC_ASSERT(!ready_, "Future set twice");
+        value_ = std::move(value);
+        ready_ = true;
+        for (auto h : waiters_)
+            engine_.scheduleIn(0, [h] { h.resume(); });
+        waiters_.clear();
+    }
+
+    class Awaiter
+    {
+      public:
+        explicit Awaiter(Future &f) : fut_(f) {}
+        bool await_ready() const { return fut_.ready_; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            fut_.waiters_.push_back(h);
+        }
+
+        T await_resume() const { return fut_.value_; }
+
+      private:
+        Future &fut_;
+    };
+
+    Awaiter operator co_await() { return Awaiter(*this); }
+
+  private:
+    sim::Engine &engine_;
+    bool ready_ = false;
+    T value_{};
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Generation-counted event for race-free spin waiting.
+ *
+ * Protocol: read gen(), inspect the watched state, then
+ * co_await waitChangedSince(g). If the event was raised between the
+ * read and the wait, the wait returns immediately — no lost wakeups.
+ * Used for "line invalidated", "BM word updated", "tone toggled".
+ */
+class VersionedEvent
+{
+  public:
+    explicit VersionedEvent(sim::Engine &engine) : cv_(engine) {}
+
+    std::uint64_t gen() const { return gen_; }
+
+    /** Signal that the watched state may have changed. */
+    void
+    raise()
+    {
+        ++gen_;
+        cv_.notifyAll();
+    }
+
+    /** Wait until gen() differs from @p seen (returns at once if so). */
+    Task<void>
+    waitChangedSince(std::uint64_t seen)
+    {
+        while (gen_ == seen)
+            co_await cv_.wait();
+    }
+
+  private:
+    std::uint64_t gen_ = 0;
+    CondVar cv_;
+};
+
+namespace detail {
+
+/** Self-destroying root coroutine wrapper. */
+struct Detached
+{
+    struct promise_type
+    {
+        Detached get_return_object() const { return {}; }
+        std::suspend_never initial_suspend() const noexcept { return {}; }
+        std::suspend_never final_suspend() const noexcept { return {}; }
+        void return_void() const {}
+        [[noreturn]] void unhandled_exception() const { std::terminate(); }
+    };
+};
+
+} // namespace detail
+
+/**
+ * Launch @p task as a root activity at cycle now()+delta.
+ *
+ * The task (and anything it awaits) runs to completion on the engine;
+ * @p on_done, if provided, fires after it finishes. Exceptions escaping
+ * a detached task terminate the simulation (they indicate model bugs).
+ */
+template <typename Done>
+    requires std::invocable<Done>
+void
+spawnDetached(sim::Engine &engine, Task<void> task, Done on_done,
+              sim::Cycle delta = 0)
+{
+    // The wrapper coroutine owns the task frame for its whole lifetime.
+    auto runner = [](Task<void> t, Done done) -> detail::Detached {
+        co_await t;
+        done();
+    };
+    engine.scheduleIn(delta,
+                      [task = std::move(task), on_done = std::move(on_done),
+                       runner]() mutable {
+                          runner(std::move(task), std::move(on_done));
+                      });
+}
+
+/** spawnDetached without a completion callback. */
+inline void
+spawnDetached(sim::Engine &engine, Task<void> task, sim::Cycle delta = 0)
+{
+    spawnDetached(engine, std::move(task), [] {}, delta);
+}
+
+/**
+ * Launch `fn(args...)` as a root coroutine at now()+delta.
+ *
+ * Unlike calling a capturing lambda coroutine directly (whose closure
+ * dies at the end of the spawning statement while the frame still
+ * references it), this copies the callable and its arguments into the
+ * wrapper frame, keeping them alive for the coroutine's lifetime. Use
+ * this for capturing lambdas; spawnDetached is fine for free/member
+ * coroutines.
+ */
+template <typename Fn, typename... Args>
+void
+spawnFn(sim::Engine &engine, sim::Cycle delta, Fn fn, Args... args)
+{
+    auto runner = [](Fn fn, Args... args) -> detail::Detached {
+        co_await std::invoke(fn, std::move(args)...);
+    };
+    engine.scheduleIn(
+        delta,
+        [runner, fn = std::move(fn),
+         ...args = std::move(args)]() mutable {
+            runner(std::move(fn), std::move(args)...);
+        });
+}
+
+/** spawnFn starting at the current cycle. */
+template <typename Fn, typename... Args>
+void
+spawnNow(sim::Engine &engine, Fn fn, Args... args)
+{
+    spawnFn(engine, 0, std::move(fn), std::move(args)...);
+}
+
+/**
+ * Run @p tasks concurrently; complete when the last one finishes.
+ *
+ * Models parallel hardware legs (e.g. invalidations fanned out to all
+ * sharers) where completion time is the max over the legs.
+ */
+inline Task<void>
+whenAll(sim::Engine &engine, std::vector<Task<void>> tasks)
+{
+    if (tasks.empty())
+        co_return;
+    std::size_t remaining = tasks.size();
+    CondVar cv(engine);
+    for (auto &t : tasks) {
+        // The callback references frame locals; the frame stays alive
+        // (suspended on cv) until the final callback fires.
+        spawnDetached(engine, std::move(t), [&remaining, &cv] {
+            if (--remaining == 0)
+                cv.notifyAll();
+        });
+    }
+    while (remaining > 0)
+        co_await cv.wait();
+}
+
+} // namespace wisync::coro
+
+#endif // WISYNC_CORO_PRIMITIVES_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Coroutine task type for simulated threads and hardware transactions.
+ *
+ * Every multi-cycle activity in the model — a workload thread, a cache
+ * miss transaction, a wireless broadcast — is a Task<T> coroutine that
+ * co_awaits timing primitives (delays, mutexes, channels). Tasks are
+ * lazy: they start when first awaited (or when detached onto the
+ * engine), and completion resumes the awaiting parent via symmetric
+ * transfer, so arbitrarily deep call chains use O(1) host stack.
+ */
+
+#ifndef WISYNC_CORO_TASK_HH
+#define WISYNC_CORO_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace wisync::coro {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/** State shared by all task promises: continuation + error slot. */
+struct TaskPromiseBase
+{
+    std::coroutine_handle<> continuation = std::noop_coroutine();
+    std::exception_ptr error;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename P>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<P> h) noexcept
+        {
+            // Symmetric transfer to whoever awaited us (or noop).
+            return h.promise().continuation;
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void unhandled_exception() { error = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase
+{
+    std::optional<T> value;
+
+    Task<T> get_return_object();
+    void return_value(T v) { value.emplace(std::move(v)); }
+
+    T
+    result()
+    {
+        if (error)
+            std::rethrow_exception(error);
+        return std::move(*value);
+    }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase
+{
+    Task<void> get_return_object();
+    void return_void() const {}
+
+    void
+    result() const
+    {
+        if (error)
+            std::rethrow_exception(error);
+    }
+};
+
+} // namespace detail
+
+/**
+ * Lazily-started coroutine returning T.
+ *
+ * Ownership: the Task object owns the coroutine frame. Awaiting a Task
+ * keeps it alive in the awaiting frame until the child completes (the
+ * usual `co_await child()` pattern is safe because the temporary lives
+ * across the suspension).
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    using promise_type = detail::TaskPromise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return handle_ != nullptr; }
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** Detach the raw handle (caller takes over lifetime). */
+    Handle release() { return std::exchange(handle_, nullptr); }
+
+    auto
+    operator co_await() noexcept
+    {
+        struct Awaiter
+        {
+            Handle h;
+
+            bool await_ready() const noexcept { return !h || h.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            T await_resume() { return h.promise().result(); }
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_ = nullptr;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T>
+TaskPromise<T>::get_return_object()
+{
+    return Task<T>(
+        std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+TaskPromise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace wisync::coro
+
+#endif // WISYNC_CORO_TASK_HH

@@ -1,0 +1,108 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace wisync::harness {
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto fit = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            widths[c] = std::max(widths[c], cells[c].size());
+    };
+    fit(header_);
+    for (const auto &r : rows_)
+        fit(r);
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &s = c < cells.size() ? cells[c] : "";
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column, right-align the rest.
+            if (c == 0) {
+                os << s << std::string(widths[c] - s.size(), ' ');
+            } else {
+                os << std::string(widths[c] - s.size(), ' ') << s;
+            }
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    os << "\n";
+    os.flush();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtCycles(std::uint64_t cycles)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(cycles));
+    return buf;
+}
+
+SweepMode
+sweepMode()
+{
+    if (const char *q = std::getenv("WISYNC_QUICK"); q && q[0] == '1')
+        return SweepMode::Quick;
+    if (const char *f = std::getenv("WISYNC_FULL"); f && f[0] == '1')
+        return SweepMode::Full;
+    return SweepMode::Default;
+}
+
+} // namespace wisync::harness

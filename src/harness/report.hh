@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Text reporting helpers shared by the benchmark harnesses: aligned
+ * tables, geometric means, and sweep controls.
+ */
+
+#ifndef WISYNC_HARNESS_REPORT_HH
+#define WISYNC_HARNESS_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wisync::harness {
+
+/** A printable table with a title, column headers, and string cells. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    void header(std::vector<std::string> cols);
+    void row(std::vector<std::string> cells);
+
+    /** Right-aligned, column-fitted dump. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean of positive values (0 on empty input). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 on empty input). */
+double mean(const std::vector<double> &values);
+
+/** Format helpers. */
+std::string fmt(double v, int precision = 2);
+std::string fmtCycles(std::uint64_t cycles);
+
+/**
+ * Sweep size control: WISYNC_QUICK=1 trims sweeps for smoke runs,
+ * WISYNC_FULL=1 extends them to the paper's full ranges. Default is a
+ * balanced set that regenerates every figure in minutes.
+ */
+enum class SweepMode
+{
+    Quick,
+    Default,
+    Full,
+};
+
+SweepMode sweepMode();
+
+} // namespace wisync::harness
+
+#endif // WISYNC_HARNESS_REPORT_HH

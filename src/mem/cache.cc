@@ -1,0 +1,69 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace wisync::mem {
+
+CacheArray::CacheArray(std::uint32_t size_bytes, std::uint32_t assoc,
+                       std::uint32_t line_bytes)
+    : assoc_(assoc), lineBytes_(line_bytes)
+{
+    WISYNC_ASSERT(assoc > 0 && line_bytes > 0, "bad cache geometry");
+    WISYNC_ASSERT(std::has_single_bit(line_bytes),
+                  "line size must be a power of two");
+    WISYNC_ASSERT(size_bytes % (assoc * line_bytes) == 0,
+                  "size must be a multiple of assoc * line");
+    numSets_ = size_bytes / (assoc * line_bytes);
+    lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+CacheLine *
+CacheArray::lookup(sim::Addr line_addr)
+{
+    CacheLine *line = peek(line_addr);
+    if (line)
+        line->lruStamp = ++clock_;
+    return line;
+}
+
+CacheLine *
+CacheArray::peek(sim::Addr line_addr)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(line_addr)) * assoc_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        CacheLine &line = lines_[base + w];
+        if (line.valid() && line.lineAddr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheLine *
+CacheArray::victimFor(sim::Addr line_addr)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(line_addr)) * assoc_;
+    CacheLine *victim = &lines_[base];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        CacheLine &line = lines_[base + w];
+        if (!line.valid())
+            return &line;
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+    return victim;
+}
+
+void
+CacheArray::install(CacheLine *slot, sim::Addr line_addr, CohState state)
+{
+    WISYNC_ASSERT(slot != nullptr, "install into null slot");
+    slot->lineAddr = line_addr;
+    slot->state = state;
+    slot->lruStamp = ++clock_;
+}
+
+} // namespace wisync::mem

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Set-associative cache tag array with MOESI line states.
+ *
+ * Holds tags and coherence state only (the functional value store is
+ * mem::Memory). Used for both private L1s and shared L2 banks.
+ */
+
+#ifndef WISYNC_MEM_CACHE_HH
+#define WISYNC_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace wisync::mem {
+
+/** MOESI coherence states. */
+enum class CohState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+/** True if the state permits reading without a transaction. */
+inline bool
+canRead(CohState s)
+{
+    return s != CohState::Invalid;
+}
+
+/** True if the state permits writing without a transaction. */
+inline bool
+canWrite(CohState s)
+{
+    return s == CohState::Exclusive || s == CohState::Modified;
+}
+
+/** True if this copy is responsible for supplying dirty data. */
+inline bool
+isOwner(CohState s)
+{
+    return s == CohState::Modified || s == CohState::Owned ||
+           s == CohState::Exclusive;
+}
+
+/** One cache line's bookkeeping. */
+struct CacheLine
+{
+    sim::Addr lineAddr = 0;
+    CohState state = CohState::Invalid;
+    std::uint64_t lruStamp = 0;
+    bool valid() const { return state != CohState::Invalid; }
+};
+
+/**
+ * Tag array: size/assoc/line-size in bytes, true-LRU replacement.
+ */
+class CacheArray
+{
+  public:
+    CacheArray(std::uint32_t size_bytes, std::uint32_t assoc,
+               std::uint32_t line_bytes);
+
+    /** Aligned line address containing @p addr. */
+    sim::Addr lineOf(sim::Addr addr) const
+    {
+        return addr & ~static_cast<sim::Addr>(lineBytes_ - 1);
+    }
+
+    /**
+     * Find a valid line (touches LRU).
+     * @return The line, or nullptr on miss.
+     */
+    CacheLine *lookup(sim::Addr line_addr);
+
+    /** Find without touching LRU (for probes). */
+    CacheLine *peek(sim::Addr line_addr);
+
+    /**
+     * Choose where @p line_addr would be installed: an invalid way if
+     * available, else the LRU way (whose previous contents the caller
+     * must evict). Does not modify the line.
+     */
+    CacheLine *victimFor(sim::Addr line_addr);
+
+    /** Install @p line_addr into @p slot with @p state (touches LRU). */
+    void install(CacheLine *slot, sim::Addr line_addr, CohState state);
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+  private:
+    std::uint32_t setOf(sim::Addr line_addr) const
+    {
+        return static_cast<std::uint32_t>((line_addr / lineBytes_) %
+                                          numSets_);
+    }
+
+    std::uint32_t assoc_;
+    std::uint32_t lineBytes_;
+    std::uint32_t numSets_;
+    std::uint64_t clock_ = 0;
+    std::vector<CacheLine> lines_; // numSets_ x assoc_
+};
+
+} // namespace wisync::mem
+
+#endif // WISYNC_MEM_CACHE_HH

@@ -1,0 +1,521 @@
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace wisync::mem {
+
+namespace {
+
+/** Align an address down to its 64-bit word. */
+sim::Addr
+wordOf(sim::Addr addr)
+{
+    return addr & ~sim::Addr{7};
+}
+
+} // namespace
+
+MemSystem::MemSystem(sim::Engine &engine, noc::Mesh &mesh, Memory &memory,
+                     std::uint32_t num_nodes, const MemConfig &cfg)
+    : engine_(engine), mesh_(mesh), memory_(memory), numNodes_(num_nodes),
+      cfg_(cfg)
+{
+    l1_.reserve(numNodes_);
+    banks_.reserve(numNodes_);
+    for (std::uint32_t n = 0; n < numNodes_; ++n) {
+        l1_.emplace_back(cfg_.l1SizeBytes, cfg_.l1Assoc, cfg_.lineBytes);
+        banks_.emplace_back(engine_, cfg_);
+    }
+    for (std::uint32_t c = 0; c < cfg_.numMemCtrls; ++c)
+        dramCtrls_.push_back(
+            std::make_unique<coro::Resource>(engine_, cfg_.dramOutstanding));
+}
+
+MemSystem::DirEntry &
+MemSystem::dirEntry(sim::Addr line)
+{
+    Bank &bank = banks_[homeOf(line)];
+    auto &slot = bank.dir[line];
+    if (!slot) {
+        slot = std::make_unique<DirEntry>(engine_);
+        slot->sharers.assign((numNodes_ + 63) / 64, 0);
+    }
+    return *slot;
+}
+
+bool
+MemSystem::sharerTest(const DirEntry &e, sim::NodeId n) const
+{
+    return (e.sharers[n / 64] >> (n % 64)) & 1;
+}
+
+void
+MemSystem::sharerSet(DirEntry &e, sim::NodeId n, bool v)
+{
+    if (v)
+        e.sharers[n / 64] |= std::uint64_t{1} << (n % 64);
+    else
+        e.sharers[n / 64] &= ~(std::uint64_t{1} << (n % 64));
+}
+
+std::vector<sim::NodeId>
+MemSystem::sharerList(const DirEntry &e, sim::NodeId exclude) const
+{
+    std::vector<sim::NodeId> out;
+    for (sim::NodeId n = 0; n < numNodes_; ++n)
+        if (n != exclude && sharerTest(e, n))
+            out.push_back(n);
+    return out;
+}
+
+coro::VersionedEvent &
+MemSystem::watch(sim::NodeId node, sim::Addr line)
+{
+    const std::uint64_t key = (line << 9) | node;
+    auto &slot = watches_[key];
+    if (!slot)
+        slot = std::make_unique<coro::VersionedEvent>(engine_);
+    return *slot;
+}
+
+void
+MemSystem::invalidateL1(sim::NodeId node, sim::Addr line)
+{
+    if (CacheLine *cl = l1_[node].peek(line); cl && cl->valid())
+        cl->state = CohState::Invalid;
+    watch(node, line).raise();
+}
+
+void
+MemSystem::installL1(sim::NodeId node, sim::Addr line, CohState state)
+{
+    // Reuse the existing slot on upgrades.
+    if (CacheLine *cl = l1_[node].peek(line)) {
+        l1_[node].install(cl, line, state);
+        return;
+    }
+    CacheLine *victim = l1_[node].victimFor(line);
+    if (victim->valid()) {
+        const sim::Addr vline = victim->lineAddr;
+        const bool dirty = victim->state == CohState::Modified ||
+                           victim->state == CohState::Owned;
+        invalidateL1(node, vline);
+        if (dirty) {
+            stats_.writebacks.inc();
+            coro::spawnDetached(engine_, writebackTask(node, vline));
+        }
+        // Clean evictions are silent (the directory's sharer bit goes
+        // stale; a future invalidation to this node is just wasted).
+    }
+    l1_[node].install(victim, line, state);
+}
+
+coro::Task<void>
+MemSystem::writebackTask(sim::NodeId node, sim::Addr line)
+{
+    co_await mesh_.send(node, homeOf(line), cfg_.dataBits);
+    DirEntry &e = dirEntry(line);
+    co_await e.busy.lock();
+    co_await coro::delay(engine_, cfg_.l2RtCycles);
+    if (e.owner == node)
+        e.owner = sim::kNoNode;
+    sharerSet(e, node, false);
+    e.inL2 = true;
+    touchL2(line);
+    e.busy.unlock();
+}
+
+void
+MemSystem::touchL2(sim::Addr line)
+{
+    Bank &bank = banks_[homeOf(line)];
+    if (CacheLine *hit = bank.tags.lookup(line))
+        return (void)hit;
+    CacheLine *victim = bank.tags.victimFor(line);
+    if (victim->valid()) {
+        const sim::Addr vline = victim->lineAddr;
+        stats_.l2Recalls.inc();
+        coro::spawnDetached(engine_, recallTask(homeOf(vline), vline));
+    }
+    bank.tags.install(victim, line, CohState::Shared);
+}
+
+coro::Task<void>
+MemSystem::recallTask(sim::NodeId home, sim::Addr line)
+{
+    // L2 dropped the line: inclusive hierarchy must purge L1 copies.
+    // The recall acks converge back on the home bank, so this is the
+    // invLeg flow with requestor == home.
+    DirEntry &e = dirEntry(line);
+    co_await e.busy.lock();
+    std::vector<coro::Task<void>> legs;
+    if (e.owner != sim::kNoNode)
+        legs.push_back(invLeg(home, e.owner, home, line));
+    for (const auto s : sharerList(e, numNodes_ /* exclude nobody */))
+        if (s != e.owner)
+            legs.push_back(invLeg(home, s, home, line));
+    co_await coro::whenAll(engine_, std::move(legs));
+    e.owner = sim::kNoNode;
+    std::fill(e.sharers.begin(), e.sharers.end(), 0);
+    e.inL2 = false;
+    e.busy.unlock();
+}
+
+coro::Task<void>
+MemSystem::dramAccess(sim::NodeId home, sim::Addr line)
+{
+    (void)home;
+    coro::Resource &ctrl =
+        *dramCtrls_[(line / cfg_.lineBytes) % cfg_.numMemCtrls];
+    co_await ctrl.acquire();
+    co_await coro::delay(engine_, cfg_.dramRtCycles);
+    ctrl.release();
+}
+
+coro::Task<void>
+MemSystem::homeDataLeg(sim::NodeId home, sim::NodeId requestor,
+                       DirEntry &entry, sim::Addr line)
+{
+    if (!entry.inL2) {
+        stats_.dramFetches.inc();
+        co_await dramAccess(home, line);
+        entry.inL2 = true;
+        touchL2(line);
+    }
+    co_await mesh_.send(home, requestor, cfg_.dataBits);
+}
+
+coro::Task<void>
+MemSystem::invLeg(sim::NodeId home, sim::NodeId sharer,
+                  sim::NodeId requestor, sim::Addr line)
+{
+    co_await mesh_.send(home, sharer, cfg_.ctrlBits);
+    co_await coro::delay(engine_, cfg_.l1RtCycles);
+    invalidateL1(sharer, line);
+    co_await mesh_.send(sharer, requestor, cfg_.ctrlBits); // ack
+}
+
+coro::Task<void>
+MemSystem::probeLeg(sim::NodeId home, sim::NodeId owner,
+                    sim::NodeId requestor, sim::Addr line, bool with_data)
+{
+    co_await mesh_.send(home, owner, cfg_.ctrlBits);
+    co_await coro::delay(engine_, cfg_.l1RtCycles);
+    invalidateL1(owner, line);
+    co_await mesh_.send(owner, requestor,
+                        with_data ? cfg_.dataBits : cfg_.ctrlBits);
+}
+
+coro::Task<void>
+MemSystem::treeInvLeg(sim::NodeId home, std::vector<sim::NodeId> targets,
+                      sim::NodeId requestor, sim::Addr line)
+{
+    co_await mesh_.multicast(home, targets, cfg_.ctrlBits);
+    co_await coro::delay(engine_, cfg_.l1RtCycles);
+    std::vector<coro::Task<void>> acks;
+    acks.reserve(targets.size());
+    for (const auto s : targets) {
+        invalidateL1(s, line);
+        acks.push_back(mesh_.send(s, requestor, cfg_.ctrlBits));
+    }
+    co_await coro::whenAll(engine_, std::move(acks));
+}
+
+coro::Task<void>
+MemSystem::fetchLine(sim::NodeId node, sim::Addr line, bool exclusive,
+                     std::function<void()> commit)
+{
+    const sim::NodeId home = homeOf(line);
+    co_await mesh_.send(node, home, cfg_.ctrlBits);
+    DirEntry &e = dirEntry(line);
+    co_await e.busy.lock();
+    co_await coro::delay(engine_, cfg_.l2RtCycles);
+
+    CacheLine *own = l1_[node].peek(line);
+    const bool own_readable = own && canRead(own->state);
+
+    // Repair a stale owner pointer (silent E eviction, or ourselves).
+    if (e.owner != sim::kNoNode) {
+        CacheLine *oc = l1_[e.owner].peek(line);
+        if (!(oc && isOwner(oc->state)))
+            e.owner = sim::kNoNode;
+    }
+
+    if (!exclusive) {
+        // ---- GetS ----
+        if (own_readable) {
+            // Raced with a transaction that already served us.
+            commit();
+            e.busy.unlock();
+            co_return;
+        }
+
+        // Pipelined read paths: when serving the read requires no
+        // directory state transition (the owner is already Owned, or
+        // the L2 supplies and a Shared copy cannot be promoted to an
+        // Exclusive grant), the home updates the sharer list and
+        // releases the MSHR before the data leg, so a herd of readers
+        // is serviced at lookup rate instead of round-trip rate — as
+        // a non-blocking directory does. A racing invalidation is
+        // detected via the watch generation: the late-arriving data
+        // is then not installed (the copy was already invalidated in
+        // flight).
+        if (e.owner != sim::kNoNode && e.owner != node) {
+            const sim::NodeId owner = e.owner;
+            CacheLine *oc = l1_[owner].peek(line);
+            if (oc && oc->state == CohState::Owned) {
+                sharerSet(e, node, true);
+                const std::uint64_t gen = watch(node, line).gen();
+                e.busy.unlock();
+                co_await mesh_.send(home, owner, cfg_.ctrlBits);
+                co_await coro::delay(engine_, cfg_.l1RtCycles);
+                co_await mesh_.send(owner, node, cfg_.dataBits);
+                if (watch(node, line).gen() == gen)
+                    installL1(node, line, CohState::Shared);
+                commit();
+                co_return;
+            }
+        }
+        if (e.owner == sim::kNoNode && e.inL2 &&
+            !sharerList(e, node).empty()) {
+            sharerSet(e, node, true);
+            const std::uint64_t gen = watch(node, line).gen();
+            e.busy.unlock();
+            co_await mesh_.send(home, node, cfg_.dataBits);
+            if (watch(node, line).gen() == gen)
+                installL1(node, line, CohState::Shared);
+            commit();
+            co_return;
+        }
+
+        bool data_done = false;
+        if (e.owner != sim::kNoNode && e.owner != node) {
+            const sim::NodeId owner = e.owner;
+            co_await mesh_.send(home, owner, cfg_.ctrlBits);
+            co_await coro::delay(engine_, cfg_.l1RtCycles);
+            // Re-probe after the awaits: the owner may have evicted the
+            // line for capacity while the probe was in flight.
+            CacheLine *oc = l1_[owner].peek(line);
+            if (oc && isOwner(oc->state)) {
+                switch (oc->state) {
+                  case CohState::Modified:
+                    oc->state = CohState::Owned; // keeps supplying data
+                    break;
+                  case CohState::Exclusive:
+                    oc->state = CohState::Shared;
+                    e.owner = sim::kNoNode;
+                    sharerSet(e, owner, true);
+                    break;
+                  default:
+                    break; // Owned stays Owned
+                }
+                co_await mesh_.send(owner, node, cfg_.dataBits);
+                data_done = true;
+            } else {
+                e.owner = sim::kNoNode;
+            }
+        }
+        if (!data_done)
+            co_await homeDataLeg(home, node, e, line);
+
+        const bool sole =
+            e.owner == sim::kNoNode && sharerList(e, node).empty();
+        if (sole) {
+            e.owner = node;
+            sharerSet(e, node, false);
+            installL1(node, line, CohState::Exclusive);
+        } else {
+            sharerSet(e, node, true);
+            installL1(node, line, CohState::Shared);
+        }
+        commit();
+        e.busy.unlock();
+        co_return;
+    }
+
+    // ---- GetX / upgrade ----
+    std::vector<coro::Task<void>> legs;
+    bool need_data = !own_readable;
+
+    const sim::NodeId owner = e.owner;
+    if (owner != sim::kNoNode && owner != node) {
+        // Probe-invalidate the owner; it forwards data if we need it.
+        legs.push_back(probeLeg(home, owner, node, line, need_data));
+        stats_.invalidations.inc();
+        need_data = false;
+    }
+
+    const auto sharers = sharerList(e, node);
+    if (!sharers.empty() && mesh_.config().treeMulticast) {
+        // Baseline+: one tree multicast delivers all invalidations,
+        // then acks converge on the requestor in parallel.
+        legs.push_back(treeInvLeg(home, sharers, node, line));
+        stats_.invalidations.inc(sharers.size());
+    } else {
+        for (const auto s : sharers) {
+            if (s == owner)
+                continue;
+            legs.push_back(invLeg(home, s, node, line));
+            stats_.invalidations.inc();
+        }
+    }
+
+    if (need_data)
+        legs.push_back(homeDataLeg(home, node, e, line));
+
+    co_await coro::whenAll(engine_, std::move(legs));
+
+    std::fill(e.sharers.begin(), e.sharers.end(), 0);
+    e.owner = node;
+    installL1(node, line, CohState::Modified);
+    commit();
+    e.busy.unlock();
+}
+
+coro::Task<std::uint64_t>
+MemSystem::load(sim::NodeId node, sim::Addr addr)
+{
+    stats_.loads.inc();
+    const sim::Addr line = l1_[node].lineOf(addr);
+    co_await coro::delay(engine_, cfg_.l1RtCycles);
+    if (CacheLine *cl = l1_[node].lookup(line); cl && canRead(cl->state)) {
+        stats_.l1Hits.inc();
+        co_return memory_.read64(wordOf(addr));
+    }
+    stats_.l1Misses.inc();
+    const sim::Cycle t0 = engine_.now();
+    std::uint64_t out = 0;
+    co_await fetchLine(node, line, false,
+                       [&] { out = memory_.read64(wordOf(addr)); });
+    stats_.missLatency.sample(static_cast<double>(engine_.now() - t0));
+    co_return out;
+}
+
+coro::Task<void>
+MemSystem::store(sim::NodeId node, sim::Addr addr, std::uint64_t value)
+{
+    stats_.stores.inc();
+    const sim::Addr line = l1_[node].lineOf(addr);
+    co_await coro::delay(engine_, cfg_.l1RtCycles);
+    if (CacheLine *cl = l1_[node].lookup(line); cl && canWrite(cl->state)) {
+        stats_.l1Hits.inc();
+        cl->state = CohState::Modified;
+        memory_.write64(wordOf(addr), value);
+        co_return;
+    }
+    if (CacheLine *cl = l1_[node].peek(line); cl && canRead(cl->state))
+        stats_.upgrades.inc();
+    else
+        stats_.l1Misses.inc();
+    const sim::Cycle t0 = engine_.now();
+    co_await fetchLine(node, line, true,
+                       [&] { memory_.write64(wordOf(addr), value); });
+    stats_.missLatency.sample(static_cast<double>(engine_.now() - t0));
+}
+
+coro::Task<std::uint64_t>
+MemSystem::fetchAdd(sim::NodeId node, sim::Addr addr, std::uint64_t delta)
+{
+    stats_.rmws.inc();
+    const sim::Addr line = l1_[node].lineOf(addr);
+    const sim::Addr w = wordOf(addr);
+    co_await coro::delay(engine_, cfg_.l1RtCycles);
+    if (CacheLine *cl = l1_[node].lookup(line); cl && canWrite(cl->state)) {
+        stats_.l1Hits.inc();
+        cl->state = CohState::Modified;
+        const std::uint64_t old = memory_.read64(w);
+        memory_.write64(w, old + delta);
+        co_return old;
+    }
+    std::uint64_t old = 0;
+    co_await fetchLine(node, line, true, [&] {
+        old = memory_.read64(w);
+        memory_.write64(w, old + delta);
+    });
+    co_return old;
+}
+
+coro::Task<std::uint64_t>
+MemSystem::swap(sim::NodeId node, sim::Addr addr, std::uint64_t value)
+{
+    stats_.rmws.inc();
+    const sim::Addr line = l1_[node].lineOf(addr);
+    const sim::Addr w = wordOf(addr);
+    co_await coro::delay(engine_, cfg_.l1RtCycles);
+    if (CacheLine *cl = l1_[node].lookup(line); cl && canWrite(cl->state)) {
+        stats_.l1Hits.inc();
+        cl->state = CohState::Modified;
+        const std::uint64_t old = memory_.read64(w);
+        memory_.write64(w, value);
+        co_return old;
+    }
+    std::uint64_t old = 0;
+    co_await fetchLine(node, line, true, [&] {
+        old = memory_.read64(w);
+        memory_.write64(w, value);
+    });
+    co_return old;
+}
+
+coro::Task<std::uint64_t>
+MemSystem::testAndSet(sim::NodeId node, sim::Addr addr)
+{
+    return swap(node, addr, 1);
+}
+
+coro::Task<CasResult>
+MemSystem::cas(sim::NodeId node, sim::Addr addr, std::uint64_t expected,
+               std::uint64_t desired)
+{
+    stats_.rmws.inc();
+    const sim::Addr line = l1_[node].lineOf(addr);
+    const sim::Addr w = wordOf(addr);
+    co_await coro::delay(engine_, cfg_.l1RtCycles);
+    if (CacheLine *cl = l1_[node].lookup(line); cl && canWrite(cl->state)) {
+        stats_.l1Hits.inc();
+        cl->state = CohState::Modified;
+        const std::uint64_t old = memory_.read64(w);
+        if (old == expected)
+            memory_.write64(w, desired);
+        co_return CasResult{old, old == expected};
+    }
+    CasResult res{0, false};
+    co_await fetchLine(node, line, true, [&] {
+        res.oldValue = memory_.read64(w);
+        res.success = res.oldValue == expected;
+        if (res.success)
+            memory_.write64(w, desired);
+    });
+    co_return res;
+}
+
+coro::Task<std::uint64_t>
+MemSystem::spinUntil(sim::NodeId node, sim::Addr addr,
+                     std::function<bool(std::uint64_t)> pred)
+{
+    const sim::Addr line = l1_[node].lineOf(addr);
+    for (;;) {
+        coro::VersionedEvent &ev = watch(node, line);
+        const std::uint64_t gen = ev.gen();
+        const std::uint64_t v = co_await load(node, addr);
+        if (pred(v))
+            co_return v;
+        // Sleep until our cached copy is invalidated (someone wrote
+        // the line). The generation check closes the window between
+        // the load and this wait.
+        co_await ev.waitChangedSince(gen);
+    }
+}
+
+CohState
+MemSystem::l1State(sim::NodeId node, sim::Addr addr)
+{
+    const sim::Addr line = l1_[node].lineOf(addr);
+    CacheLine *cl = l1_[node].peek(line);
+    return cl ? cl->state : CohState::Invalid;
+}
+
+} // namespace wisync::mem

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Coherent memory hierarchy: private L1s, shared banked L2 with an
+ * embedded MOESI directory, and off-chip DRAM behind 4 controllers.
+ *
+ * Timing parameters follow the paper's Table 1:
+ *   L1: private 32 KB, 2-way, 2-cycle RT, 64 B lines
+ *   L2: shared, per-core 512 KB banks, 8-way, 6-cycle RT (local bank)
+ *   Coherence: MOESI, directory embedded at the home L2 bank
+ *   Off-chip: 4 memory controllers, 110-cycle RT
+ *
+ * Transaction model: each miss is a coroutine that (1) sends a request
+ * to the home bank over the mesh, (2) acquires the line's busy mutex
+ * (the directory MSHR), (3) performs probe/invalidation/data legs as
+ * parallel sub-tasks, (4) installs the line, commits the functional
+ * value, and releases the mutex. Per-line transactions are therefore
+ * serialized exactly as a blocking directory would.
+ *
+ * Modelling notes (documented simplifications):
+ *  - Clean (S/E) L1 evictions are silent; the directory may briefly
+ *    hold stale sharers, and invalidating a non-holder costs a wasted
+ *    message + ack, as in real sparse directories.
+ *  - Dirty evictions post a detached writeback message; because values
+ *    are functional, a probe racing the writeback simply falls back to
+ *    the L2/DRAM copy, which is always value-correct.
+ *  - DRAM: fixed 110-cycle round trip with 8 outstanding requests per
+ *    controller.
+ */
+
+#ifndef WISYNC_MEM_MEM_SYSTEM_HH
+#define WISYNC_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coro/primitives.hh"
+#include "coro/task.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "noc/mesh.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace wisync::mem {
+
+/** Memory hierarchy timing/geometry knobs (Table 1 defaults). */
+struct MemConfig
+{
+    std::uint32_t lineBytes = 64;
+    std::uint32_t l1SizeBytes = 32 * 1024;
+    std::uint32_t l1Assoc = 2;
+    std::uint32_t l1RtCycles = 2;
+    std::uint32_t l2BankSizeBytes = 512 * 1024;
+    std::uint32_t l2Assoc = 8;
+    std::uint32_t l2RtCycles = 6;
+    std::uint32_t dramRtCycles = 110;
+    std::uint32_t numMemCtrls = 4;
+    std::uint32_t dramOutstanding = 8;
+    /** Control message payload (req/inv/ack), bits. */
+    std::uint32_t ctrlBits = 80;
+    /** Data message: 64 B line + header, bits. */
+    std::uint32_t dataBits = 64 * 8 + 80;
+};
+
+/** Result of a compare-and-swap. */
+struct CasResult
+{
+    std::uint64_t oldValue;
+    bool success;
+};
+
+/** Hierarchy-wide statistics. */
+struct MemStats
+{
+    sim::Counter loads;
+    sim::Counter stores;
+    sim::Counter rmws;
+    sim::Counter l1Hits;
+    sim::Counter l1Misses;
+    sim::Counter upgrades;
+    sim::Counter invalidations;
+    sim::Counter writebacks;
+    sim::Counter dramFetches;
+    sim::Counter l2Recalls;
+    sim::Accumulator missLatency;
+};
+
+/**
+ * The coherent hierarchy for one simulated chip.
+ *
+ * Core-facing API: every operation is a coroutine resolving when the
+ * access commits. All value semantics are 64-bit words.
+ */
+class MemSystem
+{
+  public:
+    MemSystem(sim::Engine &engine, noc::Mesh &mesh, Memory &memory,
+              std::uint32_t num_nodes, const MemConfig &cfg);
+
+    /** Coherent 64-bit load. */
+    coro::Task<std::uint64_t> load(sim::NodeId node, sim::Addr addr);
+
+    /** Coherent 64-bit store (completes when M state is held). */
+    coro::Task<void> store(sim::NodeId node, sim::Addr addr,
+                           std::uint64_t value);
+
+    /** Atomic fetch-and-add; returns the previous value. */
+    coro::Task<std::uint64_t> fetchAdd(sim::NodeId node, sim::Addr addr,
+                                       std::uint64_t delta);
+
+    /** Atomic swap; returns the previous value. */
+    coro::Task<std::uint64_t> swap(sim::NodeId node, sim::Addr addr,
+                                   std::uint64_t value);
+
+    /** Atomic test-and-set (sets to 1); returns the previous value. */
+    coro::Task<std::uint64_t> testAndSet(sim::NodeId node, sim::Addr addr);
+
+    /** Atomic compare-and-swap. */
+    coro::Task<CasResult> cas(sim::NodeId node, sim::Addr addr,
+                              std::uint64_t expected, std::uint64_t desired);
+
+    /**
+     * Event-driven spin: loads @p addr, returns once pred(value) holds;
+     * between checks the thread sleeps until its cached copy of the
+     * line is invalidated (i.e. someone wrote it). Timing-equivalent
+     * to a test-and-test-and-set style spin on a cached line.
+     */
+    coro::Task<std::uint64_t> spinUntil(sim::NodeId node, sim::Addr addr,
+                                        std::function<bool(std::uint64_t)>
+                                            pred);
+
+    const MemStats &stats() const { return stats_; }
+    const MemConfig &config() const { return cfg_; }
+    Memory &memory() { return memory_; }
+
+    /** Home L2 bank (== directory) of a line: address-interleaved. */
+    sim::NodeId
+    homeOf(sim::Addr line) const
+    {
+        return static_cast<sim::NodeId>((line / cfg_.lineBytes) %
+                                        numNodes_);
+    }
+
+    /** Observable L1 state, for white-box tests. */
+    CohState l1State(sim::NodeId node, sim::Addr addr);
+
+  private:
+    /** Directory entry: MOESI owner/sharers plus the MSHR mutex. */
+    struct DirEntry
+    {
+        explicit DirEntry(sim::Engine &eng) : busy(eng) {}
+        sim::NodeId owner = sim::kNoNode;
+        std::vector<std::uint64_t> sharers; // bitmap
+        bool inL2 = false;
+        coro::SimMutex busy;
+    };
+
+    struct Bank
+    {
+        Bank(sim::Engine &eng, const MemConfig &cfg)
+            : tags(cfg.l2BankSizeBytes, cfg.l2Assoc, cfg.lineBytes)
+        {
+            (void)eng;
+        }
+        CacheArray tags;
+        std::unordered_map<sim::Addr, std::unique_ptr<DirEntry>> dir;
+    };
+
+    DirEntry &dirEntry(sim::Addr line);
+
+    bool sharerTest(const DirEntry &e, sim::NodeId n) const;
+    void sharerSet(DirEntry &e, sim::NodeId n, bool v);
+    std::vector<sim::NodeId> sharerList(const DirEntry &e,
+                                        sim::NodeId exclude) const;
+
+    /** Per-(node,line) invalidation events for spinUntil. */
+    coro::VersionedEvent &watch(sim::NodeId node, sim::Addr line);
+
+    /** Invalidate node's L1 copy (if any) and wake spinners. */
+    void invalidateL1(sim::NodeId node, sim::Addr line);
+
+    /**
+     * Miss/upgrade transaction. Acquires the line at @p node with read
+     * or write permission, running the full directory protocol; calls
+     * @p commit at the coherence-commit instant (mutex still held).
+     */
+    coro::Task<void> fetchLine(sim::NodeId node, sim::Addr line,
+                               bool exclusive,
+                               std::function<void()> commit);
+
+    /** One invalidation leg: home -> sharer -> ack to requestor. */
+    coro::Task<void> invLeg(sim::NodeId home, sim::NodeId sharer,
+                            sim::NodeId requestor, sim::Addr line);
+
+    /** Probe-invalidate the owner; it forwards data/ack to requestor. */
+    coro::Task<void> probeLeg(sim::NodeId home, sim::NodeId owner,
+                              sim::NodeId requestor, sim::Addr line,
+                              bool with_data);
+
+    /** Baseline+ invalidation: tree multicast, then parallel acks. */
+    coro::Task<void> treeInvLeg(sim::NodeId home,
+                                std::vector<sim::NodeId> targets,
+                                sim::NodeId requestor, sim::Addr line);
+
+    /** Data leg from the home bank (after optional DRAM fill). */
+    coro::Task<void> homeDataLeg(sim::NodeId home, sim::NodeId requestor,
+                                 DirEntry &entry, sim::Addr line);
+
+    /** Fixed-latency DRAM access through the line's controller. */
+    coro::Task<void> dramAccess(sim::NodeId home, sim::Addr line);
+
+    /** Install @p line at @p node's L1, evicting as needed. */
+    void installL1(sim::NodeId node, sim::Addr line, CohState state);
+
+    /** Detached dirty-eviction writeback. */
+    coro::Task<void> writebackTask(sim::NodeId node, sim::Addr line);
+
+    /** Detached L2-eviction recall of all cached copies. */
+    coro::Task<void> recallTask(sim::NodeId home, sim::Addr line);
+
+    /** Ensure the line is present in L2 tags (may evict + recall). */
+    void touchL2(sim::Addr line);
+
+    sim::Engine &engine_;
+    noc::Mesh &mesh_;
+    Memory &memory_;
+    std::uint32_t numNodes_;
+    MemConfig cfg_;
+    std::vector<CacheArray> l1_;
+    std::vector<Bank> banks_;
+    std::vector<std::unique_ptr<coro::Resource>> dramCtrls_;
+    std::unordered_map<std::uint64_t,
+                       std::unique_ptr<coro::VersionedEvent>>
+        watches_;
+    MemStats stats_;
+};
+
+} // namespace wisync::mem
+
+#endif // WISYNC_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,22 @@
+#include "mem/memory.hh"
+
+#include "sim/logging.hh"
+
+namespace wisync::mem {
+
+std::uint64_t
+Memory::read64(sim::Addr addr) const
+{
+    WISYNC_ASSERT((addr & 7) == 0, "unaligned 64-bit read");
+    const auto it = words_.find(addr);
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+Memory::write64(sim::Addr addr, std::uint64_t value)
+{
+    WISYNC_ASSERT((addr & 7) == 0, "unaligned 64-bit write");
+    words_[addr] = value;
+}
+
+} // namespace wisync::mem

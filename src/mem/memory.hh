@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Functional backing store for the regular (cacheable) address space.
+ *
+ * The simulator splits function from timing: values live here with
+ * word granularity, while caches/directories model only timing and
+ * coherence state. A value is read/written at the instant the timing
+ * model commits the corresponding access, so observed interleavings
+ * are always consistent with the modelled coherence order.
+ */
+
+#ifndef WISYNC_MEM_MEMORY_HH
+#define WISYNC_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace wisync::mem {
+
+/** Sparse 64-bit-word functional memory (zero-initialised). */
+class Memory
+{
+  public:
+    /** Read the aligned 64-bit word at @p addr. */
+    std::uint64_t read64(sim::Addr addr) const;
+
+    /** Write the aligned 64-bit word at @p addr. */
+    void write64(sim::Addr addr, std::uint64_t value);
+
+    /** Number of words ever written (for tests). */
+    std::size_t footprintWords() const { return words_.size(); }
+
+  private:
+    std::unordered_map<sim::Addr, std::uint64_t> words_;
+};
+
+} // namespace wisync::mem
+
+#endif // WISYNC_MEM_MEMORY_HH

@@ -1,0 +1,218 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace wisync::noc {
+
+namespace {
+
+/** Directional link indices relative to a node. */
+enum Dir : std::size_t { East = 0, West = 1, North = 2, South = 3 };
+
+} // namespace
+
+Mesh::Mesh(sim::Engine &engine, const MeshConfig &cfg)
+    : engine_(engine), cfg_(cfg)
+{
+    WISYNC_ASSERT(cfg_.numNodes > 0, "mesh needs at least one node");
+    WISYNC_ASSERT(cfg_.linkBits > 0, "links need nonzero width");
+    width_ = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(cfg_.numNodes))));
+    // Routes may pass through grid positions beyond the last populated
+    // node (a non-square core count still has a full router grid), so
+    // links cover the whole width x width mesh.
+    const std::uint32_t grid = width_ * width_;
+    links_.reserve(grid * 4);
+    inject_.reserve(cfg_.numNodes);
+    for (std::uint32_t n = 0; n < grid * 4; ++n)
+        links_.push_back(std::make_unique<coro::SimMutex>(engine_));
+    for (std::uint32_t n = 0; n < cfg_.numNodes; ++n)
+        inject_.push_back(std::make_unique<coro::SimMutex>(engine_));
+}
+
+std::uint32_t
+Mesh::hops(sim::NodeId a, sim::NodeId b) const
+{
+    const auto dx = xOf(a) > xOf(b) ? xOf(a) - xOf(b) : xOf(b) - xOf(a);
+    const auto dy = yOf(a) > yOf(b) ? yOf(a) - yOf(b) : yOf(b) - yOf(a);
+    return dx + dy;
+}
+
+std::uint32_t
+Mesh::flitsOf(std::uint32_t bits) const
+{
+    return std::max(1u, (bits + cfg_.linkBits - 1) / cfg_.linkBits);
+}
+
+std::size_t
+Mesh::linkId(sim::NodeId a, sim::NodeId b) const
+{
+    if (xOf(b) == xOf(a) + 1)
+        return a * 4 + East;
+    if (xOf(b) + 1 == xOf(a))
+        return a * 4 + West;
+    if (yOf(b) + 1 == yOf(a))
+        return a * 4 + North;
+    if (yOf(b) == yOf(a) + 1)
+        return a * 4 + South;
+    WISYNC_PANIC("linkId of non-adjacent nodes %u -> %u", a, b);
+}
+
+std::vector<std::size_t>
+Mesh::route(sim::NodeId src, sim::NodeId dst) const
+{
+    std::vector<std::size_t> path;
+    sim::NodeId cur = src;
+    // X first, then Y (dimension-order routing).
+    while (xOf(cur) != xOf(dst)) {
+        const sim::NodeId next =
+            nodeAt(xOf(cur) + (xOf(dst) > xOf(cur) ? 1 : -1), yOf(cur));
+        path.push_back(linkId(cur, next));
+        cur = next;
+    }
+    while (yOf(cur) != yOf(dst)) {
+        const sim::NodeId next =
+            nodeAt(xOf(cur), yOf(cur) + (yOf(dst) > yOf(cur) ? 1 : -1));
+        path.push_back(linkId(cur, next));
+        cur = next;
+    }
+    return path;
+}
+
+coro::Task<void>
+Mesh::transferAlong(std::vector<std::size_t> path, std::uint32_t flits)
+{
+    for (const auto link : path) {
+        co_await links_[link]->lock();
+        // The link stays busy until the tail flit crosses it; the head
+        // moves on in parallel. Freeing on a timer (rather than when
+        // the head secures the next hop) models routers with enough
+        // buffering to absorb a blocked message — optimistic under
+        // heavy congestion, exact otherwise.
+        coro::SimMutex *m = links_[link].get();
+        engine_.scheduleIn(flits, [m] { m->unlock(); });
+        co_await coro::delay(engine_, cfg_.hopCycles);
+    }
+    if (flits > 1)
+        co_await coro::delay(engine_, flits - 1);
+}
+
+coro::Task<void>
+Mesh::send(sim::NodeId src, sim::NodeId dst, std::uint32_t bits)
+{
+    const sim::Cycle start = engine_.now();
+    const std::uint32_t flits = flitsOf(bits);
+    stats_.messages.inc();
+    stats_.flits.inc(flits);
+    if (src == dst) {
+        // Local turnaround through the node's port.
+        co_await coro::delay(engine_, 1);
+    } else {
+        co_await transferAlong(route(src, dst), flits);
+    }
+    stats_.latency.sample(static_cast<double>(engine_.now() - start));
+}
+
+coro::Task<void>
+Mesh::tailDelay(std::uint32_t flits)
+{
+    co_await coro::delay(engine_, flits - 1);
+}
+
+coro::Task<void>
+Mesh::treeDeliver(sim::NodeId cur, std::vector<sim::NodeId> dsts,
+                  std::uint32_t flits)
+{
+    std::vector<sim::NodeId> east, west, north, south;
+    bool here = false;
+    for (const auto d : dsts) {
+        if (d == cur) {
+            here = true;
+        } else if (xOf(d) > xOf(cur)) {
+            east.push_back(d);
+        } else if (xOf(d) < xOf(cur)) {
+            west.push_back(d);
+        } else if (yOf(d) < yOf(cur)) {
+            north.push_back(d);
+        } else {
+            south.push_back(d);
+        }
+    }
+
+    std::vector<coro::Task<void>> branches;
+    auto descend = [&](std::vector<sim::NodeId> group) -> coro::Task<void> {
+        const sim::NodeId next =
+            xOf(group.front()) > xOf(cur)   ? nodeAt(xOf(cur) + 1, yOf(cur))
+            : xOf(group.front()) < xOf(cur) ? nodeAt(xOf(cur) - 1, yOf(cur))
+            : yOf(group.front()) < yOf(cur) ? nodeAt(xOf(cur), yOf(cur) - 1)
+                                            : nodeAt(xOf(cur), yOf(cur) + 1);
+        co_await links_[linkId(cur, next)]->lock();
+        coro::SimMutex *m = links_[linkId(cur, next)].get();
+        engine_.scheduleIn(flits, [m] { m->unlock(); });
+        co_await coro::delay(engine_, cfg_.hopCycles);
+        co_await treeDeliver(next, std::move(group), flits);
+    };
+    if (!east.empty())
+        branches.push_back(descend(std::move(east)));
+    if (!west.empty())
+        branches.push_back(descend(std::move(west)));
+    if (!north.empty())
+        branches.push_back(descend(std::move(north)));
+    if (!south.empty())
+        branches.push_back(descend(std::move(south)));
+
+    if (here && flits > 1) {
+        // Local delivery: the tail arrives flits-1 cycles behind the
+        // head, overlapping any downstream branch transfers.
+        branches.push_back(tailDelay(flits));
+    }
+
+    if (!branches.empty())
+        co_await coro::whenAll(engine_, std::move(branches));
+}
+
+coro::Task<void>
+Mesh::multicast(sim::NodeId src, std::vector<sim::NodeId> dsts,
+                std::uint32_t bits)
+{
+    if (dsts.empty())
+        co_return;
+    stats_.multicasts.inc();
+    const std::uint32_t flits = flitsOf(bits);
+
+    if (cfg_.treeMulticast) {
+        stats_.messages.inc();
+        stats_.flits.inc(flits);
+        co_await treeDeliver(src, std::move(dsts), flits);
+        co_return;
+    }
+
+    // Serial replication at the source: one unicast per destination,
+    // injected one per cycle through the node's port.
+    std::vector<coro::Task<void>> sends;
+    sends.reserve(dsts.size());
+    auto one = [this, src, bits](sim::NodeId dst) -> coro::Task<void> {
+        co_await inject_[src]->lock();
+        co_await coro::delay(engine_, 1);
+        inject_[src]->unlock();
+        co_await send(src, dst, bits);
+    };
+    for (const auto d : dsts)
+        sends.push_back(one(d));
+    co_await coro::whenAll(engine_, std::move(sends));
+}
+
+sim::Cycle
+Mesh::zeroLoadLatency(sim::NodeId src, sim::NodeId dst,
+                      std::uint32_t bits) const
+{
+    if (src == dst)
+        return 1;
+    return static_cast<sim::Cycle>(hops(src, dst)) * cfg_.hopCycles +
+           flitsOf(bits) - 1;
+}
+
+} // namespace wisync::noc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * 2D-mesh on-chip network model.
+ *
+ * Matches the paper's Table 1: 2D mesh, 4 cycles/hop, 128-bit links.
+ * Messages are wormhole-routed with XY (dimension-order) routing: the
+ * head flit pays the per-hop latency at each router, the tail follows
+ * `flits-1` cycles behind, and each directional link is occupied for
+ * `flits` cycles per message, which is where contention comes from.
+ *
+ * XY routing's channel-dependency graph is acyclic, so the model's
+ * hold-link-while-waiting-for-next-link discipline cannot deadlock.
+ *
+ * Two multicast modes (paper §6, Table 2):
+ *  - serial:  the source injects one unicast per destination, one
+ *    injection per cycle (plain `Baseline` router, no broadcast HW).
+ *  - tree:    a single message is replicated at fan-out routers
+ *    (`Baseline+`'s "virtual tree-based broadcast ... with flit
+ *    replication at the router crossbars", Krishna et al. [22]).
+ */
+
+#ifndef WISYNC_NOC_MESH_HH
+#define WISYNC_NOC_MESH_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "coro/primitives.hh"
+#include "coro/task.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace wisync::noc {
+
+/** Mesh geometry and timing knobs. */
+struct MeshConfig
+{
+    std::uint32_t numNodes = 64;
+    /** Router + link traversal latency per hop (cycles). */
+    std::uint32_t hopCycles = 4;
+    /** Link width in bits (one flit per cycle per link). */
+    std::uint32_t linkBits = 128;
+    /** Replicate flits at fan-out routers for multicast (Baseline+). */
+    bool treeMulticast = false;
+};
+
+/** Aggregated network statistics. */
+struct MeshStats
+{
+    sim::Counter messages;
+    sim::Counter flits;
+    sim::Counter multicasts;
+    sim::Accumulator latency;
+};
+
+/**
+ * The mesh fabric. One instance per simulated chip.
+ *
+ * All public operations are coroutines that resolve when the (last)
+ * message is fully delivered.
+ */
+class Mesh
+{
+  public:
+    Mesh(sim::Engine &engine, const MeshConfig &cfg);
+
+    /** Grid side length (smallest square holding numNodes). */
+    std::uint32_t width() const { return width_; }
+
+    /** Manhattan hop distance between two nodes. */
+    std::uint32_t hops(sim::NodeId a, sim::NodeId b) const;
+
+    /**
+     * Send @p bits from @p src to @p dst; resolves at delivery.
+     * Same-node "transfers" cost one cycle (local bank port hop).
+     */
+    coro::Task<void> send(sim::NodeId src, sim::NodeId dst,
+                          std::uint32_t bits);
+
+    /**
+     * Deliver @p bits to every destination; resolves when the last
+     * destination has the message. Mode depends on cfg.treeMulticast.
+     */
+    coro::Task<void> multicast(sim::NodeId src,
+                               std::vector<sim::NodeId> dsts,
+                               std::uint32_t bits);
+
+    /** Zero-load latency of a unicast, for calibration tests. */
+    sim::Cycle zeroLoadLatency(sim::NodeId src, sim::NodeId dst,
+                               std::uint32_t bits) const;
+
+    const MeshStats &stats() const { return stats_; }
+    const MeshConfig &config() const { return cfg_; }
+
+  private:
+    std::uint32_t xOf(sim::NodeId n) const { return n % width_; }
+    std::uint32_t yOf(sim::NodeId n) const { return n / width_; }
+    sim::NodeId nodeAt(std::uint32_t x, std::uint32_t y) const
+    {
+        return y * width_ + x;
+    }
+
+    std::uint32_t flitsOf(std::uint32_t bits) const;
+
+    /** Directional link id from node @p a to adjacent node @p b. */
+    std::size_t linkId(sim::NodeId a, sim::NodeId b) const;
+
+    /** XY route as a list of directional link ids. */
+    std::vector<std::size_t> route(sim::NodeId src, sim::NodeId dst) const;
+
+    coro::Task<void> transferAlong(std::vector<std::size_t> path,
+                                   std::uint32_t flits);
+
+    /** Tail-flit arrival delay (flits-1 cycles). */
+    coro::Task<void> tailDelay(std::uint32_t flits);
+
+    /** Recursive XY-tree delivery used in tree-multicast mode. */
+    coro::Task<void> treeDeliver(sim::NodeId cur,
+                                 std::vector<sim::NodeId> dsts,
+                                 std::uint32_t flits);
+
+    sim::Engine &engine_;
+    MeshConfig cfg_;
+    std::uint32_t width_;
+    /** One FIFO mutex per directional link; index = linkId. */
+    std::vector<std::unique_ptr<coro::SimMutex>> links_;
+    /** Per-node injection port (serial multicast pacing). */
+    std::vector<std::unique_ptr<coro::SimMutex>> inject_;
+    MeshStats stats_;
+};
+
+} // namespace wisync::noc
+
+#endif // WISYNC_NOC_MESH_HH

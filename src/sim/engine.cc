@@ -1,0 +1,37 @@
+#include "sim/engine.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace wisync::sim {
+
+void
+Engine::schedule(Cycle when, UniqueFunction fn)
+{
+    assert(when >= now_ && "cannot schedule an event in the past");
+    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+Engine::run(Cycle limit)
+{
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_) {
+        // priority_queue::top() is const; the event must be moved out
+        // before execution because the callback may schedule new events.
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        if (ev.when > limit) {
+            // Put the horizon back so a later run() can resume.
+            queue_.push(std::move(ev));
+            now_ = limit;
+            return false;
+        }
+        now_ = ev.when;
+        ++eventsExecuted_;
+        ev.fn();
+    }
+    return queue_.empty();
+}
+
+} // namespace wisync::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * The engine owns the global event queue. All model components schedule
+ * callbacks at absolute or relative cycle times; the engine executes
+ * them in (cycle, insertion-order) order, which makes simulations fully
+ * deterministic for a given seed.
+ */
+
+#ifndef WISYNC_SIM_ENGINE_HH
+#define WISYNC_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/function.hh"
+#include "sim/types.hh"
+
+namespace wisync::sim {
+
+/**
+ * Deterministic discrete-event engine.
+ *
+ * Single-threaded by design: hardware concurrency is modelled by event
+ * interleaving, not host threads, so no locking is required anywhere in
+ * the model.
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Current simulated time in cycles. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute cycle.
+     *
+     * @param when Absolute cycle; must be >= now().
+     * @param fn   Callback executed when simulated time reaches @p when.
+     */
+    void schedule(Cycle when, UniqueFunction fn);
+
+    /** Schedule a callback @p delta cycles from now. */
+    void scheduleIn(Cycle delta, UniqueFunction fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /**
+     * Run until the event queue drains or @p limit is reached.
+     *
+     * @param limit Hard cycle limit (guards against livelock in tests).
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool run(Cycle limit = kCycleMax);
+
+    /** Request that run() return after the current event. */
+    void stop() { stopped_ = true; }
+
+    /** Number of events executed so far (for micro-benchmarks). */
+    std::uint64_t eventsExecuted() const { return eventsExecuted_; }
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        UniqueFunction fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t eventsExecuted_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace wisync::sim
+
+#endif // WISYNC_SIM_ENGINE_HH

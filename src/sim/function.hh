@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Move-only type-erased callable, used for event callbacks.
+ *
+ * std::function requires copyability, which rules out lambdas that own
+ * coroutine frames or other move-only resources. This is a minimal
+ * replacement (no small-buffer optimization; event rates in this
+ * simulator make the allocation cost irrelevant next to model work).
+ */
+
+#ifndef WISYNC_SIM_FUNCTION_HH
+#define WISYNC_SIM_FUNCTION_HH
+
+#include <memory>
+#include <utility>
+
+namespace wisync::sim {
+
+/** Move-only void() callable. */
+class UniqueFunction
+{
+  public:
+    UniqueFunction() = default;
+
+    template <typename F>
+    UniqueFunction(F &&f)
+        : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f)))
+    {}
+
+    UniqueFunction(UniqueFunction &&) = default;
+    UniqueFunction &operator=(UniqueFunction &&) = default;
+    UniqueFunction(const UniqueFunction &) = delete;
+    UniqueFunction &operator=(const UniqueFunction &) = delete;
+
+    explicit operator bool() const { return impl_ != nullptr; }
+
+    void operator()() { impl_->call(); }
+
+  private:
+    struct Base
+    {
+        virtual ~Base() = default;
+        virtual void call() = 0;
+    };
+
+    template <typename F>
+    struct Impl : Base
+    {
+        explicit Impl(F &&f) : fn(std::move(f)) {}
+        explicit Impl(const F &f) : fn(f) {}
+        void call() override { fn(); }
+        F fn;
+    };
+
+    std::unique_ptr<Base> impl_;
+};
+
+} // namespace wisync::sim
+
+#endif // WISYNC_SIM_FUNCTION_HH

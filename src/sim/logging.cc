@@ -1,0 +1,27 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace wisync::sim::detail {
+
+[[noreturn]] void
+panicImpl(const char *file, int line, std::string msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, std::string msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, std::string msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace wisync::sim::detail

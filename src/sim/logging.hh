@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit.
+ *
+ * panic()  — model invariant violated (simulator bug): abort.
+ * fatal()  — unusable user configuration: exit(1).
+ * warn()   — suspicious but survivable condition: stderr note.
+ */
+
+#ifndef WISYNC_SIM_LOGGING_HH
+#define WISYNC_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace wisync::sim {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, std::string msg);
+[[noreturn]] void fatalImpl(const char *file, int line, std::string msg);
+void warnImpl(const char *file, int line, std::string msg);
+
+template <typename... Args>
+std::string
+formatMsg(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        const int n = std::snprintf(nullptr, 0, fmt,
+                                    std::forward<Args>(args)...);
+        std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+        if (n > 0)
+            std::snprintf(out.data(), out.size() + 1, fmt,
+                          std::forward<Args>(args)...);
+        return out;
+    }
+}
+
+} // namespace detail
+
+} // namespace wisync::sim
+
+#define WISYNC_PANIC(...)                                                  \
+    ::wisync::sim::detail::panicImpl(                                      \
+        __FILE__, __LINE__, ::wisync::sim::detail::formatMsg(__VA_ARGS__))
+
+#define WISYNC_FATAL(...)                                                  \
+    ::wisync::sim::detail::fatalImpl(                                      \
+        __FILE__, __LINE__, ::wisync::sim::detail::formatMsg(__VA_ARGS__))
+
+#define WISYNC_WARN(...)                                                   \
+    ::wisync::sim::detail::warnImpl(                                       \
+        __FILE__, __LINE__, ::wisync::sim::detail::formatMsg(__VA_ARGS__))
+
+/** panic() unless the model invariant @p cond holds. */
+#define WISYNC_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            WISYNC_PANIC("assertion failed: %s", #cond);                   \
+    } while (0)
+
+/** fatal() when a user-configuration error condition holds. */
+#define WISYNC_FATAL_IF(cond, ...)                                         \
+    do {                                                                   \
+        if (cond)                                                          \
+            WISYNC_FATAL(__VA_ARGS__);                                     \
+    } while (0)
+
+#endif // WISYNC_SIM_LOGGING_HH

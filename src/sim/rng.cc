@@ -1,0 +1,72 @@
+#include "sim/rng.hh"
+
+namespace wisync::sim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // splitmix64 guarantees a non-degenerate state even for seed == 0.
+    for (auto &word : s_)
+        word = splitmix64(seed);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace wisync::sim

@@ -1,0 +1,81 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace wisync::sim {
+
+void
+Accumulator::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Accumulator::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    acc_.sample(static_cast<double>(v));
+    const unsigned b = v == 0 ? 0 : 63 - std::countl_zero(v);
+    ++buckets_[b];
+}
+
+void
+Histogram::reset()
+{
+    acc_.reset();
+    std::fill(std::begin(buckets_), std::end(buckets_), 0);
+}
+
+std::uint64_t
+Histogram::bucket(unsigned b) const
+{
+    return b < 64 ? buckets_[b] : 0;
+}
+
+void
+StatSet::addCounter(std::string name, const Counter &c)
+{
+    counters_[std::move(name)] = &c;
+}
+
+void
+StatSet::addAccumulator(std::string name, const Accumulator &a)
+{
+    accs_[std::move(name)] = &a;
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c->value() << "\n";
+    for (const auto &[name, a] : accs_) {
+        os << name << ".count " << a->count() << "\n";
+        os << name << ".mean " << a->mean() << "\n";
+        os << name << ".max " << a->max() << "\n";
+    }
+}
+
+std::uint64_t
+StatSet::counterValue(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+} // namespace wisync::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lightweight statistics: named counters and latency histograms.
+ *
+ * Components hold plain Counter/Histogram members and register them in
+ * a StatSet so harnesses can dump everything uniformly. Registration
+ * is by reference; the owning component must outlive the StatSet dump.
+ */
+
+#ifndef WISYNC_SIM_STATS_HH
+#define WISYNC_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace wisync::sim {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Scalar sample accumulator (count / sum / min / max / mean).
+ *
+ * Used for latencies and occupancies where a full distribution is not
+ * needed; Histogram adds log2 buckets on top.
+ */
+class Accumulator
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Accumulator plus power-of-two bucket histogram. */
+class Histogram
+{
+  public:
+    void sample(std::uint64_t v);
+    void reset();
+
+    const Accumulator &acc() const { return acc_; }
+    /** Count of samples with floor(log2(v)) == bucket (v=0 -> bucket 0). */
+    std::uint64_t bucket(unsigned b) const;
+    unsigned numBuckets() const { return 64; }
+
+  private:
+    Accumulator acc_;
+    std::uint64_t buckets_[64] = {};
+};
+
+/** Registry of named stats for uniform dumping. */
+class StatSet
+{
+  public:
+    void addCounter(std::string name, const Counter &c);
+    void addAccumulator(std::string name, const Accumulator &a);
+
+    /** Dump "name value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Look up a registered counter's value (0 if missing). */
+    std::uint64_t counterValue(const std::string &name) const;
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Accumulator *> accs_;
+};
+
+} // namespace wisync::sim
+
+#endif // WISYNC_SIM_STATS_HH

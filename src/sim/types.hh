@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every WiSync subsystem.
+ */
+
+#ifndef WISYNC_SIM_TYPES_HH
+#define WISYNC_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace wisync::sim {
+
+/** Simulated time, measured in core clock cycles (1 GHz => 1 ns). */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "never" / "no deadline". */
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/** Identifier of a node (core + caches + transceiver + BM) on the chip. */
+using NodeId = std::uint32_t;
+
+/** Identifier of a simulated software thread. */
+using ThreadId = std::uint32_t;
+
+/** Process (program) identifier used for BM protection tags. */
+using Pid = std::uint16_t;
+
+/** Byte address in the regular (cacheable) address space. */
+using Addr = std::uint64_t;
+
+/** Word offset inside a Broadcast Memory (64-bit entries). */
+using BmAddr = std::uint32_t;
+
+/** Invalid / unassigned node. */
+inline constexpr NodeId kNoNode = ~NodeId{0};
+
+} // namespace wisync::sim
+
+#endif // WISYNC_SIM_TYPES_HH

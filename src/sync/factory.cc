@@ -1,0 +1,61 @@
+#include "sync/factory.hh"
+
+#include <stdexcept>
+
+namespace wisync::sync {
+
+std::unique_ptr<Lock>
+SyncFactory::makeLock()
+{
+    switch (machine_.config().kind) {
+      case core::ConfigKind::Baseline:
+        return std::make_unique<TasLock>(machine_);
+      case core::ConfigKind::BaselinePlus:
+        return std::make_unique<McsLock>(machine_);
+      case core::ConfigKind::WiSyncNoT:
+      case core::ConfigKind::WiSync:
+        return std::make_unique<BmLock>(machine_, pid_);
+    }
+    return nullptr;
+}
+
+std::unique_ptr<Barrier>
+SyncFactory::makeBarrier(const std::vector<sim::NodeId> &participant_nodes)
+{
+    const auto n = static_cast<std::uint32_t>(participant_nodes.size());
+    switch (machine_.config().kind) {
+      case core::ConfigKind::Baseline:
+        return std::make_unique<CentralBarrier>(machine_, n);
+      case core::ConfigKind::BaselinePlus:
+        return std::make_unique<TournamentBarrier>(machine_, n);
+      case core::ConfigKind::WiSyncNoT:
+        return std::make_unique<BmBarrier>(machine_, pid_, n);
+      case core::ConfigKind::WiSync:
+        try {
+            return std::make_unique<ToneBarrier>(machine_, pid_,
+                                                 participant_nodes);
+        } catch (const std::runtime_error &) {
+            // AllocB overflow: §4.4 prescribes a Data-channel barrier.
+            return std::make_unique<BmBarrier>(machine_, pid_, n);
+        }
+    }
+    return nullptr;
+}
+
+std::unique_ptr<OrBarrier>
+SyncFactory::makeOrBarrier()
+{
+    if (machine_.config().hasWireless())
+        return std::make_unique<BmOrBarrierImpl>(machine_, pid_);
+    return std::make_unique<MemOrBarrier>(machine_);
+}
+
+std::unique_ptr<Reducer>
+SyncFactory::makeReducer()
+{
+    if (machine_.config().hasWireless())
+        return std::make_unique<BmReducer>(machine_, pid_);
+    return std::make_unique<MemReducer>(machine_);
+}
+
+} // namespace wisync::sync

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-configuration synchronization factory (Table 2).
+ *
+ * | Config     | Locks         | Barriers                           |
+ * |------------|---------------|------------------------------------|
+ * | Baseline   | TTAS/CAS      | Centralized sense-reversing        |
+ * | Baseline+  | MCS           | Tournament                         |
+ * | WiSyncNoT  | BM test&set   | BM fetch&inc (Data channel)        |
+ * | WiSync     | BM test&set   | Tone barrier (fallback: BM)        |
+ *
+ * Reducers use the best primitive of each configuration (CAS loop on
+ * memory vs fetch&add on the BM).
+ */
+
+#ifndef WISYNC_SYNC_FACTORY_HH
+#define WISYNC_SYNC_FACTORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "sync/baseline_sync.hh"
+#include "sync/primitives.hh"
+#include "sync/wisync_sync.hh"
+
+namespace wisync::sync {
+
+/** Builds the right primitive for the machine's ConfigKind. */
+class SyncFactory
+{
+  public:
+    explicit SyncFactory(core::Machine &machine, sim::Pid pid = 1)
+        : machine_(machine), pid_(pid)
+    {}
+
+    /** The configuration's lock. */
+    std::unique_ptr<Lock> makeLock();
+
+    /**
+     * The configuration's AND-barrier for the given participants
+     * (thread->node placement, needed to arm tone barriers). WiSync
+     * falls back to the Data-channel barrier when AllocB is full.
+     */
+    std::unique_ptr<Barrier>
+    makeBarrier(const std::vector<sim::NodeId> &participant_nodes);
+
+    /** The configuration's OR-barrier (eureka). */
+    std::unique_ptr<OrBarrier> makeOrBarrier();
+
+    /** The configuration's reduction cell. */
+    std::unique_ptr<Reducer> makeReducer();
+
+    core::Machine &machine() { return machine_; }
+    sim::Pid pid() const { return pid_; }
+
+  private:
+    core::Machine &machine_;
+    sim::Pid pid_;
+};
+
+} // namespace wisync::sync
+
+#endif // WISYNC_SYNC_FACTORY_HH

@@ -1,0 +1,226 @@
+#include "sync/wisync_sync.hh"
+
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace wisync::sync {
+
+sim::BmAddr
+setupBmWords(core::Machine &m, std::uint32_t words, sim::Pid pid)
+{
+    WISYNC_ASSERT(m.bm() != nullptr, "BM variables need a WiSync config");
+    sim::BmAddr addr = 0;
+    if (!m.allocBm(words, addr))
+        throw std::runtime_error("BM exhausted");
+    for (std::uint32_t i = 0; i < words; ++i)
+        m.bm()->storeArray().setTag(addr + i, pid);
+    return addr;
+}
+
+// ----------------------------------------------------------------- BmLock
+
+BmLock::BmLock(core::Machine &m, sim::Pid pid)
+    : addr_(setupBmWords(m, 1, pid))
+{}
+
+coro::Task<void>
+BmLock::acquire(core::ThreadCtx &ctx)
+{
+    for (;;) {
+        // Test-and-test&set: watch the replica until the lock looks
+        // free, then try to grab it (AFB retries inside).
+        co_await ctx.bmSpinUntil(addr_,
+                                 [](std::uint64_t v) { return v == 0; });
+        if (co_await ctx.bmTestAndSet(addr_) == 0)
+            co_return;
+    }
+}
+
+coro::Task<void>
+BmLock::release(core::ThreadCtx &ctx)
+{
+    co_await ctx.bmStore(addr_, 0);
+}
+
+// -------------------------------------------------------------- BmBarrier
+
+BmBarrier::BmBarrier(core::Machine &m, sim::Pid pid,
+                     std::uint32_t participants)
+    : participants_(participants), countAddr_(setupBmWords(m, 1, pid)),
+      releaseAddr_(setupBmWords(m, 1, pid))
+{
+    WISYNC_ASSERT(participants > 0, "empty barrier");
+}
+
+coro::Task<void>
+BmBarrier::wait(core::ThreadCtx &ctx)
+{
+    std::uint64_t &sense = senses_[ctx.tid()];
+    sense = sense ? 0 : 1;
+
+    const std::uint64_t arrived =
+        co_await ctx.bmFetchAdd(countAddr_, 1) + 1;
+    if (arrived == participants_) {
+        co_await ctx.bmStore(countAddr_, 0);
+        co_await ctx.bmStore(releaseAddr_, sense);
+    } else {
+        const std::uint64_t want = sense;
+        co_await ctx.bmSpinUntil(releaseAddr_, [want](std::uint64_t v) {
+            return v == want;
+        });
+    }
+}
+
+// ------------------------------------------------------------ ToneBarrier
+
+ToneBarrier::ToneBarrier(core::Machine &m, sim::Pid pid,
+                         const std::vector<sim::NodeId> &participants)
+    : machine_(m), addr_(setupBmWords(m, 1, pid))
+{
+    WISYNC_ASSERT(m.bm() != nullptr, "tone barrier needs WiSync");
+    std::vector<bool> armed(m.config().numCores, false);
+    for (const auto n : participants) {
+        WISYNC_ASSERT(!armed[n],
+                      "two threads of one tone barrier on the same core "
+                      "are unsupported (§5.2)");
+        armed[n] = true;
+    }
+    if (!m.bm()->allocToneBarrier(addr_, std::move(armed)))
+        throw std::runtime_error("AllocB overflow (or no Tone channel)");
+}
+
+ToneBarrier::~ToneBarrier()
+{
+    machine_.bm()->deallocToneBarrier(addr_);
+}
+
+coro::Task<void>
+ToneBarrier::wait(core::ThreadCtx &ctx)
+{
+    // Fig. 4(c): local_sense = !local_sense; tone_st; spin tone_ld.
+    std::uint64_t &sense = senses_[ctx.tid()];
+    sense = sense ? 0 : 1;
+    const std::uint64_t want = sense;
+    co_await ctx.toneStore(addr_);
+    co_await ctx.bmSpinUntil(addr_,
+                             [want](std::uint64_t v) { return v == want; });
+}
+
+// -------------------------------------------------------- BmOrBarrierImpl
+
+BmOrBarrierImpl::BmOrBarrierImpl(core::Machine &m, sim::Pid pid)
+    : addr_(setupBmWords(m, 1, pid))
+{}
+
+coro::Task<void>
+BmOrBarrierImpl::trigger(core::ThreadCtx &ctx)
+{
+    co_await ctx.bmStore(addr_, sense_);
+}
+
+coro::Task<bool>
+BmOrBarrierImpl::poll(core::ThreadCtx &ctx)
+{
+    co_return co_await ctx.bmLoad(addr_) == sense_;
+}
+
+coro::Task<void>
+BmOrBarrierImpl::await(core::ThreadCtx &ctx)
+{
+    const std::uint64_t want = sense_;
+    co_await ctx.bmSpinUntil(addr_,
+                             [want](std::uint64_t v) { return v == want; });
+}
+
+void
+BmOrBarrierImpl::reset()
+{
+    sense_ = sense_ ? 0 : 1;
+}
+
+// -------------------------------------------------------------- BmReducer
+
+BmReducer::BmReducer(core::Machine &m, sim::Pid pid)
+    : addr_(setupBmWords(m, 1, pid))
+{}
+
+coro::Task<void>
+BmReducer::add(core::ThreadCtx &ctx, std::uint64_t delta)
+{
+    co_await ctx.bmFetchAdd(addr_, delta);
+}
+
+coro::Task<std::uint64_t>
+BmReducer::read(core::ThreadCtx &ctx)
+{
+    co_return co_await ctx.bmLoad(addr_);
+}
+
+// ------------------------------------------------------- ProducerConsumer
+
+ProducerConsumer::ProducerConsumer(core::Machine &m, sim::Pid pid)
+    : dataAddr_(setupBmWords(m, 4, pid)), flagAddr_(setupBmWords(m, 1, pid))
+{}
+
+coro::Task<void>
+ProducerConsumer::produce(core::ThreadCtx &ctx,
+                          std::array<std::uint64_t, 4> values)
+{
+    // Wait until the previous datum was consumed (flag clear).
+    co_await ctx.bmSpinUntil(flagAddr_,
+                             [](std::uint64_t v) { return v == 0; });
+    co_await ctx.bmBulkStore(dataAddr_, values);
+    co_await ctx.bmStore(flagAddr_, 1);
+}
+
+coro::Task<std::array<std::uint64_t, 4>>
+ProducerConsumer::consume(core::ThreadCtx &ctx)
+{
+    co_await ctx.bmSpinUntil(flagAddr_,
+                             [](std::uint64_t v) { return v == 1; });
+    const auto data = co_await ctx.bmBulkLoad(dataAddr_);
+    co_await ctx.bmStore(flagAddr_, 0);
+    co_return data;
+}
+
+// ------------------------------------------------------------ Multicaster
+
+Multicaster::Multicaster(core::Machine &m, sim::Pid pid,
+                         std::uint32_t readers)
+    : readers_(readers), dataAddr_(setupBmWords(m, 1, pid)),
+      countAddr_(setupBmWords(m, 1, pid)), flagAddr_(setupBmWords(m, 1, pid))
+{
+    WISYNC_ASSERT(readers > 0, "multicast needs readers");
+}
+
+coro::Task<void>
+Multicaster::publish(core::ThreadCtx &ctx, std::uint64_t value)
+{
+    // Fig. 4(d): write data, count = N, toggle flag, spin count == 0.
+    co_await ctx.bmStore(dataAddr_, value);
+    co_await ctx.bmStore(countAddr_, readers_);
+    co_await ctx.bmStore(flagAddr_, produceSense_);
+    produceSense_ = produceSense_ ? 0 : 1;
+    co_await ctx.bmSpinUntil(countAddr_,
+                             [](std::uint64_t v) { return v == 0; });
+}
+
+coro::Task<std::uint64_t>
+Multicaster::receive(core::ThreadCtx &ctx)
+{
+    // Reader senses start at 1, matching the producer's first toggle.
+    std::uint64_t &sense =
+        readerSenses_.try_emplace(ctx.tid(), 1).first->second;
+    const std::uint64_t want = sense;
+    sense = sense ? 0 : 1;
+    co_await ctx.bmSpinUntil(flagAddr_,
+                             [want](std::uint64_t v) { return v == want; });
+    const std::uint64_t data = co_await ctx.bmLoad(dataAddr_);
+    // fetch&add(count, -1).
+    co_await ctx.bmFetchAdd(countAddr_,
+                            static_cast<std::uint64_t>(-1));
+    co_return data;
+}
+
+} // namespace wisync::sync

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Synchronization on the Broadcast Memory (paper §4.3, Fig. 4).
+ *
+ * BmLock          — test&set on a BM word with AFB retry (§4.3.1)
+ * BmBarrier       — sense-reversing barrier with fetch&inc on the BM:
+ *                   the Data-channel barrier used by WiSyncNoT
+ *                   (§4.3.2); Count and Release pack into one entry's
+ *                   two halves conceptually — modelled as two words.
+ * ToneBarrier     — the hardware Tone-channel barrier (§4.3.3)
+ * BmOrBarrierImpl — eureka on a BM word (§4.3.2)
+ * BmReducer       — fetch&add reduction (§4.3.5)
+ * ProducerConsumer— full/empty flag protocol (§4.3.4)
+ * Multicaster     — single producer, N consumers with a count +
+ *                   toggling flag (Fig. 4(d))
+ */
+
+#ifndef WISYNC_SYNC_WISYNC_SYNC_HH
+#define WISYNC_SYNC_WISYNC_SYNC_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sync/primitives.hh"
+
+namespace wisync::sync {
+
+/** Allocate + PID-tag BM words at program setup (zero simulated cost;
+ *  the runtime allocation broadcast is exercised in tests). */
+sim::BmAddr setupBmWords(core::Machine &m, std::uint32_t words,
+                         sim::Pid pid);
+
+/** Spin lock on a BM word (test&set with AFB retry). */
+class BmLock : public Lock
+{
+  public:
+    BmLock(core::Machine &m, sim::Pid pid);
+
+    coro::Task<void> acquire(core::ThreadCtx &ctx) override;
+    coro::Task<void> release(core::ThreadCtx &ctx) override;
+
+  private:
+    sim::BmAddr addr_;
+};
+
+/** Sense-reversing fetch&inc barrier on the BM (Data channel only). */
+class BmBarrier : public Barrier
+{
+  public:
+    BmBarrier(core::Machine &m, sim::Pid pid, std::uint32_t participants);
+
+    coro::Task<void> wait(core::ThreadCtx &ctx) override;
+
+  private:
+    std::uint32_t participants_;
+    sim::BmAddr countAddr_;
+    sim::BmAddr releaseAddr_;
+    std::unordered_map<sim::ThreadId, std::uint64_t> senses_;
+};
+
+/**
+ * Hardware tone barrier (Fig. 4(c)).
+ *
+ * Construction registers the barrier in AllocB with the Armed bits of
+ * the participating nodes; construction fails (throws) if AllocB
+ * overflows — callers should use makeBarrier() in the factory, which
+ * falls back to a BmBarrier, as §4.4 prescribes.
+ */
+class ToneBarrier : public Barrier
+{
+  public:
+    ToneBarrier(core::Machine &m, sim::Pid pid,
+                const std::vector<sim::NodeId> &participants);
+    ~ToneBarrier() override;
+
+    coro::Task<void> wait(core::ThreadCtx &ctx) override;
+
+    sim::BmAddr address() const { return addr_; }
+
+  private:
+    core::Machine &machine_;
+    sim::BmAddr addr_;
+    std::unordered_map<sim::ThreadId, std::uint64_t> senses_;
+};
+
+/** Eureka on a BM word (§4.3.2), sense-reversing for reuse. */
+class BmOrBarrierImpl : public OrBarrier
+{
+  public:
+    BmOrBarrierImpl(core::Machine &m, sim::Pid pid);
+
+    coro::Task<void> trigger(core::ThreadCtx &ctx) override;
+    coro::Task<bool> poll(core::ThreadCtx &ctx) override;
+    coro::Task<void> await(core::ThreadCtx &ctx) override;
+    void reset() override;
+
+  private:
+    sim::BmAddr addr_;
+    std::uint64_t sense_ = 1;
+};
+
+/** fetch&add reduction cell on the BM. */
+class BmReducer : public Reducer
+{
+  public:
+    BmReducer(core::Machine &m, sim::Pid pid);
+
+    coro::Task<void> add(core::ThreadCtx &ctx, std::uint64_t delta)
+        override;
+    coro::Task<std::uint64_t> read(core::ThreadCtx &ctx) override;
+
+  private:
+    sim::BmAddr addr_;
+};
+
+/**
+ * Single-producer single-consumer channel over the BM (§4.3.4):
+ * a 4-word data block moved with bulk transfers plus a full/empty
+ * flag word.
+ */
+class ProducerConsumer
+{
+  public:
+    ProducerConsumer(core::Machine &m, sim::Pid pid);
+
+    /** Producer: publish 4 words, then block until consumed. */
+    coro::Task<void> produce(core::ThreadCtx &ctx,
+                             std::array<std::uint64_t, 4> values);
+
+    /** Consumer: block until produced, consume, clear the flag. */
+    coro::Task<std::array<std::uint64_t, 4>> consume(core::ThreadCtx &ctx);
+
+  private:
+    sim::BmAddr dataAddr_;
+    sim::BmAddr flagAddr_;
+};
+
+/**
+ * Single producer, N consumers (Fig. 4(d)): data word + count +
+ * toggling flag implementing a sense-reversing hand-off.
+ */
+class Multicaster
+{
+  public:
+    Multicaster(core::Machine &m, sim::Pid pid, std::uint32_t readers);
+
+    /** Producer: publish @p value and wait until all readers got it. */
+    coro::Task<void> publish(core::ThreadCtx &ctx, std::uint64_t value);
+
+    /** Reader: wait for the next publication and return it. */
+    coro::Task<std::uint64_t> receive(core::ThreadCtx &ctx);
+
+  private:
+    std::uint32_t readers_;
+    sim::BmAddr dataAddr_;
+    sim::BmAddr countAddr_;
+    sim::BmAddr flagAddr_;
+    std::uint64_t produceSense_ = 1;
+    std::unordered_map<sim::ThreadId, std::uint64_t> readerSenses_;
+};
+
+} // namespace wisync::sync
+
+#endif // WISYNC_SYNC_WISYNC_SYNC_HH

@@ -1,0 +1,129 @@
+#include "wireless/data_channel.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace wisync::wireless {
+
+DataChannel::DataChannel(sim::Engine &engine, const WirelessConfig &cfg)
+    : engine_(engine), cfg_(cfg)
+{
+    WISYNC_ASSERT(cfg_.collisionCycles < cfg_.dataCycles,
+                  "collision penalty must be below full transfer time");
+}
+
+coro::Task<DataChannel::Outcome>
+DataChannel::attempt(sim::NodeId src, bool bulk, sim::UniqueFunction &deliver,
+                     const std::function<bool()> *abort)
+{
+    (void)src;
+    // A ready transceiver waits for the cycle the channel is next
+    // expected to be free (§4.1); the horizon can move while waiting.
+    while (engine_.now() < nextFree_)
+        co_await coro::delay(engine_, nextFree_ - engine_.now());
+
+    Pending pending(engine_);
+    pending.bulk = bulk;
+    pending.deliver = &deliver;
+    pending.abort = abort;
+
+    if (openSlot_ != engine_.now()) {
+        openSlot_ = engine_.now();
+        slotAttempts_.clear();
+        // Arbitrate after every same-cycle attempt has registered.
+        engine_.scheduleIn(0, [this] { arbitrate(); });
+    }
+    slotAttempts_.push_back(&pending);
+    co_return co_await pending.done;
+}
+
+void
+DataChannel::arbitrate()
+{
+    std::vector<Pending *> attempts = std::move(slotAttempts_);
+    slotAttempts_.clear();
+    openSlot_ = sim::kCycleMax;
+    if (attempts.empty())
+        return;
+
+    // AFB semantics: a transmission whose abort predicate holds when
+    // the write is attempted never reaches the air.
+    std::vector<Pending *> live;
+    live.reserve(attempts.size());
+    for (Pending *p : attempts) {
+        if (p->abort && (*p->abort)())
+            p->done.set(Outcome::Aborted);
+        else
+            live.push_back(p);
+    }
+    attempts = std::move(live);
+    if (attempts.empty())
+        return;
+
+    if (attempts.size() == 1) {
+        Pending *p = attempts.front();
+        const std::uint32_t dur =
+            p->bulk ? cfg_.bulkCycles : cfg_.dataCycles;
+        nextFree_ = engine_.now() + dur;
+        stats_.busyCycles.inc(dur);
+        stats_.messages.inc();
+        if (p->bulk)
+            stats_.bulkMessages.inc();
+        // Delivery happens at the end of the transmission: the deliver
+        // callback is the total-order commit point for BM updates.
+        engine_.scheduleIn(dur, [p] {
+            if (*p->deliver)
+                (*p->deliver)();
+            p->done.set(Outcome::Delivered);
+        });
+        return;
+    }
+
+    // Two or more heads in the same slot: every transmitter aborts
+    // after the listen cycle; the channel frees after 2 cycles.
+    nextFree_ = engine_.now() + cfg_.collisionCycles;
+    stats_.collisions.inc();
+    stats_.busyCycles.inc(cfg_.collisionCycles);
+    engine_.scheduleIn(cfg_.collisionCycles,
+                       [attempts = std::move(attempts)] {
+                           for (Pending *p : attempts)
+                               p->done.set(Outcome::Collided);
+                       });
+}
+
+Mac::Mac(sim::Engine &engine, DataChannel &channel, sim::Rng rng)
+    : engine_(engine), channel_(channel), rng_(rng), order_(engine)
+{}
+
+coro::Task<void>
+Mac::send(bool bulk, sim::UniqueFunction deliver,
+          const std::function<bool()> *abort)
+{
+    // A node's broadcasts are strictly ordered (§4.2.1: no subsequent
+    // store proceeds until the current one performed).
+    co_await order_.lock();
+    for (;;) {
+        if (abort && (*abort)())
+            break; // cancelled before reaching the channel
+        const auto outcome =
+            co_await channel_.attempt(0, bulk, deliver, abort);
+        if (outcome == DataChannel::Outcome::Aborted)
+            break; // cancelled at the transmit slot (AFB)
+        if (outcome == DataChannel::Outcome::Delivered) {
+            if (backoffExp_ > 0)
+                --backoffExp_;
+            break;
+        }
+        // Collision: exponential backoff over [0, 2^i - 1] (§5.3).
+        retries_.inc();
+        if (backoffExp_ < channel_.config().maxBackoffExp)
+            ++backoffExp_;
+        const std::uint64_t window = (std::uint64_t{1} << backoffExp_) - 1;
+        if (window > 0)
+            co_await coro::delay(engine_, rng_.below(window + 1));
+    }
+    order_.unlock();
+}
+
+} // namespace wisync::wireless

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The shared wireless Data channel (paper §4.1).
+ *
+ * One 19 GHz-wide channel centred at 60 GHz, time-slotted in 1 ns
+ * (= 1 cycle) slots. A 77-bit message (64-bit datum + 11-bit address +
+ * Bulk bit + Tone bit) transfers in 5 cycles; cycle 2 is the collision
+ * listen slot, so a collision costs only 2 cycles before the channel
+ * frees. Bulk messages carry 4 words in 15 cycles (the 3 trailing
+ * words skip the collision check and headers).
+ *
+ * Arbitration matches the paper: a transceiver that becomes ready
+ * while the channel is busy waits until the cycle the channel is next
+ * expected to be free and transmits then — so bursts of ready senders
+ * collide, and the per-node MAC resolves the contention with
+ * exponential backoff (§5.3).
+ */
+
+#ifndef WISYNC_WIRELESS_DATA_CHANNEL_HH
+#define WISYNC_WIRELESS_DATA_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "coro/primitives.hh"
+#include "coro/task.hh"
+#include "sim/engine.hh"
+#include "sim/function.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace wisync::wireless {
+
+/** Wireless timing knobs (Table 1 defaults). */
+struct WirelessConfig
+{
+    /** Cycles to transmit an ordinary 77-bit message. */
+    std::uint32_t dataCycles = 5;
+    /** Cycles to transmit a 4-word Bulk message. */
+    std::uint32_t bulkCycles = 15;
+    /** Channel-busy cycles consumed by a collision. */
+    std::uint32_t collisionCycles = 2;
+    /** Maximum exponential-backoff exponent (window = 2^i - 1). */
+    std::uint32_t maxBackoffExp = 10;
+};
+
+/** Channel-level statistics. */
+struct DataChannelStats
+{
+    sim::Counter messages;
+    sim::Counter bulkMessages;
+    sim::Counter collisions;
+    /** Cycles the channel spent transmitting or recovering. */
+    sim::Counter busyCycles;
+    /** Latency from first attempt to delivery, per message. */
+    sim::Accumulator deliveryLatency;
+};
+
+/**
+ * The single shared Data channel.
+ *
+ * transmit() resolves when this sender's message has been delivered
+ * to every node; the caller-provided deliver callback runs exactly at
+ * the delivery instant (used by the BM layer to update all replicas
+ * in one atomic simulation step, giving the chip-wide total order of
+ * BM writes).
+ */
+class DataChannel
+{
+  public:
+    DataChannel(sim::Engine &engine, const WirelessConfig &cfg);
+
+    /** Outcome of one slot attempt. */
+    enum class Outcome
+    {
+        Delivered,
+        Collided,
+        /** Abort predicate fired when the transmit slot was won. */
+        Aborted,
+    };
+
+    /**
+     * Try once: contend for the next free slot, then either transmit
+     * fully (running @p deliver at the delivery instant), collide, or
+     * abort (the @p abort predicate is evaluated at arbitration time,
+     * i.e. "when the write is attempted" — the paper's AFB semantics).
+     * The MAC layers retries/backoff on top of this.
+     */
+    coro::Task<Outcome> attempt(sim::NodeId src, bool bulk,
+                                sim::UniqueFunction &deliver,
+                                const std::function<bool()> *abort);
+
+    /** First cycle a new transmission may start. */
+    sim::Cycle nextFree() const { return nextFree_; }
+
+    const DataChannelStats &stats() const { return stats_; }
+    const WirelessConfig &config() const { return cfg_; }
+
+    /** Utilisation bookkeeping: total busy cycles / elapsed cycles. */
+    double
+    utilisation() const
+    {
+        const auto now = engine_.now();
+        return now == 0 ? 0.0
+                        : static_cast<double>(stats_.busyCycles.value()) /
+                              static_cast<double>(now);
+    }
+
+  private:
+    struct Pending
+    {
+        explicit Pending(sim::Engine &eng) : done(eng) {}
+        bool bulk = false;
+        sim::UniqueFunction *deliver = nullptr;
+        const std::function<bool()> *abort = nullptr;
+        coro::Future<Outcome> done;
+    };
+
+    void arbitrate();
+
+    sim::Engine &engine_;
+    WirelessConfig cfg_;
+    sim::Cycle nextFree_ = 0;
+    /** Cycle of the slot currently collecting attempts (or kCycleMax). */
+    sim::Cycle openSlot_ = sim::kCycleMax;
+    std::vector<Pending *> slotAttempts_;
+    DataChannelStats stats_;
+};
+
+/**
+ * Per-node Medium Access Control.
+ *
+ * Serializes the node's broadcasts and implements the exponential
+ * backoff of §5.3: window [0, 2^i - 1], i incremented on collision,
+ * decremented on success.
+ */
+class Mac
+{
+  public:
+    Mac(sim::Engine &engine, DataChannel &channel, sim::Rng rng);
+
+    /**
+     * Broadcast one message, retrying through collisions until it is
+     * delivered. @p deliver runs at the delivery instant (total-order
+     * commit point). @p abort, if non-null and returning true when a
+     * slot is won, cancels the transmission (used for RMW atomicity
+     * failure: the instruction "neither broadcasts its value nor
+     * updates the local BM").
+     */
+    coro::Task<void> send(bool bulk, sim::UniqueFunction deliver,
+                          const std::function<bool()> *abort = nullptr);
+
+    std::uint32_t backoffExp() const { return backoffExp_; }
+    std::uint64_t retries() const { return retries_.value(); }
+
+  private:
+    sim::Engine &engine_;
+    DataChannel &channel_;
+    sim::Rng rng_;
+    coro::SimMutex order_;
+    std::uint32_t backoffExp_ = 0;
+    sim::Counter retries_;
+};
+
+} // namespace wisync::wireless
+
+#endif // WISYNC_WIRELESS_DATA_CHANNEL_HH

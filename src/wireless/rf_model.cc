@@ -1,0 +1,75 @@
+#include "wireless/rf_model.hh"
+
+#include <cmath>
+
+namespace wisync::wireless {
+
+RfSpec
+RfScalingModel::yu65Reference()
+{
+    return RfSpec{0.23, 31.2, 16.0, 60.0, 65};
+}
+
+RfSpec
+RfScalingModel::toneExtension22()
+{
+    // Scaled from the 65 nm antenna/transceiver data of [14, 49]:
+    // a 1 GHz-wide tone needs only trivial modulation hardware plus a
+    // small (90 GHz) zig-zag antenna.
+    return RfSpec{0.04, 2.0, 0.001, 90.0, 22};
+}
+
+RfSpec
+RfScalingModel::scale(const RfSpec &ref, int target_nm)
+{
+    const double ratio =
+        static_cast<double>(target_nm) / static_cast<double>(ref.techNm);
+    RfSpec out = ref;
+    out.techNm = target_nm;
+    out.areaMm2 = ref.areaMm2 * std::pow(ratio, kAreaExponent);
+    out.powerMw = ref.powerMw * std::pow(ratio, kPowerExponent);
+    // Bandwidth is held constant across the shrink (the conservative
+    // choice in §2; the alternative doubles bandwidth instead of
+    // saving power).
+    return out;
+}
+
+RfSpec
+RfScalingModel::wisyncTransceiver22()
+{
+    const RfSpec data = scale(yu65Reference(), 22);
+    const RfSpec tone = toneExtension22();
+    RfSpec total = data;
+    total.areaMm2 += tone.areaMm2;
+    total.powerMw += tone.powerMw;
+    return total;
+}
+
+std::vector<CoreSpec>
+RfScalingModel::referenceCores()
+{
+    // §7.1: 18-core Haswell @2.1 GHz is 135 W TDP -> ~5 W per core
+    // frequency-corrected; 8-core Avoton @1.7 GHz is 12 W -> ~1 W per
+    // core at 1 GHz. Areas from the literature.
+    return {
+        CoreSpec{"Xeon Haswell", 21.1, 5.0},
+        CoreSpec{"Atom Silvermont", 2.5, 1.0},
+    };
+}
+
+std::vector<Table4Row>
+RfScalingModel::table4()
+{
+    const RfSpec t2a = wisyncTransceiver22();
+    std::vector<Table4Row> rows;
+    for (const auto &core : referenceCores()) {
+        rows.push_back(Table4Row{
+            core.name,
+            t2a.areaMm2 / core.areaMm2 * 100.0,
+            t2a.powerMw / (core.powerW * 1000.0) * 100.0,
+        });
+    }
+    return rows;
+}
+
+} // namespace wisync::wireless

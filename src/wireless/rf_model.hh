@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Analytical RF transceiver area/power scaling model (paper §2, §7.1).
+ *
+ * The paper extrapolates the measured 65 nm transceiver+antenna of
+ * Yu et al. [51] (0.23 mm², 31.2 mW, 16 Gb/s at 60 GHz) to 22 nm:
+ * "a sublinear area scaling, more conservative than the linear trend
+ * used in related RF interconnect works [11,33], as well as a power
+ * reduction commensurate with the 1.67x scaling trend predicted in
+ * [11]" — landing on 0.1 mm² and 16 mW. The tone-channel extension
+ * (extra circuitry + a second 90 GHz antenna, scaled from [14,49])
+ * adds 0.04 mm² and 2 mW, for a 0.14 mm² / 18 mW total compared in
+ * Table 4 against a Xeon Haswell core (21.1 mm², ~5 W) and an Atom
+ * Silvermont core (2.5 mm², ~1 W).
+ *
+ * This module encodes that arithmetic: power-law tech scaling fitted
+ * through the paper's endpoints, plus the Table 4 comparison rows.
+ */
+
+#ifndef WISYNC_WIRELESS_RF_MODEL_HH
+#define WISYNC_WIRELESS_RF_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace wisync::wireless {
+
+/** A transceiver (+antenna) implementation point. */
+struct RfSpec
+{
+    double areaMm2;
+    double powerMw;
+    double bandwidthGbps;
+    double freqGhz;
+    int techNm;
+};
+
+/** A processor core for the Table 4 comparison. */
+struct CoreSpec
+{
+    std::string name;
+    double areaMm2;
+    double powerW; // TDP at 1 GHz-normalised operating point
+};
+
+/** One comparison row of Table 4. */
+struct Table4Row
+{
+    std::string name;
+    double areaPct;  // (T+2A area) / core area * 100
+    double powerPct; // (T+2A power) / core TDP * 100
+};
+
+/** The paper's RF scaling arithmetic. */
+class RfScalingModel
+{
+  public:
+    /** Sublinear area exponent: fits 0.23 mm² @65 nm -> 0.1 mm² @22 nm. */
+    static constexpr double kAreaExponent = 0.77;
+    /** Power exponent: fits 31.2 mW @65 nm -> 16 mW @22 nm. */
+    static constexpr double kPowerExponent = 0.616;
+
+    /** Yu et al. [51]: 65 nm, 16 Gb/s, 60 GHz transceiver + antenna. */
+    static RfSpec yu65Reference();
+
+    /** Tone support (extra circuitry + 90 GHz antenna) at 22 nm. */
+    static RfSpec toneExtension22();
+
+    /** Power-law scale @p ref from its node to @p target_nm. */
+    static RfSpec scale(const RfSpec &ref, int target_nm);
+
+    /** WiSync's per-node budget: scaled [51] + tone extension. */
+    static RfSpec wisyncTransceiver22();
+
+    /** The two reference cores of Table 4 (22 nm, per-core TDP). */
+    static std::vector<CoreSpec> referenceCores();
+
+    /** Compute Table 4: T+2A relative to each reference core. */
+    static std::vector<Table4Row> table4();
+};
+
+} // namespace wisync::wireless
+
+#endif // WISYNC_WIRELESS_RF_MODEL_HH

@@ -1,0 +1,178 @@
+#include "workloads/apps.hh"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/machine.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sync/factory.hh"
+#include "sync/baseline_sync.hh"
+#include "sync/wisync_sync.hh"
+
+namespace wisync::workloads {
+
+const std::vector<AppProfile> &
+appSuite()
+{
+    // Signatures calibrated to each application's published
+    // synchronization behaviour (see header / EXPERIMENTS.md):
+    // barrier-storm apps (streamcluster, ocean) have tiny phases;
+    // lock-bound apps (raytrace, radiosity) hammer small lock sets;
+    // most of the suites synchronize rarely.
+    //      name          suite      phases cmpInstr jit lk/ph hold #lk shr
+    static const std::vector<AppProfile> suite = {
+        {"blackscholes", "PARSEC",     5, 300000, 10,  0,   0,    1,  0},
+        {"bodytrack",    "PARSEC",    12,  40000, 20,  2, 200,   32,  8},
+        {"canneal",      "PARSEC",     8,  60000, 30,  0,   0,    1, 16},
+        {"dedup",        "PARSEC",    10,  20000, 30, 10, 300, 3000,  8},
+        {"facesim",      "PARSEC",    10,  50000, 20,  1, 200,   16,  8},
+        {"ferret",       "PARSEC",     8,  80000, 25,  2, 400,   64,  4},
+        {"fluidanimate", "PARSEC",    15,  30000, 20,  6, 100, 4000,  8},
+        {"freqmine",     "PARSEC",     8,  70000, 20,  1, 300,   32,  4},
+        {"streamcluster","PARSEC",    80,   1400,  5,  0,   0,    1,  2},
+        {"swaptions",    "PARSEC",     4, 400000, 10,  0,   0,    1,  0},
+        {"vips",         "PARSEC",     6, 150000, 15,  1, 200,   16,  2},
+        {"x264",         "PARSEC",     8, 100000, 20,  1, 150,   32,  4},
+        {"barnes",       "SPLASH-2",  10,  30000, 25,  4, 250,   64, 16},
+        {"cholesky",     "SPLASH-2",  12,  25000, 30,  3, 200,   32,  8},
+        {"fft",          "SPLASH-2",  10,  40000, 10,  0,   0,    1, 16},
+        {"fmm",          "SPLASH-2",  10,  35000, 25,  3, 250,   64, 12},
+        {"lu-c",         "SPLASH-2",  15,  30000, 15,  0,   0,    1,  8},
+        {"lu-nc",        "SPLASH-2",  15,  25000, 20,  0,   0,    1, 16},
+        {"ocean-c",      "SPLASH-2",  50,   3000, 10,  0,   0,    1,  8},
+        {"ocean-nc",     "SPLASH-2",  50,   3600, 12,  0,   0,    1, 10},
+        {"radiosity",    "SPLASH-2",  12,  60000, 30,  8, 200,   10,  8},
+        {"radix",        "SPLASH-2",  12,  30000, 10,  0,   0,    1, 12},
+        {"raytrace",     "SPLASH-2",  10,  60000, 30, 12, 150,    8,  4},
+        {"volrend",      "SPLASH-2",  12,  20000, 25,  4, 150,   16,  8},
+        {"water-ns",     "SPLASH-2",  20,  40000, 15,  8, 200,   12,  8},
+        {"water-sp",     "SPLASH-2",  12,  40000, 15,  2, 200,   32,  8},
+    };
+    return suite;
+}
+
+const AppProfile &
+appByName(const std::string &name)
+{
+    for (const auto &app : appSuite())
+        if (app.name == name)
+            return app;
+    WISYNC_FATAL("unknown application '%s'", name.c_str());
+}
+
+namespace {
+
+struct AppState
+{
+    core::Machine *machine = nullptr;
+    const AppProfile *profile = nullptr;
+    sync::Barrier *barrier = nullptr;
+    std::vector<std::unique_ptr<sync::Lock>> locks;
+    sim::Addr sharedBase = 0;
+    std::uint32_t sharedLineCount = 0;
+};
+
+coro::Task<void>
+appThread(core::ThreadCtx &ctx, AppState *st, std::uint32_t t)
+{
+    const AppProfile &p = *st->profile;
+    sim::Rng rng(st->machine->config().seed ^ (0x9E37ull * (t + 1)));
+    for (std::uint32_t phase = 0; phase < p.phases; ++phase) {
+        // Private compute with load imbalance.
+        std::uint64_t instr = p.computeInstr;
+        if (p.jitterPct > 0) {
+            const std::uint64_t span = instr * p.jitterPct / 100;
+            instr = instr - span + rng.below(2 * span + 1);
+        }
+        co_await ctx.compute(instr);
+
+        // Critical sections on a randomly chosen lock.
+        for (std::uint32_t l = 0; l < p.locksPerPhase; ++l) {
+            const auto idx = rng.below(st->locks.size());
+            sync::Lock &lk = *st->locks[idx];
+            co_await lk.acquire(ctx);
+            // The protected update is modelled as pipeline work; the
+            // lock words themselves carry the coherence traffic.
+            co_await ctx.compute(p.lockHoldInstr);
+            co_await lk.release(ctx);
+        }
+
+        // Unprotected shared-data traffic (coherence misses).
+        for (std::uint32_t s = 0; s < p.sharedLines; ++s) {
+            const sim::Addr line =
+                st->sharedBase + rng.below(st->sharedLineCount) * 64;
+            if (rng.chance(0.3))
+                co_await ctx.store(line, t);
+            else
+                co_await ctx.load(line);
+        }
+
+        co_await st->barrier->wait(ctx);
+    }
+}
+
+} // namespace
+
+KernelResult
+runApp(const AppProfile &profile, core::ConfigKind kind,
+       std::uint32_t cores, core::Variant variant)
+{
+    core::Machine machine(
+        core::MachineConfig::make(kind, cores, variant));
+    sync::SyncFactory factory(machine);
+
+    AppState st;
+    st.machine = &machine;
+    st.profile = &profile;
+    st.sharedLineCount = std::max(64u, profile.sharedLines * 8);
+    st.sharedBase = machine.allocMem(st.sharedLineCount * 64ull, 64);
+
+    std::vector<sim::NodeId> nodes;
+    for (sim::NodeId n = 0; n < cores; ++n)
+        nodes.push_back(n);
+    auto barrier = factory.makeBarrier(nodes);
+    st.barrier = barrier.get();
+
+    // Lock array: on WiSync configs each lock takes one BM word until
+    // the BM is exhausted, then falls back to plain memory (§6: dedup
+    // and fluidanimate overflow the 16 KB BM).
+    const std::uint32_t nlocks = std::max(1u, profile.numLocks);
+    st.locks.reserve(nlocks);
+    for (std::uint32_t l = 0; l < nlocks; ++l) {
+        if (machine.config().hasWireless()) {
+            try {
+                st.locks.push_back(
+                    std::make_unique<sync::BmLock>(machine, 1));
+                continue;
+            } catch (const std::runtime_error &) {
+                // BM exhausted: plain-memory lock.
+            }
+        }
+        if (machine.config().kind == core::ConfigKind::BaselinePlus)
+            st.locks.push_back(std::make_unique<sync::McsLock>(machine));
+        else
+            st.locks.push_back(std::make_unique<sync::TasLock>(machine));
+    }
+
+    for (sim::NodeId n = 0; n < cores; ++n) {
+        const std::uint32_t t = n;
+        machine.spawnThread(n, [&st, t](core::ThreadCtx &ctx) {
+            return appThread(ctx, &st, t);
+        });
+    }
+
+    KernelResult result;
+    result.completed = machine.run(8'000'000'000ull);
+    result.cycles = machine.engine().now();
+    result.operations = profile.phases;
+    if (machine.bm()) {
+        result.dataChannelUtilisation =
+            machine.bm()->dataChannel().utilisation();
+        result.collisions =
+            machine.bm()->dataChannel().stats().collisions.value();
+    }
+    return result;
+}
+
+} // namespace wisync::workloads

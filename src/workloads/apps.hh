@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Synthetic PARSEC + SPLASH-2 suite (paper §6, Fig. 10, Table 5).
+ *
+ * Substitution (see DESIGN.md): the paper runs the real suites on
+ * Multi2Sim; we model each application as a parameterized phase loop
+ * whose synchronization signature (barrier rate, lock rate and
+ * contention, critical-section length, shared-data traffic, load
+ * imbalance) is calibrated to the application's published behaviour.
+ * The synthetic app exercises exactly the code paths the paper
+ * measures — cached compute + coherence traffic + the configuration's
+ * lock/barrier library — so the *relative* speedups across the four
+ * configurations preserve the paper's shape.
+ *
+ * dedup and fluidanimate declare lock arrays larger than the 16 KB BM;
+ * as in §6, the first 16 KB of locks live in the BM and the rest fall
+ * back to plain memory.
+ */
+
+#ifndef WISYNC_WORKLOADS_APPS_HH
+#define WISYNC_WORKLOADS_APPS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "workloads/kernel_result.hh"
+
+namespace wisync::workloads {
+
+/** Synchronization signature of one application. */
+struct AppProfile
+{
+    std::string name;
+    std::string suite; // "PARSEC" or "SPLASH-2"
+    /** Outer iterations, one barrier each. */
+    std::uint32_t phases;
+    /** Instructions of private compute per thread per phase. */
+    std::uint32_t computeInstr;
+    /** Load imbalance: uniform jitter of +/- this percent. */
+    std::uint32_t jitterPct;
+    /** Lock acquisitions per thread per phase. */
+    std::uint32_t locksPerPhase;
+    /** Instructions held inside each critical section. */
+    std::uint32_t lockHoldInstr;
+    /** Size of the lock array (contention is inversely related). */
+    std::uint32_t numLocks;
+    /** Shared-line touches per thread per phase (coherence traffic). */
+    std::uint32_t sharedLines;
+};
+
+/** The 26 applications of Table 3 / Fig. 10, in figure order. */
+const std::vector<AppProfile> &appSuite();
+
+/** Look up a profile by name (fatal if unknown). */
+const AppProfile &appByName(const std::string &name);
+
+/** Run one app with one thread per core; operations = phases. */
+KernelResult runApp(const AppProfile &profile, core::ConfigKind kind,
+                    std::uint32_t cores,
+                    core::Variant variant = core::Variant::Default);
+
+} // namespace wisync::workloads
+
+#endif // WISYNC_WORKLOADS_APPS_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Common result record for kernel/application runs.
+ */
+
+#ifndef WISYNC_WORKLOADS_KERNEL_RESULT_HH
+#define WISYNC_WORKLOADS_KERNEL_RESULT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace wisync::workloads {
+
+/** Outcome of one simulated workload run. */
+struct KernelResult
+{
+    /** Total simulated execution time. */
+    sim::Cycle cycles = 0;
+    /** True if every thread finished before the run limit. */
+    bool completed = false;
+    /** Operations completed (kernel-specific: iterations, CASes...). */
+    std::uint64_t operations = 0;
+    /** Data-channel busy fraction (0 for wired configs). */
+    double dataChannelUtilisation = 0.0;
+    /** Wireless collisions observed (0 for wired configs). */
+    std::uint64_t collisions = 0;
+
+    double
+    opsPerKiloCycle() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(operations) * 1000.0 /
+                                 static_cast<double>(cycles);
+    }
+};
+
+} // namespace wisync::workloads
+
+#endif // WISYNC_WORKLOADS_KERNEL_RESULT_HH

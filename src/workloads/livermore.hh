@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Livermore loops 2, 3 and 6 (paper §6, Fig. 8).
+ *
+ * Following Sampson et al. [37], these three are the synchronization-
+ * representative Livermore kernels:
+ *
+ *   Loop 2 — ICCG (incomplete Cholesky conjugate gradient): a
+ *            log2(n)-level elimination tree, one barrier per level,
+ *            level work halving each time.
+ *   Loop 3 — inner product: fully parallel partial sums, one global
+ *            reduction + barrier.
+ *   Loop 6 — general linear recurrence: w[i] depends on all w[k<i];
+ *            each i is a parallel partial-sum + reduction + barrier,
+ *            so ~n barriers with growing work.
+ *
+ * Modelling note: timing charges one coherent load/store per touched
+ * 64 B line plus per-element compute; the element-level arithmetic is
+ * carried in the functional store and verified against the serial
+ * reference in tests (same functional/timing split as the rest of the
+ * simulator).
+ */
+
+#ifndef WISYNC_WORKLOADS_LIVERMORE_HH
+#define WISYNC_WORKLOADS_LIVERMORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "workloads/kernel_result.hh"
+
+namespace wisync::workloads {
+
+/** Which Livermore kernel. */
+enum class LivermoreLoop
+{
+    Iccg = 2,
+    InnerProduct = 3,
+    LinearRecurrence = 6,
+};
+
+/** Parameters for a Livermore run. */
+struct LivermoreParams
+{
+    /** Vector length n (paper sweeps 16..16384; 16..2048 for loop 6). */
+    std::uint32_t n = 256;
+    /** Kernel repetitions (first pass warms the caches). */
+    std::uint32_t passes = 2;
+};
+
+/** Run the kernel with one thread per core; operations = passes. */
+KernelResult runLivermore(LivermoreLoop loop, core::ConfigKind kind,
+                          std::uint32_t cores,
+                          const LivermoreParams &params = {},
+                          core::Variant variant =
+                              core::Variant::Default);
+
+/** Serial references used by the tests. */
+std::vector<std::uint64_t> iccgReference(std::vector<std::uint64_t> x,
+                                         const std::vector<std::uint64_t> &v,
+                                         std::uint32_t n);
+std::uint64_t innerProductReference(const std::vector<std::uint64_t> &z,
+                                    const std::vector<std::uint64_t> &x);
+/** b is row-major by i: element (i, k) at b[i*n + k]. */
+std::vector<std::uint64_t>
+linearRecurrenceReference(std::vector<std::uint64_t> w,
+                          const std::vector<std::uint64_t> &b,
+                          std::uint32_t n);
+
+/** Deterministic input element (i-th value of stream s). */
+std::uint64_t livermoreInput(std::uint32_t s, std::uint32_t i);
+
+/** Words needed for the padded ICCG x/v arrays. */
+std::uint64_t iccgArraySize(std::uint32_t n);
+
+/**
+ * Functional outputs of the last simulated pass, for verification
+ * (read back from the machine's functional memory by runLivermore
+ * when params.verify is set via this overload).
+ */
+struct LivermoreOutput
+{
+    KernelResult result;
+    std::vector<std::uint64_t> values; // x (loop 2), {q} (3), w (6)
+};
+
+LivermoreOutput runLivermoreVerified(LivermoreLoop loop,
+                                     core::ConfigKind kind,
+                                     std::uint32_t cores,
+                                     const LivermoreParams &params = {});
+
+} // namespace wisync::workloads
+
+#endif // WISYNC_WORKLOADS_LIVERMORE_HH

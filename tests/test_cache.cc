@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace {
+
+using wisync::mem::CacheArray;
+using wisync::mem::CacheLine;
+using wisync::mem::canRead;
+using wisync::mem::canWrite;
+using wisync::mem::CohState;
+using wisync::mem::isOwner;
+using wisync::sim::Addr;
+
+TEST(CacheArray, GeometryMatchesL1)
+{
+    CacheArray l1(32 * 1024, 2, 64);
+    EXPECT_EQ(l1.numSets(), 256u);
+    EXPECT_EQ(l1.assoc(), 2u);
+    EXPECT_EQ(l1.lineBytes(), 64u);
+}
+
+TEST(CacheArray, LineOfMasksOffset)
+{
+    CacheArray c(1024, 2, 64);
+    EXPECT_EQ(c.lineOf(0), 0u);
+    EXPECT_EQ(c.lineOf(63), 0u);
+    EXPECT_EQ(c.lineOf(64), 64u);
+    EXPECT_EQ(c.lineOf(0x12345), static_cast<Addr>(0x12340));
+}
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray c(1024, 2, 64);
+    EXPECT_EQ(c.lookup(0x100), nullptr);
+    CacheLine *slot = c.victimFor(0x100);
+    ASSERT_NE(slot, nullptr);
+    c.install(slot, 0x100, CohState::Shared);
+    CacheLine *hit = c.lookup(0x100);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->state, CohState::Shared);
+}
+
+TEST(CacheArray, VictimPrefersInvalidWay)
+{
+    CacheArray c(1024, 2, 64); // 8 sets
+    c.install(c.victimFor(0x000), 0x000, CohState::Modified);
+    // Same set (stride = sets * line = 512).
+    CacheLine *v = c.victimFor(0x200);
+    EXPECT_FALSE(v->valid());
+}
+
+TEST(CacheArray, LruEvictsColdestWay)
+{
+    CacheArray c(1024, 2, 64); // 8 sets, 2 ways
+    c.install(c.victimFor(0x000), 0x000, CohState::Shared);
+    c.install(c.victimFor(0x200), 0x200, CohState::Shared);
+    // Touch 0x000 so 0x200 becomes LRU.
+    c.lookup(0x000);
+    CacheLine *v = c.victimFor(0x400);
+    ASSERT_TRUE(v->valid());
+    EXPECT_EQ(v->lineAddr, 0x200u);
+}
+
+TEST(CacheArray, PeekDoesNotTouchLru)
+{
+    CacheArray c(1024, 2, 64);
+    c.install(c.victimFor(0x000), 0x000, CohState::Shared);
+    c.install(c.victimFor(0x200), 0x200, CohState::Shared);
+    // Peek (not lookup) 0x000: it stays LRU and gets evicted.
+    c.peek(0x000);
+    CacheLine *v = c.victimFor(0x400);
+    ASSERT_TRUE(v->valid());
+    EXPECT_EQ(v->lineAddr, 0x000u);
+}
+
+TEST(CohStateHelpers, PermissionsTable)
+{
+    EXPECT_FALSE(canRead(CohState::Invalid));
+    EXPECT_TRUE(canRead(CohState::Shared));
+    EXPECT_TRUE(canRead(CohState::Owned));
+    EXPECT_TRUE(canRead(CohState::Exclusive));
+    EXPECT_TRUE(canRead(CohState::Modified));
+
+    EXPECT_FALSE(canWrite(CohState::Invalid));
+    EXPECT_FALSE(canWrite(CohState::Shared));
+    EXPECT_FALSE(canWrite(CohState::Owned));
+    EXPECT_TRUE(canWrite(CohState::Exclusive));
+    EXPECT_TRUE(canWrite(CohState::Modified));
+
+    EXPECT_FALSE(isOwner(CohState::Invalid));
+    EXPECT_FALSE(isOwner(CohState::Shared));
+    EXPECT_TRUE(isOwner(CohState::Owned));
+    EXPECT_TRUE(isOwner(CohState::Exclusive));
+    EXPECT_TRUE(isOwner(CohState::Modified));
+}
+
+TEST(CacheArray, DistinctSetsDoNotConflict)
+{
+    CacheArray c(1024, 2, 64); // 8 sets
+    for (Addr a = 0; a < 8 * 64; a += 64)
+        c.install(c.victimFor(a), a, CohState::Shared);
+    for (Addr a = 0; a < 8 * 64; a += 64)
+        EXPECT_NE(c.lookup(a), nullptr) << "line " << a;
+}
+
+} // namespace

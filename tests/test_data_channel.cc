@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit and property tests for the wireless Data channel + MAC.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coro/primitives.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+#include "wireless/data_channel.hh"
+
+namespace {
+
+using wisync::coro::delay;
+using wisync::coro::spawnNow;
+using wisync::coro::Task;
+using wisync::sim::Cycle;
+using wisync::sim::Engine;
+using wisync::sim::UniqueFunction;
+using wisync::wireless::DataChannel;
+using wisync::wireless::Mac;
+using wisync::wireless::WirelessConfig;
+
+struct Net
+{
+    explicit Net(std::uint32_t nodes)
+        : channel(engine, WirelessConfig{})
+    {
+        wisync::sim::Rng seeder(1234);
+        for (std::uint32_t n = 0; n < nodes; ++n)
+            macs.push_back(
+                std::make_unique<Mac>(engine, channel, seeder.fork()));
+    }
+
+    Engine engine;
+    DataChannel channel;
+    std::vector<std::unique_ptr<Mac>> macs;
+};
+
+TEST(DataChannel, SingleMessageTakesFiveCycles)
+{
+    Net net(4);
+    Cycle delivered_at = 0, done_at = 0;
+    spawnNow(net.engine, [&]() -> Task<void> {
+        co_await net.macs[0]->send(
+            false, [&] { delivered_at = net.engine.now(); });
+        done_at = net.engine.now();
+    });
+    net.engine.run();
+    EXPECT_EQ(delivered_at, 5u);
+    EXPECT_EQ(done_at, 5u);
+    EXPECT_EQ(net.channel.stats().messages.value(), 1u);
+    EXPECT_EQ(net.channel.stats().collisions.value(), 0u);
+}
+
+TEST(DataChannel, BulkMessageTakesFifteenCycles)
+{
+    Net net(4);
+    Cycle delivered_at = 0;
+    spawnNow(net.engine, [&]() -> Task<void> {
+        co_await net.macs[0]->send(
+            true, [&] { delivered_at = net.engine.now(); });
+    });
+    net.engine.run();
+    EXPECT_EQ(delivered_at, 15u);
+    EXPECT_EQ(net.channel.stats().bulkMessages.value(), 1u);
+}
+
+TEST(DataChannel, BackToBackMessagesSerialize)
+{
+    Net net(4);
+    std::vector<Cycle> deliveries;
+    auto sender = [&](int mac) -> Task<void> {
+        co_await net.macs[static_cast<std::size_t>(mac)]->send(
+            false, [&] { deliveries.push_back(net.engine.now()); });
+    };
+    // Start the second sender while the first transmission is flying:
+    // it must wait for the expected-free cycle, no collision.
+    spawnNow(net.engine, sender, 0);
+    spawnNow(net.engine, [&]() -> Task<void> {
+        co_await delay(net.engine, 2);
+        co_await sender(1);
+    });
+    net.engine.run();
+    ASSERT_EQ(deliveries.size(), 2u);
+    EXPECT_EQ(deliveries[0], 5u);
+    EXPECT_EQ(deliveries[1], 10u);
+    EXPECT_EQ(net.channel.stats().collisions.value(), 0u);
+}
+
+TEST(DataChannel, SimultaneousSendersCollideThenResolve)
+{
+    Net net(2);
+    std::vector<Cycle> deliveries;
+    auto sender = [&](int mac) -> Task<void> {
+        co_await net.macs[static_cast<std::size_t>(mac)]->send(
+            false, [&] { deliveries.push_back(net.engine.now()); });
+    };
+    spawnNow(net.engine, sender, 0);
+    spawnNow(net.engine, sender, 1);
+    net.engine.run();
+    ASSERT_EQ(deliveries.size(), 2u);
+    EXPECT_GE(net.channel.stats().collisions.value(), 1u);
+    EXPECT_EQ(net.channel.stats().messages.value(), 2u);
+    // Both must eventually deliver, strictly ordered.
+    EXPECT_LT(deliveries[0], deliveries[1]);
+}
+
+TEST(DataChannel, CollisionCostsTwoCyclesNotFive)
+{
+    // Force one collision with deterministic outcome: after the 2-cycle
+    // penalty both back off; eventually one wins. The channel must be
+    // free again at cycle 2, not 5: a third sender arriving at cycle 2
+    // can grab the slot if the colliders backed off.
+    Net net(3);
+    Cycle third_delivery = 0;
+    auto sender = [&](int mac) -> Task<void> {
+        co_await net.macs[static_cast<std::size_t>(mac)]->send(false, [] {});
+    };
+    spawnNow(net.engine, sender, 0);
+    spawnNow(net.engine, sender, 1);
+    spawnNow(net.engine, [&]() -> Task<void> {
+        co_await delay(net.engine, 3);
+        co_await net.macs[2]->send(
+            false, [&] { third_delivery = net.engine.now(); });
+    });
+    net.engine.run();
+    // The third sender saw nextFree <= 3 + something small; if the
+    // collision had blocked the channel for 5 cycles it could not
+    // deliver before cycle 8+5.
+    EXPECT_GT(third_delivery, 0u);
+    EXPECT_GE(net.channel.stats().collisions.value(), 1u);
+}
+
+TEST(DataChannel, TotalOrderOfDeliveries)
+{
+    // Deliveries are the commit points; they must be strictly ordered
+    // in time (single channel => chip-wide total order of BM writes).
+    Net net(8);
+    std::vector<Cycle> deliveries;
+    auto sender = [&](int mac, int msgs) -> Task<void> {
+        for (int i = 0; i < msgs; ++i)
+            co_await net.macs[static_cast<std::size_t>(mac)]->send(
+                false, [&] { deliveries.push_back(net.engine.now()); });
+    };
+    for (int m = 0; m < 8; ++m)
+        spawnNow(net.engine, sender, m, 5);
+    net.engine.run();
+    ASSERT_EQ(deliveries.size(), 40u);
+    for (std::size_t i = 1; i < deliveries.size(); ++i)
+        EXPECT_LT(deliveries[i - 1], deliveries[i]);
+}
+
+TEST(DataChannel, AbortedSendNeverDelivers)
+{
+    Net net(2);
+    bool delivered = false;
+    bool abort_now = true;
+    std::function<bool()> abort = [&] { return abort_now; };
+    spawnNow(net.engine, [&]() -> Task<void> {
+        co_await net.macs[0]->send(false, [&] { delivered = true; },
+                                   &abort);
+    });
+    net.engine.run();
+    EXPECT_FALSE(delivered);
+    EXPECT_EQ(net.channel.stats().messages.value(), 0u);
+}
+
+TEST(DataChannel, BackoffExponentTracksOutcomes)
+{
+    Net net(2);
+    EXPECT_EQ(net.macs[0]->backoffExp(), 0u);
+    auto sender = [&](int mac) -> Task<void> {
+        co_await net.macs[static_cast<std::size_t>(mac)]->send(false, [] {});
+    };
+    spawnNow(net.engine, sender, 0);
+    spawnNow(net.engine, sender, 1);
+    net.engine.run();
+    // After resolving, each MAC collided at least once (exp bumped)
+    // and succeeded once (exp decremented): net <= retries.
+    EXPECT_GE(net.macs[0]->retries() + net.macs[1]->retries(), 2u);
+}
+
+TEST(DataChannel, ManySendersAllDeliverUnderContention)
+{
+    constexpr int kMacs = 32;
+    constexpr int kMsgs = 10;
+    Net net(kMacs);
+    int delivered = 0;
+    auto sender = [&](int mac) -> Task<void> {
+        for (int i = 0; i < kMsgs; ++i)
+            co_await net.macs[static_cast<std::size_t>(mac)]->send(
+                false, [&] { ++delivered; });
+    };
+    for (int m = 0; m < kMacs; ++m)
+        spawnNow(net.engine, sender, m);
+    ASSERT_TRUE(net.engine.run(10'000'000));
+    EXPECT_EQ(delivered, kMacs * kMsgs);
+    EXPECT_EQ(net.channel.stats().messages.value(),
+              static_cast<std::uint64_t>(kMacs) * kMsgs);
+    // Exponential backoff keeps goodput reasonable: 320 messages of 5
+    // cycles is 1600 busy cycles; allow generous contention overhead.
+    EXPECT_LT(net.engine.now(), 20'000u);
+}
+
+TEST(DataChannel, UtilisationIsBusyFraction)
+{
+    Net net(2);
+    spawnNow(net.engine, [&]() -> Task<void> {
+        co_await net.macs[0]->send(false, [] {});
+        co_await delay(net.engine, 95);
+    });
+    net.engine.run();
+    EXPECT_EQ(net.engine.now(), 100u);
+    EXPECT_NEAR(net.channel.utilisation(), 0.05, 1e-9);
+}
+
+TEST(DataChannel, DeterministicUnderSameSeeds)
+{
+    auto run = [] {
+        Net net(16);
+        auto sender = [&](int mac) -> Task<void> {
+            for (int i = 0; i < 5; ++i)
+                co_await net.macs[static_cast<std::size_t>(mac)]->send(
+                    false, [] {});
+        };
+        for (int m = 0; m < 16; ++m)
+            spawnNow(net.engine, sender, m);
+        net.engine.run();
+        return net.engine.now();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace

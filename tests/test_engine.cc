@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace {
+
+using wisync::sim::Cycle;
+using wisync::sim::Engine;
+
+TEST(Engine, StartsAtCycleZero)
+{
+    Engine eng;
+    EXPECT_EQ(eng.now(), 0u);
+    EXPECT_EQ(eng.pendingEvents(), 0u);
+}
+
+TEST(Engine, ExecutesInTimeOrder)
+{
+    Engine eng;
+    std::vector<int> order;
+    eng.schedule(30, [&] { order.push_back(3); });
+    eng.schedule(10, [&] { order.push_back(1); });
+    eng.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eng.now(), 30u);
+}
+
+TEST(Engine, SameCycleEventsRunInInsertionOrder)
+{
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eng.schedule(5, [&order, i] { order.push_back(i); });
+    eng.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents)
+{
+    Engine eng;
+    int fired = 0;
+    eng.schedule(1, [&] {
+        ++fired;
+        eng.scheduleIn(4, [&] { ++fired; });
+    });
+    eng.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eng.now(), 5u);
+}
+
+TEST(Engine, RunHonorsCycleLimit)
+{
+    Engine eng;
+    int fired = 0;
+    eng.schedule(10, [&] { ++fired; });
+    eng.schedule(100, [&] { ++fired; });
+    EXPECT_FALSE(eng.run(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eng.now(), 50u);
+    // Resume past the limit.
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eng.now(), 100u);
+}
+
+TEST(Engine, StopEndsRunEarly)
+{
+    Engine eng;
+    int fired = 0;
+    eng.schedule(1, [&] {
+        ++fired;
+        eng.stop();
+    });
+    eng.schedule(2, [&] { ++fired; });
+    EXPECT_FALSE(eng.run());
+    EXPECT_EQ(fired, 1);
+    eng.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CountsExecutedEvents)
+{
+    Engine eng;
+    for (int i = 0; i < 100; ++i)
+        eng.schedule(static_cast<Cycle>(i), [] {});
+    eng.run();
+    EXPECT_EQ(eng.eventsExecuted(), 100u);
+}
+
+TEST(Engine, ZeroDelaySelfScheduleMakesProgress)
+{
+    Engine eng;
+    int depth = 0;
+    std::function<void()> step = [&] {
+        if (++depth < 1000)
+            eng.scheduleIn(0, [&] { step(); });
+    };
+    eng.schedule(0, [&] { step(); });
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(depth, 1000);
+    EXPECT_EQ(eng.now(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Randomized cross-module fuzz: threads on every configuration issue
+ * random mixes of memory ops, BM ops, locks and barriers; the run
+ * must complete, preserve value invariants, keep BM replicas
+ * identical, and be bit-for-bit deterministic across repeats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.hh"
+#include "sim/rng.hh"
+#include "sync/factory.hh"
+
+namespace {
+
+using wisync::core::ConfigKind;
+using wisync::core::Machine;
+using wisync::core::MachineConfig;
+using wisync::core::ThreadCtx;
+using wisync::coro::Task;
+using wisync::sim::Addr;
+using wisync::sim::NodeId;
+
+/** Everything a fuzz thread needs, owned by the driving test frame. */
+struct FuzzEnv
+{
+    wisync::sync::Barrier *barrier;
+    wisync::sync::Lock *lock;
+    Addr counter;
+    Addr shared;
+    wisync::sim::BmAddr bmCounter;
+    std::uint64_t seed;
+    int ops;
+};
+
+Task<void>
+fuzzThread(ThreadCtx &ctx, const FuzzEnv *env, NodeId n)
+{
+    wisync::sim::Rng rng(env->seed ^ (n * 0x9E3779B97F4A7C15ull + 1));
+    const bool has_bm = ctx.machine().bm() != nullptr;
+    for (int i = 0; i < env->ops; ++i) {
+        switch (rng.below(has_bm ? 6 : 5)) {
+          case 0:
+            co_await ctx.compute(rng.between(1, 200));
+            break;
+          case 1:
+            co_await ctx.load(env->shared + rng.below(64) * 64);
+            break;
+          case 2:
+            co_await ctx.store(env->shared + rng.below(64) * 64,
+                               rng.next());
+            break;
+          case 3:
+            co_await ctx.fetchAdd(env->counter, 1);
+            break;
+          case 4: {
+            co_await env->lock->acquire(ctx);
+            const auto v = co_await ctx.load(env->counter);
+            co_await ctx.store(env->counter, v + 1);
+            co_await env->lock->release(ctx);
+            break;
+          }
+          case 5:
+            co_await ctx.bmFetchAdd(env->bmCounter, 1);
+            break;
+        }
+    }
+    co_await env->barrier->wait(ctx);
+}
+
+struct FuzzResult
+{
+    wisync::sim::Cycle cycles = 0;
+    std::uint64_t counter = 0;
+    std::uint64_t bmCounter = 0;
+    bool replicasOk = false;
+    bool completed = false;
+};
+
+FuzzResult
+fuzzRun(ConfigKind kind, std::uint64_t seed, std::uint32_t threads,
+        int ops_per_thread)
+{
+    auto cfg = MachineConfig::make(kind, threads);
+    cfg.seed = seed;
+    Machine m(cfg);
+    wisync::sync::SyncFactory factory(m);
+    std::vector<NodeId> nodes;
+    for (NodeId n = 0; n < threads; ++n)
+        nodes.push_back(n);
+    auto barrier = factory.makeBarrier(nodes);
+    auto lock = factory.makeLock();
+
+    FuzzEnv env;
+    env.barrier = barrier.get();
+    env.lock = lock.get();
+    env.counter = m.allocMem(64, 64);
+    env.shared = m.allocMem(64 * 64, 64);
+    env.bmCounter = 0;
+    env.seed = seed;
+    env.ops = ops_per_thread;
+    if (m.bm()) {
+        EXPECT_TRUE(m.allocBm(1, env.bmCounter));
+        m.bm()->storeArray().setTag(env.bmCounter, 1);
+    }
+
+    for (NodeId n = 0; n < threads; ++n) {
+        m.spawnThread(n, [&env, n](ThreadCtx &ctx) {
+            return fuzzThread(ctx, &env, n);
+        });
+    }
+
+    FuzzResult r;
+    r.completed = m.run(400'000'000ull);
+    r.cycles = m.engine().now();
+    r.counter = m.memory().read64(env.counter);
+    r.bmCounter =
+        m.bm() ? m.bm()->storeArray().read(0, env.bmCounter) : 0;
+    r.replicasOk =
+        m.bm() ? m.bm()->storeArray().replicasConsistent() : true;
+    return r;
+}
+
+class FuzzAllConfigs : public ::testing::TestWithParam<ConfigKind>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Configs, FuzzAllConfigs,
+                         ::testing::Values(ConfigKind::Baseline,
+                                           ConfigKind::BaselinePlus,
+                                           ConfigKind::WiSyncNoT,
+                                           ConfigKind::WiSync));
+
+TEST_P(FuzzAllConfigs, RandomMixPreservesInvariants)
+{
+    const auto r = fuzzRun(GetParam(), 0xC0FFEE, 8, 40);
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.replicasOk);
+    // The counter only receives +1 ops (atomic or lock-guarded), at
+    // most ops_per_thread per thread; none may be lost or invented.
+    EXPECT_GT(r.counter + r.bmCounter, 0u);
+    EXPECT_LE(r.counter + r.bmCounter, 8u * 40u);
+}
+
+TEST_P(FuzzAllConfigs, DeterministicAcrossRepeats)
+{
+    const auto a = fuzzRun(GetParam(), 1234, 8, 30);
+    const auto b = fuzzRun(GetParam(), 1234, 8, 30);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.counter, b.counter);
+    EXPECT_EQ(a.bmCounter, b.bmCounter);
+}
+
+TEST_P(FuzzAllConfigs, DifferentSeedsDiverge)
+{
+    const auto a = fuzzRun(GetParam(), 1, 8, 30);
+    const auto b = fuzzRun(GetParam(), 2, 8, 30);
+    // Same op counts, different interleavings: almost surely
+    // different finishing times.
+    EXPECT_NE(a.cycles, b.cycles);
+}
+
+/** Heavier sweep: more threads and ops, both wireless configs. */
+class FuzzScale
+    : public ::testing::TestWithParam<std::tuple<ConfigKind, int>>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzScale,
+    ::testing::Combine(::testing::Values(ConfigKind::WiSyncNoT,
+                                         ConfigKind::WiSync),
+                       ::testing::Values(16, 32)));
+
+TEST_P(FuzzScale, ScalesWithoutInvariantViolations)
+{
+    const auto [kind, threads] = GetParam();
+    const auto r =
+        fuzzRun(kind, 777, static_cast<std::uint32_t>(threads), 25);
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.replicasOk);
+}
+
+} // namespace

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Unit, integration, and property tests for the MOESI hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "coro/primitives.hh"
+#include "mem/mem_system.hh"
+#include "noc/mesh.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+using wisync::coro::spawnNow;
+using wisync::coro::Task;
+using wisync::mem::CohState;
+using wisync::mem::MemConfig;
+using wisync::mem::Memory;
+using wisync::mem::MemSystem;
+using wisync::noc::Mesh;
+using wisync::noc::MeshConfig;
+using wisync::sim::Addr;
+using wisync::sim::Cycle;
+using wisync::sim::Engine;
+using wisync::sim::NodeId;
+
+/** A small chip: engine + mesh + memory + hierarchy. */
+struct Chip
+{
+    explicit Chip(std::uint32_t nodes, bool tree = false)
+        : mesh(engine, meshCfg(nodes, tree)),
+          mem(engine, mesh, memory, nodes, MemConfig{})
+    {}
+
+    static MeshConfig
+    meshCfg(std::uint32_t nodes, bool tree)
+    {
+        MeshConfig c;
+        c.numNodes = nodes;
+        c.treeMulticast = tree;
+        return c;
+    }
+
+    Engine engine;
+    Mesh mesh;
+    Memory memory;
+    MemSystem mem;
+};
+
+TEST(MemSystem, ColdLoadGoesToDram)
+{
+    Chip chip(16);
+    Cycle done = 0;
+    std::uint64_t val = 1;
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        val = co_await chip.mem.load(0, 0x10000);
+        done = chip.engine.now();
+    });
+    chip.engine.run();
+    EXPECT_EQ(val, 0u);
+    // Must include the 110-cycle DRAM round trip.
+    EXPECT_GT(done, 110u);
+    EXPECT_EQ(chip.mem.stats().dramFetches.value(), 1u);
+    EXPECT_EQ(chip.mem.stats().l1Misses.value(), 1u);
+}
+
+TEST(MemSystem, SecondLoadHitsL1AtConfiguredLatency)
+{
+    Chip chip(16);
+    Cycle first = 0, second = 0;
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        co_await chip.mem.load(0, 0x10000);
+        first = chip.engine.now();
+        co_await chip.mem.load(0, 0x10000);
+        second = chip.engine.now();
+    });
+    chip.engine.run();
+    EXPECT_EQ(second - first, 2u); // L1 RT
+    EXPECT_EQ(chip.mem.stats().l1Hits.value(), 1u);
+}
+
+TEST(MemSystem, SoleReaderGetsExclusive)
+{
+    Chip chip(16);
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        co_await chip.mem.load(3, 0x20000);
+    });
+    chip.engine.run();
+    EXPECT_EQ(chip.mem.l1State(3, 0x20000), CohState::Exclusive);
+}
+
+TEST(MemSystem, ExclusiveUpgradesToModifiedSilently)
+{
+    Chip chip(16);
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        co_await chip.mem.load(3, 0x20000);
+        const auto misses = chip.mem.stats().l1Misses.value();
+        co_await chip.mem.store(3, 0x20000, 42);
+        // The store must not be a miss or an upgrade transaction.
+        EXPECT_EQ(chip.mem.stats().l1Misses.value(), misses);
+        EXPECT_EQ(chip.mem.stats().upgrades.value(), 0u);
+    });
+    chip.engine.run();
+    EXPECT_EQ(chip.mem.l1State(3, 0x20000), CohState::Modified);
+    EXPECT_EQ(chip.memory.read64(0x20000), 42u);
+}
+
+TEST(MemSystem, ReadAfterRemoteWriteSuppliesDirtyData)
+{
+    Chip chip(16);
+    std::uint64_t seen = 0;
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        co_await chip.mem.store(0, 0x30000, 1234);
+        seen = co_await chip.mem.load(5, 0x30000);
+    });
+    chip.engine.run();
+    EXPECT_EQ(seen, 1234u);
+    // MOESI: writer keeps the dirty line in Owned; reader is Shared.
+    EXPECT_EQ(chip.mem.l1State(0, 0x30000), CohState::Owned);
+    EXPECT_EQ(chip.mem.l1State(5, 0x30000), CohState::Shared);
+}
+
+TEST(MemSystem, WriteInvalidatesAllSharers)
+{
+    Chip chip(16);
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        co_await chip.mem.load(0, 0x40000);
+        co_await chip.mem.load(1, 0x40000);
+        co_await chip.mem.load(2, 0x40000);
+        co_await chip.mem.store(3, 0x40000, 9);
+    });
+    chip.engine.run();
+    EXPECT_EQ(chip.mem.l1State(0, 0x40000), CohState::Invalid);
+    EXPECT_EQ(chip.mem.l1State(1, 0x40000), CohState::Invalid);
+    EXPECT_EQ(chip.mem.l1State(2, 0x40000), CohState::Invalid);
+    EXPECT_EQ(chip.mem.l1State(3, 0x40000), CohState::Modified);
+    EXPECT_GE(chip.mem.stats().invalidations.value(), 3u);
+}
+
+TEST(MemSystem, UpgradeFromSharedCountsAsUpgrade)
+{
+    Chip chip(16);
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        co_await chip.mem.load(0, 0x50000);
+        co_await chip.mem.load(1, 0x50000); // both Shared now
+        co_await chip.mem.store(0, 0x50000, 5);
+    });
+    chip.engine.run();
+    EXPECT_EQ(chip.mem.stats().upgrades.value(), 1u);
+    EXPECT_EQ(chip.mem.l1State(0, 0x50000), CohState::Modified);
+    EXPECT_EQ(chip.mem.l1State(1, 0x50000), CohState::Invalid);
+}
+
+TEST(MemSystem, CasSemantics)
+{
+    Chip chip(16);
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        auto r1 = co_await chip.mem.cas(0, 0x60000, 0, 10);
+        EXPECT_TRUE(r1.success);
+        EXPECT_EQ(r1.oldValue, 0u);
+        auto r2 = co_await chip.mem.cas(1, 0x60000, 0, 20);
+        EXPECT_FALSE(r2.success);
+        EXPECT_EQ(r2.oldValue, 10u);
+        auto r3 = co_await chip.mem.cas(1, 0x60000, 10, 20);
+        EXPECT_TRUE(r3.success);
+    });
+    chip.engine.run();
+    EXPECT_EQ(chip.memory.read64(0x60000), 20u);
+}
+
+TEST(MemSystem, FetchAddReturnsOldAndAccumulates)
+{
+    Chip chip(16);
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        EXPECT_EQ(co_await chip.mem.fetchAdd(0, 0x70000, 5), 0u);
+        EXPECT_EQ(co_await chip.mem.fetchAdd(1, 0x70000, 3), 5u);
+        EXPECT_EQ(co_await chip.mem.fetchAdd(0, 0x70000, 1), 8u);
+    });
+    chip.engine.run();
+    EXPECT_EQ(chip.memory.read64(0x70000), 9u);
+}
+
+TEST(MemSystem, TestAndSetReturnsPrevious)
+{
+    Chip chip(16);
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        EXPECT_EQ(co_await chip.mem.testAndSet(0, 0x71000), 0u);
+        EXPECT_EQ(co_await chip.mem.testAndSet(1, 0x71000), 1u);
+    });
+    chip.engine.run();
+    EXPECT_EQ(chip.memory.read64(0x71000), 1u);
+}
+
+/** Property: concurrent fetchAdd from all nodes never loses updates. */
+class FetchAddSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(FetchAddSweep, NoLostUpdates)
+{
+    const std::uint32_t nodes = GetParam();
+    Chip chip(nodes);
+    constexpr int kIters = 20;
+    const Addr counter = 0x80000;
+
+    auto worker = [&](NodeId n) -> Task<void> {
+        for (int i = 0; i < kIters; ++i)
+            co_await chip.mem.fetchAdd(n, counter, 1);
+    };
+    for (NodeId n = 0; n < nodes; ++n)
+        spawnNow(chip.engine, worker, n);
+    ASSERT_TRUE(chip.engine.run(50'000'000));
+    EXPECT_EQ(chip.memory.read64(counter),
+              static_cast<std::uint64_t>(nodes) * kIters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FetchAddSweep,
+                         ::testing::Values(2u, 4u, 16u, 64u));
+
+/** Property: concurrent CAS — exactly one winner per round. */
+TEST(MemSystem, ConcurrentCasSingleWinnerPerRound)
+{
+    constexpr std::uint32_t kNodes = 16;
+    Chip chip(kNodes);
+    const Addr slot = 0x90000;
+    int wins = 0;
+
+    auto contender = [&](NodeId n) -> Task<void> {
+        const auto r = co_await chip.mem.cas(n, slot, 0, n + 1);
+        if (r.success)
+            ++wins;
+    };
+    for (NodeId n = 0; n < kNodes; ++n)
+        spawnNow(chip.engine, contender, n);
+    chip.engine.run();
+    EXPECT_EQ(wins, 1);
+    const auto v = chip.memory.read64(slot);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, kNodes);
+}
+
+TEST(MemSystem, SpinUntilWakesOnWrite)
+{
+    Chip chip(16);
+    const Addr flag = 0xA0000;
+    Cycle woke_at = 0;
+    std::uint64_t seen = 0;
+
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        seen = co_await chip.mem.spinUntil(1, flag,
+                                           [](std::uint64_t v) {
+                                               return v != 0;
+                                           });
+        woke_at = chip.engine.now();
+    });
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        co_await wisync::coro::delay(chip.engine, 5000);
+        co_await chip.mem.store(0, flag, 77);
+    });
+    chip.engine.run();
+    EXPECT_EQ(seen, 77u);
+    EXPECT_GT(woke_at, 5000u);
+    // Event-driven spin: a handful of loads, not thousands of polls.
+    EXPECT_LT(chip.mem.stats().loads.value(), 10u);
+}
+
+TEST(MemSystem, SpinUntilImmediateWhenPredicateHolds)
+{
+    Chip chip(16);
+    const Addr flag = 0xA1000;
+    std::uint64_t seen = 1;
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        seen = co_await chip.mem.spinUntil(2, flag,
+                                           [](std::uint64_t v) {
+                                               return v == 0;
+                                           });
+    });
+    chip.engine.run();
+    EXPECT_EQ(seen, 0u);
+}
+
+TEST(MemSystem, CapacityEvictionsWriteBackDirtyLines)
+{
+    Chip chip(16);
+    // L1: 32KB 2-way, 64B lines -> 256 sets. Write 3 dirty lines that
+    // map to the same set (stride = 256 * 64 = 16KB).
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        co_await chip.mem.store(0, 0x100000, 1);
+        co_await chip.mem.store(0, 0x104000, 2);
+        co_await chip.mem.store(0, 0x108000, 3);
+    });
+    chip.engine.run();
+    EXPECT_EQ(chip.mem.stats().writebacks.value(), 1u);
+    // All values remain correct regardless of timing.
+    EXPECT_EQ(chip.memory.read64(0x100000), 1u);
+    EXPECT_EQ(chip.memory.read64(0x104000), 2u);
+    EXPECT_EQ(chip.memory.read64(0x108000), 3u);
+}
+
+TEST(MemSystem, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        Chip chip(16);
+        auto worker = [&chip](NodeId n) -> Task<void> {
+            for (int i = 0; i < 10; ++i) {
+                co_await chip.mem.fetchAdd(n, 0xB0000, 1);
+                co_await chip.mem.load(n, 0xB0000 + 64 * (n % 4));
+            }
+        };
+        for (NodeId n = 0; n < 16; ++n)
+            spawnNow(chip.engine, worker, n);
+        chip.engine.run();
+        return chip.engine.now();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(MemSystem, TreeMulticastReducesInvalidationTime)
+{
+    // Many sharers, then one writer: Baseline+ (tree) should finish
+    // the invalidation no later than Baseline (serial unicasts).
+    auto run = [](bool tree) {
+        Chip chip(64, tree);
+        Cycle store_done = 0;
+        auto readers = [&chip]() -> Task<void> {
+            for (NodeId n = 0; n < 64; ++n)
+                co_await chip.mem.load(n, 0xC0000);
+        };
+        auto writer = [&chip, &store_done]() -> Task<void> {
+            co_await chip.mem.store(1, 0xC0000, 1);
+            store_done = chip.engine.now();
+        };
+        Cycle readers_done = 0;
+        spawnNow(chip.engine, [&]() -> Task<void> {
+            co_await readers();
+            readers_done = chip.engine.now();
+            co_await writer();
+        });
+        chip.engine.run();
+        return store_done - readers_done;
+    };
+    const Cycle serial = run(false);
+    const Cycle treed = run(true);
+    EXPECT_LE(treed, serial);
+}
+
+TEST(MemSystem, MissLatencyIsTracked)
+{
+    Chip chip(16);
+    spawnNow(chip.engine, [&]() -> Task<void> {
+        co_await chip.mem.load(0, 0xD0000);
+        co_await chip.mem.load(1, 0xD0000);
+    });
+    chip.engine.run();
+    EXPECT_EQ(chip.mem.stats().missLatency.count(), 2u);
+    EXPECT_GT(chip.mem.stats().missLatency.mean(), 0.0);
+}
+
+TEST(MemSystem, HomeBankIsAddressInterleaved)
+{
+    Chip chip(16);
+    EXPECT_EQ(chip.mem.homeOf(0), 0u);
+    EXPECT_EQ(chip.mem.homeOf(64), 1u);
+    EXPECT_EQ(chip.mem.homeOf(64 * 15), 15u);
+    EXPECT_EQ(chip.mem.homeOf(64 * 16), 0u);
+}
+
+} // namespace

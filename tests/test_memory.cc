@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Unit tests for the functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace {
+
+using wisync::mem::Memory;
+
+TEST(Memory, ZeroInitialised)
+{
+    Memory m;
+    EXPECT_EQ(m.read64(0x1000), 0u);
+    EXPECT_EQ(m.footprintWords(), 0u);
+}
+
+TEST(Memory, ReadBackWrites)
+{
+    Memory m;
+    m.write64(0x1000, 0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(m.read64(0x1000), 0xDEADBEEFCAFEF00Dull);
+    m.write64(0x1000, 7);
+    EXPECT_EQ(m.read64(0x1000), 7u);
+    EXPECT_EQ(m.footprintWords(), 1u);
+}
+
+TEST(Memory, AdjacentWordsIndependent)
+{
+    Memory m;
+    m.write64(0x2000, 1);
+    m.write64(0x2008, 2);
+    EXPECT_EQ(m.read64(0x2000), 1u);
+    EXPECT_EQ(m.read64(0x2008), 2u);
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for coroutine timing/synchronization primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coro/primitives.hh"
+#include "coro/task.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+using wisync::coro::CondVar;
+using wisync::coro::delay;
+using wisync::coro::Future;
+using wisync::coro::Resource;
+using wisync::coro::scopedLock;
+using wisync::coro::SimMutex;
+using wisync::coro::spawnNow;
+using wisync::coro::Task;
+using wisync::sim::Cycle;
+using wisync::sim::Engine;
+
+TEST(SimMutex, SerializesCriticalSections)
+{
+    Engine eng;
+    SimMutex mtx(eng);
+    std::vector<std::pair<int, Cycle>> entries;
+
+    auto worker = [&](int id) -> Task<void> {
+        co_await mtx.lock();
+        entries.emplace_back(id, eng.now());
+        co_await delay(eng, 10);
+        mtx.unlock();
+    };
+    for (int i = 0; i < 4; ++i)
+        spawnNow(eng, worker, i);
+    eng.run();
+
+    ASSERT_EQ(entries.size(), 4u);
+    // FIFO admission, each 10 cycles after the previous.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(entries[i].first, i);
+        EXPECT_EQ(entries[i].second, static_cast<Cycle>(10 * i));
+    }
+}
+
+TEST(SimMutex, ScopedLockReleases)
+{
+    Engine eng;
+    SimMutex mtx(eng);
+    int in_section = 0, max_in_section = 0;
+
+    auto worker = [&]() -> Task<void> {
+        auto guard = co_await scopedLock(mtx);
+        ++in_section;
+        max_in_section = std::max(max_in_section, in_section);
+        co_await delay(eng, 5);
+        --in_section;
+    };
+    for (int i = 0; i < 8; ++i)
+        spawnNow(eng, worker);
+    eng.run();
+    EXPECT_EQ(max_in_section, 1);
+    EXPECT_FALSE(mtx.locked());
+}
+
+TEST(Resource, CapacityBoundsConcurrency)
+{
+    Engine eng;
+    Resource res(eng, 3);
+    int active = 0, peak = 0;
+
+    auto worker = [&]() -> Task<void> {
+        co_await res.acquire();
+        ++active;
+        peak = std::max(peak, active);
+        co_await delay(eng, 7);
+        --active;
+        res.release();
+    };
+    for (int i = 0; i < 10; ++i)
+        spawnNow(eng, worker);
+    eng.run();
+    EXPECT_EQ(peak, 3);
+    EXPECT_EQ(active, 0);
+    EXPECT_EQ(res.available(), 3u);
+}
+
+TEST(CondVar, NotifyWakesAllWaiters)
+{
+    Engine eng;
+    CondVar cv(eng);
+    int woken = 0;
+
+    auto waiter = [&]() -> Task<void> {
+        co_await cv.wait();
+        ++woken;
+    };
+    for (int i = 0; i < 5; ++i)
+        spawnNow(eng, waiter);
+    spawnNow(eng, [&]() -> Task<void> {
+        co_await delay(eng, 50);
+        cv.notifyAll();
+    });
+    eng.run();
+    EXPECT_EQ(woken, 5);
+    EXPECT_EQ(eng.now(), 50u);
+}
+
+TEST(CondVar, NotifyWithNoWaitersIsNoop)
+{
+    Engine eng;
+    CondVar cv(eng);
+    cv.notifyAll();
+    EXPECT_TRUE(eng.run());
+}
+
+TEST(CondVar, WaitersAfterNotifyNeedNextNotify)
+{
+    Engine eng;
+    CondVar cv(eng);
+    std::vector<Cycle> wake_times;
+
+    spawnNow(eng, [&]() -> Task<void> {
+        co_await cv.wait();
+        wake_times.push_back(eng.now());
+        co_await cv.wait();
+        wake_times.push_back(eng.now());
+    });
+    spawnNow(eng, [&]() -> Task<void> {
+        co_await delay(eng, 10);
+        cv.notifyAll();
+        co_await delay(eng, 10);
+        cv.notifyAll();
+    });
+    eng.run();
+    ASSERT_EQ(wake_times.size(), 2u);
+    EXPECT_EQ(wake_times[0], 10u);
+    EXPECT_EQ(wake_times[1], 20u);
+}
+
+TEST(Future, DeliversValueToLateAndEarlyWaiters)
+{
+    Engine eng;
+    Future<int> fut(eng);
+    std::vector<int> seen;
+
+    // Early waiter: blocks until set().
+    spawnNow(eng, [&]() -> Task<void> {
+        seen.push_back(co_await fut);
+    });
+    // Producer.
+    spawnNow(eng, [&]() -> Task<void> {
+        co_await delay(eng, 5);
+        fut.set(99);
+    });
+    // Late waiter: awaits after set(), must not block.
+    spawnNow(eng, [&]() -> Task<void> {
+        co_await delay(eng, 20);
+        seen.push_back(co_await fut);
+    });
+    eng.run();
+    EXPECT_EQ(seen, (std::vector<int>{99, 99}));
+}
+
+TEST(Future, ReadyFlagTracksState)
+{
+    Engine eng;
+    Future<int> fut(eng);
+    EXPECT_FALSE(fut.ready());
+    fut.set(1);
+    EXPECT_TRUE(fut.ready());
+}
+
+TEST(SimMutex, HandoffKeepsCycleAccurate)
+{
+    // A lock released and re-acquired in the same cycle must not lose
+    // or add time.
+    Engine eng;
+    SimMutex mtx(eng);
+    std::vector<Cycle> times;
+    auto worker = [&]() -> Task<void> {
+        co_await mtx.lock();
+        times.push_back(eng.now());
+        mtx.unlock(); // zero-cycle critical section
+    };
+    for (int i = 0; i < 3; ++i)
+        spawnNow(eng, worker);
+    eng.run();
+    EXPECT_EQ(times, (std::vector<Cycle>{0, 0, 0}));
+}
+
+} // namespace

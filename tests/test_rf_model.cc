@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the RF area/power scaling model against the paper's §2,
+ * §7.1 and Table 4 numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wireless/rf_model.hh"
+
+namespace {
+
+using wisync::wireless::RfScalingModel;
+using wisync::wireless::RfSpec;
+
+TEST(RfModel, Yu65ReferenceMatchesPaper)
+{
+    const RfSpec ref = RfScalingModel::yu65Reference();
+    EXPECT_DOUBLE_EQ(ref.areaMm2, 0.23);
+    EXPECT_DOUBLE_EQ(ref.powerMw, 31.2);
+    EXPECT_DOUBLE_EQ(ref.bandwidthGbps, 16.0);
+    EXPECT_EQ(ref.techNm, 65);
+}
+
+TEST(RfModel, ScaledTo22nmMatchesPaperEndpoints)
+{
+    // §2: "an antenna and transceiver at 22-nm ... 0.1 mm2 at 16 mW".
+    const RfSpec scaled =
+        RfScalingModel::scale(RfScalingModel::yu65Reference(), 22);
+    EXPECT_NEAR(scaled.areaMm2, 0.10, 0.005);
+    EXPECT_NEAR(scaled.powerMw, 16.0, 0.5);
+    EXPECT_EQ(scaled.techNm, 22);
+    EXPECT_DOUBLE_EQ(scaled.bandwidthGbps, 16.0); // held constant
+}
+
+TEST(RfModel, AreaScalingIsSublinear)
+{
+    // Sublinear: shrink saves less area than the linear tech ratio.
+    const RfSpec ref = RfScalingModel::yu65Reference();
+    const RfSpec scaled = RfScalingModel::scale(ref, 22);
+    const double linear = ref.areaMm2 * 22.0 / 65.0;
+    EXPECT_GT(scaled.areaMm2, linear);
+    EXPECT_LT(scaled.areaMm2, ref.areaMm2);
+}
+
+TEST(RfModel, IdentityScaleIsNoop)
+{
+    const RfSpec ref = RfScalingModel::yu65Reference();
+    const RfSpec same = RfScalingModel::scale(ref, 65);
+    EXPECT_DOUBLE_EQ(same.areaMm2, ref.areaMm2);
+    EXPECT_DOUBLE_EQ(same.powerMw, ref.powerMw);
+}
+
+TEST(RfModel, WisyncTransceiverTotals)
+{
+    // §7.1: transceiver + two antennas = 0.14 mm2 and 18 mW.
+    const RfSpec t2a = RfScalingModel::wisyncTransceiver22();
+    EXPECT_NEAR(t2a.areaMm2, 0.14, 0.006);
+    EXPECT_NEAR(t2a.powerMw, 18.0, 0.5);
+}
+
+TEST(RfModel, Table4Percentages)
+{
+    const auto rows = RfScalingModel::table4();
+    ASSERT_EQ(rows.size(), 2u);
+    // Xeon Haswell: 0.7% area, 0.4% power.
+    EXPECT_EQ(rows[0].name, "Xeon Haswell");
+    EXPECT_NEAR(rows[0].areaPct, 0.7, 0.05);
+    EXPECT_NEAR(rows[0].powerPct, 0.4, 0.05);
+    // Atom Silvermont: 5.6% area, 1.8% power.
+    EXPECT_EQ(rows[1].name, "Atom Silvermont");
+    EXPECT_NEAR(rows[1].areaPct, 5.6, 0.2);
+    EXPECT_NEAR(rows[1].powerPct, 1.8, 0.1);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using wisync::sim::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    std::set<std::uint64_t> vals;
+    for (int i = 0; i < 64; ++i)
+        vals.insert(r.next());
+    EXPECT_GT(vals.size(), 60u);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 500; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero)
+{
+    Rng r(7);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BetweenIsInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; loose statistical bound.
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(123);
+    Rng child = parent.fork();
+    // The child must not replay the parent's stream.
+    Rng parent2(123);
+    parent2.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (child.next() == parent.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(77);
+    constexpr int buckets = 8;
+    int counts[buckets] = {};
+    constexpr int draws = 80000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[r.below(buckets)];
+    for (int b = 0; b < buckets; ++b)
+        EXPECT_NEAR(counts[b], draws / buckets, draws / buckets * 0.1);
+}
+
+} // namespace

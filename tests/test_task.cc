@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the coroutine Task type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "coro/primitives.hh"
+#include "coro/task.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+using wisync::coro::delay;
+using wisync::coro::spawnDetached;
+using wisync::coro::spawnFn;
+using wisync::coro::spawnNow;
+using wisync::coro::Task;
+using wisync::sim::Engine;
+
+Task<int>
+answer()
+{
+    co_return 42;
+}
+
+Task<int>
+addOne(Task<int> inner)
+{
+    const int v = co_await inner;
+    co_return v + 1;
+}
+
+TEST(Task, ReturnsValueThroughAwaitChain)
+{
+    Engine eng;
+    int result = 0;
+    spawnNow(eng, [&]() -> Task<void> {
+        result = co_await addOne(answer());
+    });
+    eng.run();
+    EXPECT_EQ(result, 43);
+}
+
+TEST(Task, LazyUntilAwaited)
+{
+    Engine eng;
+    bool started = false;
+    auto child = [&started]() -> Task<void> {
+        started = true;
+        co_return;
+    };
+    EXPECT_FALSE(started);
+    spawnNow(eng, child);
+    EXPECT_FALSE(started); // still queued on the engine
+    eng.run();
+    EXPECT_TRUE(started);
+}
+
+Task<int>
+nest(int depth)
+{
+    if (depth == 0)
+        co_return 0;
+    co_return 1 + co_await nest(depth - 1);
+}
+
+TEST(Task, DeepChainUsesConstantStack)
+{
+    Engine eng;
+    // A 50k-deep child chain would overflow the host stack without
+    // symmetric transfer.
+    int result = -1;
+    spawnNow(eng, [&result]() -> Task<void> {
+        result = co_await nest(50000);
+    });
+    eng.run();
+    EXPECT_EQ(result, 50000);
+}
+
+TEST(Task, DelaysAccumulateTime)
+{
+    Engine eng;
+    spawnNow(eng, [&eng]() -> Task<void> {
+        co_await delay(eng, 10);
+        co_await delay(eng, 5);
+        co_await delay(eng, 0); // zero-delay must not hang
+    });
+    eng.run();
+    EXPECT_EQ(eng.now(), 15u);
+}
+
+Task<int>
+thrower()
+{
+    throw std::runtime_error("boom");
+    co_return 0;
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter)
+{
+    Engine eng;
+    bool caught = false;
+    spawnNow(eng, [&caught]() -> Task<void> {
+        try {
+            co_await thrower();
+        } catch (const std::runtime_error &) {
+            caught = true;
+        }
+    });
+    eng.run();
+    EXPECT_TRUE(caught);
+}
+
+Task<void>
+delayBody(Engine &eng, wisync::sim::Cycle n)
+{
+    co_await delay(eng, n);
+}
+
+TEST(Task, CompletionCallbackFires)
+{
+    Engine eng;
+    bool done = false;
+    spawnDetached(eng, delayBody(eng, 3), [&] { done = true; });
+    eng.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(eng.now(), 3u);
+}
+
+TEST(Task, SpawnDelayStartsLater)
+{
+    Engine eng;
+    wisync::sim::Cycle started_at = 0;
+    spawnFn(eng, 100, [&]() -> Task<void> {
+        started_at = eng.now();
+        co_return;
+    });
+    eng.run();
+    EXPECT_EQ(started_at, 100u);
+}
+
+TEST(Task, ParallelRootsInterleaveByTime)
+{
+    Engine eng;
+    std::vector<int> order;
+    auto body = [&eng, &order](int id, int step) -> Task<void> {
+        for (int i = 0; i < 3; ++i) {
+            co_await delay(eng, step);
+            order.push_back(id);
+        }
+    };
+    spawnNow(eng, body, 1, 10); // fires at 10, 20, 30
+    spawnNow(eng, body, 2, 15); // fires at 15, 30, 45
+    eng.run();
+    // At cycle 30 task 2's event was scheduled (at cycle 15) before
+    // task 1's (at cycle 20), so task 2 runs first.
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(Task, ArgumentsAreCopiedIntoFrame)
+{
+    Engine eng;
+    std::vector<int> seen;
+    auto body = [&eng, &seen](std::vector<int> data) -> Task<void> {
+        co_await delay(eng, 5);
+        // `data` must still be alive after the spawning scope ended.
+        for (int v : data)
+            seen.push_back(v);
+    };
+    {
+        std::vector<int> local{7, 8, 9};
+        spawnNow(eng, body, local);
+        // `local` destroyed before the coroutine body runs.
+    }
+    eng.run();
+    EXPECT_EQ(seen, (std::vector<int>{7, 8, 9}));
+}
+
+} // namespace
