@@ -19,19 +19,92 @@ using namespace wisync;
 
 namespace {
 
+// Benchmarks that exercise the engine directly attach the scheduler's
+// per-tier insertion counters (from one iteration's engine) next to
+// throughput: tier_ready = same-cycle ring, tier_calendar = timing
+// wheel levels, tier_heap = overflow heap, tier_cascades = wheel level
+// migrations.
+void
+attachTierCounters(benchmark::State &state,
+                   const sim::Engine::TierStats &tiers)
+{
+    state.counters["tier_ready"] = static_cast<double>(tiers.ready);
+    state.counters["tier_calendar"] = static_cast<double>(tiers.calendar);
+    state.counters["tier_heap"] = static_cast<double>(tiers.heap);
+    state.counters["tier_cascades"] = static_cast<double>(tiers.cascades);
+}
+
 void
 BM_EngineScheduleRun(benchmark::State &state)
 {
+    sim::Engine::TierStats tiers;
     for (auto _ : state) {
         sim::Engine eng;
         for (int i = 0; i < 10000; ++i)
             eng.schedule(static_cast<sim::Cycle>(i), [] {});
         eng.run();
         benchmark::DoNotOptimize(eng.now());
+        tiers = eng.tierStats();
     }
     state.SetItemsProcessed(state.iterations() * 10000);
+    attachTierCounters(state, tiers);
 }
 BENCHMARK(BM_EngineScheduleRun);
+
+void
+BM_EngineScheduleRunNearFuture(benchmark::State &state)
+{
+    // Deltas under the level-0 block: the dominant pattern in the
+    // actual models (wireless slots, mesh hops, cache latencies).
+    sim::Engine::TierStats tiers;
+    for (auto _ : state) {
+        sim::Engine eng;
+        static int left;
+        left = 10000;
+        struct Step
+        {
+            sim::Engine *eng;
+            void
+            operator()() const
+            {
+                if (--left > 0)
+                    eng->scheduleIn(1 + (left & 63), Step{eng});
+            }
+        };
+        eng.schedule(0, Step{&eng});
+        eng.run();
+        benchmark::DoNotOptimize(eng.now());
+        tiers = eng.tierStats();
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+    attachTierCounters(state, tiers);
+}
+BENCHMARK(BM_EngineScheduleRunNearFuture);
+
+coro::Task<void>
+yieldLoop(sim::Engine &eng, int count)
+{
+    for (int i = 0; i < count; ++i)
+        co_await coro::yield(eng);
+}
+
+void
+BM_CoroutineResumeZeroDelay(benchmark::State &state)
+{
+    // The dominant kernel pattern: a suspended coroutine rescheduled at
+    // the current cycle (mutex handoff, CondVar wakeup, arbitration).
+    sim::Engine::TierStats tiers;
+    for (auto _ : state) {
+        sim::Engine eng;
+        coro::spawnDetached(eng, yieldLoop(eng, 10000));
+        eng.run();
+        benchmark::DoNotOptimize(eng.now());
+        tiers = eng.tierStats();
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+    attachTierCounters(state, tiers);
+}
+BENCHMARK(BM_CoroutineResumeZeroDelay);
 
 coro::Task<void>
 chain(sim::Engine &eng, int depth)

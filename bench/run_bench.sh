@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+#
+# Run the kernel micro-benchmarks (plus, with --all, the paper-figure
+# benches) in JSON mode and merge the results into BENCH_kernel.json at
+# the repository root. The file seeds the performance trajectory: diff
+# items_per_second between commits to catch kernel regressions.
+#
+# Usage: bench/run_bench.sh [--build-dir DIR] [--out FILE] [--all]
+
+set -euo pipefail
+
+BUILD_DIR=build
+OUT=BENCH_kernel.json
+ALL=0
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --build-dir) BUILD_DIR=$2; shift 2 ;;
+      --out) OUT=$2; shift 2 ;;
+      --all) ALL=1; shift ;;
+      *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$REPO_ROOT"
+
+BENCHES=(bench_micro_engine)
+if [[ $ALL -eq 1 ]]; then
+    BENCHES+=(bench_fig7_tightloop bench_fig8_livermore bench_fig9_cas
+              bench_fig10_apps bench_fig11_sensitivity
+              bench_ablation_backoff bench_ablation_bulk)
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for b in "${BENCHES[@]}"; do
+    exe="$BUILD_DIR/bench/$b"
+    if [[ ! -x $exe ]]; then
+        echo "missing $exe — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+        exit 1
+    fi
+    echo "== $b"
+    "$exe" --benchmark_format=json --benchmark_min_time=0.5 \
+        >"$TMP/$b.json"
+done
+
+# Merge: keep the context of the first file, concatenate benchmarks[].
+python3 - "$OUT" "$TMP" <<'EOF'
+import json, sys, glob, os
+out, tmp = sys.argv[1], sys.argv[2]
+merged = None
+for path in sorted(glob.glob(os.path.join(tmp, "*.json"))):
+    with open(path) as f:
+        data = json.load(f)
+    if merged is None:
+        merged = data
+    else:
+        merged["benchmarks"].extend(data["benchmarks"])
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"wrote {out} with {len(merged['benchmarks'])} benchmarks")
+EOF

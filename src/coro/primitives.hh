@@ -46,7 +46,7 @@ class DelayAwaiter
     void
     await_suspend(std::coroutine_handle<> h)
     {
-        engine_.scheduleIn(cycles_, [h] { h.resume(); });
+        engine_.resumeHandle(cycles_, h);
     }
 
     void await_resume() const noexcept {}
@@ -61,6 +61,38 @@ inline DelayAwaiter
 delay(sim::Engine &engine, sim::Cycle cycles)
 {
     return DelayAwaiter(engine, cycles);
+}
+
+/**
+ * Awaitable that reschedules the coroutine at the current cycle, behind
+ * every event already pending for it. The building block for "let the
+ * rest of this cycle settle first" patterns (arbitration windows,
+ * same-cycle wakeup ordering).
+ */
+class YieldAwaiter
+{
+  public:
+    explicit YieldAwaiter(sim::Engine &engine) : engine_(engine) {}
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        engine_.resumeHandle(0, h);
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    sim::Engine &engine_;
+};
+
+/** co_await yield(engine): requeue at now(), after pending events. */
+inline YieldAwaiter
+yield(sim::Engine &engine)
+{
+    return YieldAwaiter(engine);
 }
 
 /**
@@ -117,7 +149,18 @@ class SimMutex
         // the unlocker's event completes.
         auto h = waiters_.front();
         waiters_.pop_front();
-        engine_.scheduleIn(0, [h] { h.resume(); });
+        engine_.resumeHandle(0, h);
+    }
+
+    /**
+     * Release the lock @p delta cycles from now, from plain (non-
+     * coroutine) code. Models resources held for a fixed occupancy
+     * window, e.g. a mesh link busy until the tail flit crosses it.
+     */
+    void
+    scheduleUnlock(sim::Cycle delta)
+    {
+        engine_.scheduleIn(delta, [this] { unlock(); });
     }
 
     bool locked() const { return locked_; }
@@ -207,7 +250,7 @@ class Resource
         if (!waiters_.empty()) {
             auto h = waiters_.front();
             waiters_.pop_front();
-            engine_.scheduleIn(0, [h] { h.resume(); });
+            engine_.resumeHandle(0, h);
             return;
         }
         WISYNC_ASSERT(available_ < capacity_, "Resource over-release");
@@ -266,7 +309,7 @@ class CondVar
         std::vector<std::coroutine_handle<>> woken;
         woken.swap(waiters_);
         for (auto h : woken)
-            engine_.scheduleIn(0, [h] { h.resume(); });
+            engine_.resumeHandle(0, h);
     }
 
     std::size_t waiting() const { return waiters_.size(); }
@@ -296,7 +339,7 @@ class Future
         value_ = std::move(value);
         ready_ = true;
         for (auto h : waiters_)
-            engine_.scheduleIn(0, [h] { h.resume(); });
+            engine_.resumeHandle(0, h);
         waiters_.clear();
     }
 
@@ -365,17 +408,67 @@ class VersionedEvent
 
 namespace detail {
 
-/** Self-destroying root coroutine wrapper. */
+/**
+ * Self-destroying root coroutine wrapper.
+ *
+ * Created suspended: the spawn functions build the frame eagerly (so
+ * the callable and its arguments move straight into it, with no
+ * intermediate closure) and hand the raw handle to the engine's
+ * resumeHandle fast path. On completion the frame destroys itself
+ * (final_suspend never suspends).
+ */
 struct Detached
 {
     struct promise_type
     {
-        Detached get_return_object() const { return {}; }
-        std::suspend_never initial_suspend() const noexcept { return {}; }
+        Detached
+        get_return_object()
+        {
+            return Detached{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+        std::suspend_always initial_suspend() const noexcept { return {}; }
         std::suspend_never final_suspend() const noexcept { return {}; }
         void return_void() const {}
         [[noreturn]] void unhandled_exception() const { std::terminate(); }
     };
+
+    std::coroutine_handle<> handle;
+};
+
+/**
+ * Owns a suspended Detached frame until the engine fires it. Spawn
+ * events must not be fire-and-forget raw handles: if the engine is
+ * destroyed (or never run) before the spawn cycle, the wrapper frame —
+ * and the Task moved into it — must still be destroyed. Deliberately
+ * not trivially copyable, so UniqueFunction stores it on its owning
+ * heap path.
+ */
+class Launcher
+{
+  public:
+    explicit Launcher(std::coroutine_handle<> h) : h_(h) {}
+    Launcher(Launcher &&o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+    Launcher(const Launcher &) = delete;
+    Launcher &operator=(const Launcher &) = delete;
+    Launcher &operator=(Launcher &&) = delete;
+
+    ~Launcher()
+    {
+        if (h_)
+            h_.destroy();
+    }
+
+    void
+    operator()()
+    {
+        // The frame self-destroys on completion; release ownership
+        // before resuming.
+        std::exchange(h_, nullptr).resume();
+    }
+
+  private:
+    std::coroutine_handle<> h_;
 };
 
 } // namespace detail
@@ -393,16 +486,17 @@ void
 spawnDetached(sim::Engine &engine, Task<void> task, Done on_done,
               sim::Cycle delta = 0)
 {
-    // The wrapper coroutine owns the task frame for its whole lifetime.
+    // The wrapper coroutine owns the task frame for its whole lifetime;
+    // the task body starts when the engine resumes the wrapper. The
+    // Launcher owns the wrapper until then, so an engine torn down
+    // before the spawn cycle still releases everything.
     auto runner = [](Task<void> t, Done done) -> detail::Detached {
         co_await t;
         done();
     };
-    engine.scheduleIn(delta,
-                      [task = std::move(task), on_done = std::move(on_done),
-                       runner]() mutable {
-                          runner(std::move(task), std::move(on_done));
-                      });
+    engine.scheduleIn(
+        delta,
+        detail::Launcher(runner(std::move(task), std::move(on_done)).handle));
 }
 
 /** spawnDetached without a completion callback. */
@@ -431,10 +525,7 @@ spawnFn(sim::Engine &engine, sim::Cycle delta, Fn fn, Args... args)
     };
     engine.scheduleIn(
         delta,
-        [runner, fn = std::move(fn),
-         ...args = std::move(args)]() mutable {
-            runner(std::move(fn), std::move(args)...);
-        });
+        detail::Launcher(runner(std::move(fn), std::move(args)...).handle));
 }
 
 /** spawnFn starting at the current cycle. */

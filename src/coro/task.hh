@@ -8,6 +8,16 @@
  * lazy: they start when first awaited (or when detached onto the
  * engine), and completion resumes the awaiting parent via symmetric
  * transfer, so arbitrarily deep call chains use O(1) host stack.
+ *
+ * Resumption takes exactly one of two paths, and both are
+ * allocation-free:
+ *   - within a cycle, parent/child handoff is symmetric transfer (the
+ *     awaiters below return the next handle directly and never touch
+ *     the engine queue);
+ *   - across cycles, the timing primitives in coro/primitives.hh park
+ *     the raw handle in the event kernel via Engine::resumeHandle,
+ *     which stores it in the scheduler tiers without a callable
+ *     wrapper.
  */
 
 #ifndef WISYNC_CORO_TASK_HH
@@ -121,11 +131,11 @@ class [[nodiscard]] Task
 
     ~Task() { destroy(); }
 
-    bool valid() const { return handle_ != nullptr; }
-    bool done() const { return !handle_ || handle_.done(); }
+    bool valid() const noexcept { return handle_ != nullptr; }
+    bool done() const noexcept { return !handle_ || handle_.done(); }
 
     /** Detach the raw handle (caller takes over lifetime). */
-    Handle release() { return std::exchange(handle_, nullptr); }
+    Handle release() noexcept { return std::exchange(handle_, nullptr); }
 
     auto
     operator co_await() noexcept

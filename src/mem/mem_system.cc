@@ -226,7 +226,7 @@ MemSystem::treeInvLeg(sim::NodeId home, std::vector<sim::NodeId> targets,
 
 coro::Task<void>
 MemSystem::fetchLine(sim::NodeId node, sim::Addr line, bool exclusive,
-                     std::function<void()> commit)
+                     sim::FunctionRef<void()> commit)
 {
     const sim::NodeId home = homeOf(line);
     co_await mesh_.send(node, home, cfg_.ctrlBits);

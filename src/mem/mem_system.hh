@@ -187,10 +187,14 @@ class MemSystem
      * Miss/upgrade transaction. Acquires the line at @p node with read
      * or write permission, running the full directory protocol; calls
      * @p commit at the coherence-commit instant (mutex still held).
+     *
+     * @p commit is a non-owning reference: callers pass a lambda that
+     * lives in their own coroutine frame for the whole co_await, which
+     * avoids a std::function allocation on every L1 miss.
      */
     coro::Task<void> fetchLine(sim::NodeId node, sim::Addr line,
                                bool exclusive,
-                               std::function<void()> commit);
+                               sim::FunctionRef<void()> commit);
 
     /** One invalidation leg: home -> sharer -> ack to requestor. */
     coro::Task<void> invLeg(sim::NodeId home, sim::NodeId sharer,

@@ -92,8 +92,7 @@ Mesh::transferAlong(std::vector<std::size_t> path, std::uint32_t flits)
         // the head secures the next hop) models routers with enough
         // buffering to absorb a blocked message — optimistic under
         // heavy congestion, exact otherwise.
-        coro::SimMutex *m = links_[link].get();
-        engine_.scheduleIn(flits, [m] { m->unlock(); });
+        links_[link]->scheduleUnlock(flits);
         co_await coro::delay(engine_, cfg_.hopCycles);
     }
     if (flits > 1)
@@ -150,8 +149,7 @@ Mesh::treeDeliver(sim::NodeId cur, std::vector<sim::NodeId> dsts,
             : yOf(group.front()) < yOf(cur) ? nodeAt(xOf(cur), yOf(cur) - 1)
                                             : nodeAt(xOf(cur), yOf(cur) + 1);
         co_await links_[linkId(cur, next)]->lock();
-        coro::SimMutex *m = links_[linkId(cur, next)].get();
-        engine_.scheduleIn(flits, [m] { m->unlock(); });
+        links_[linkId(cur, next)]->scheduleUnlock(flits);
         co_await coro::delay(engine_, cfg_.hopCycles);
         co_await treeDeliver(next, std::move(group), flits);
     };

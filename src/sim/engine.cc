@@ -1,37 +1,311 @@
 #include "sim/engine.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <new>
 #include <utility>
 
 namespace wisync::sim {
 
-void
-Engine::schedule(Cycle when, UniqueFunction fn)
+namespace {
+
+/**
+ * Process-wide recycler for pool chunks. glibc returns large freed
+ * blocks to the OS; benchmark/test patterns that build and tear down
+ * engines in a loop would then re-fault the same pages every iteration
+ * (~150 minor faults per 10k-event engine, measured). Keeping a capped
+ * stack of retired chunks makes engine churn allocation-free after the
+ * first engine. The simulator is single-threaded by design, but the
+ * cache is thread-local so concurrent engines in test harnesses stay
+ * independent.
+ */
+class ChunkCache
 {
-    assert(when >= now_ && "cannot schedule an event in the past");
-    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+  public:
+    static constexpr std::size_t kMaxChunks = 128; // ~6 MiB cap
+
+    ~ChunkCache()
+    {
+        for (std::byte *c : chunks_)
+            ::operator delete(c);
+    }
+
+    std::byte *
+    get(std::size_t bytes)
+    {
+        if (!chunks_.empty()) {
+            std::byte *c = chunks_.back();
+            chunks_.pop_back();
+            return c;
+        }
+        return static_cast<std::byte *>(::operator new(bytes));
+    }
+
+    void
+    put(std::byte *c)
+    {
+        if (chunks_.size() < kMaxChunks)
+            chunks_.push_back(c);
+        else
+            ::operator delete(c);
+    }
+
+  private:
+    std::vector<std::byte *> chunks_;
+};
+
+thread_local ChunkCache g_chunkCache;
+
+} // namespace
+
+std::uint32_t
+Engine::NodePool::make(Cycle when, Slot &&s, std::uint32_t next)
+{
+    std::uint32_t i;
+    if (freeHead_ != kNil) {
+        i = freeHead_;
+        std::memcpy(&freeHead_, at(i), sizeof(freeHead_));
+    } else {
+        if (top_ == chunks_.size() * kChunkEntries)
+            chunks_.push_back(
+                g_chunkCache.get(kChunkEntries * sizeof(Node)));
+        i = top_++;
+    }
+    ::new (static_cast<void *>(at(i))) Node(when, std::move(s), next);
+    return i;
+}
+
+Engine::NodePool::~NodePool()
+{
+    // Live nodes were already destroyed by ~Engine(); hand the raw
+    // chunks back for the next engine.
+    for (std::byte *c : chunks_)
+        g_chunkCache.put(c);
+}
+
+Engine::~Engine()
+{
+    // Destroy events still pending in the wheels (the ring, level 0,
+    // current_ and far_ clean up via their vectors).
+    for (Wheel *w : {&l1_, &l2_}) {
+        if (w->count == 0)
+            continue;
+        for (unsigned idx = w->bits.next(0); idx < 256;
+             idx = w->bits.next(idx + 1)) {
+            for (std::uint32_t i = w->head[idx]; i != NodePool::kNil;) {
+                const std::uint32_t next = pool_.at(i)->next;
+                pool_.recycle(i);
+                i = next;
+            }
+        }
+    }
+}
+
+unsigned
+Engine::Bitmap::next(unsigned from) const
+{
+    if (from >= 256)
+        return 256;
+    unsigned word = from >> 6;
+    std::uint64_t m = w[word] & (~std::uint64_t{0} << (from & 63));
+    for (;;) {
+        if (m != 0)
+            return (word << 6) +
+                   static_cast<unsigned>(std::countr_zero(m));
+        if (++word == 4)
+            return 256;
+        m = w[word];
+    }
+}
+
+void
+Engine::ReadyRing::grow()
+{
+    const std::size_t cap = buf_.empty() ? 64 : buf_.size() * 2;
+    std::vector<Slot> next(cap);
+    for (std::size_t i = 0; i < size_; ++i)
+        next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    buf_ = std::move(next);
+    head_ = 0;
+}
+
+void
+Engine::placeCoarse(Cycle when, Slot &&s, Cycle diff, bool cascade)
+{
+    // Levels are windows aligned on power-of-two boundaries (not fixed
+    // distances): an event lands in the finest level whose window
+    // around now_ contains it, and cascades down as now_ enters its
+    // block. The XOR against now_ (diff) tests window membership.
+    Wheel *w = nullptr;
+    unsigned idx = 0;
+    if (diff < (Cycle{1} << 16)) {
+        w = &l1_;
+        idx = static_cast<unsigned>((when >> 8) & 255);
+    } else if (diff < kWheelSpan) {
+        w = &l2_;
+        idx = static_cast<unsigned>((when >> 16) & 255);
+    }
+    if (w != nullptr) {
+        const std::uint32_t i =
+            pool_.make(when, std::move(s), NodePool::kNil);
+        if (w->bits.test(idx)) {
+            pool_.at(w->tail[idx])->next = i;
+            w->tail[idx] = i;
+            if (when < w->minWhen[idx])
+                w->minWhen[idx] = when;
+        } else {
+            w->bits.set(idx);
+            w->head[idx] = w->tail[idx] = i;
+            w->minWhen[idx] = when;
+        }
+        ++w->count;
+        if (!cascade)
+            ++tierStats_.calendar;
+        return;
+    }
+    far_.emplace_back(when, std::move(s));
+    std::push_heap(far_.begin(), far_.end(), FarLater{});
+    if (!cascade)
+        ++tierStats_.heap;
+}
+
+Cycle
+Engine::peekNext() const
+{
+    // Candidates per tier. For the coarse wheels the first occupied
+    // bucket at or after now_'s own index holds the level's earliest
+    // cycles (buckets cover increasing disjoint ranges and never wrap
+    // within a window), so one bitmap scan plus its tracked minimum
+    // suffices. now_'s own bucket can be non-empty after a run(limit)
+    // parked time inside a block, hence the inclusive scan.
+    Cycle best = kCycleMax;
+    if (l0Count_ > 0) {
+        const unsigned b =
+            l0Bits_.next(static_cast<unsigned>(now_ & 255) + 1);
+        if (b < 256)
+            best = (now_ & ~Cycle{255}) + b;
+    }
+    if (l1_.count > 0) {
+        const unsigned i1 =
+            l1_.bits.next(static_cast<unsigned>((now_ >> 8) & 255));
+        if (i1 < 256 && l1_.minWhen[i1] < best)
+            best = l1_.minWhen[i1];
+    }
+    if (l2_.count > 0) {
+        const unsigned i2 =
+            l2_.bits.next(static_cast<unsigned>((now_ >> 16) & 255));
+        if (i2 < 256 && l2_.minWhen[i2] < best)
+            best = l2_.minWhen[i2];
+    }
+    if (!far_.empty() && far_.front().when < best)
+        best = far_.front().when;
+    return best;
+}
+
+void
+Engine::cascadeWheelBucket(Wheel &w, unsigned idx)
+{
+    // Walk the FIFO list in insertion order so re-placed events keep
+    // their relative order within each destination bucket.
+    w.bits.clear(idx);
+    for (std::uint32_t i = w.head[idx]; i != NodePool::kNil;) {
+        Node *n = pool_.at(i);
+        const std::uint32_t next = n->next;
+        --w.count;
+        place(n->ts.when, std::move(n->ts.slot), /*cascade=*/true);
+        pool_.recycle(i);
+        i = next;
+    }
+}
+
+void
+Engine::stageCurrentCycle()
+{
+    // Coarse-to-fine: pull overflow events whose 2^24 window now_ just
+    // entered, then cascade the level-2 and level-1 buckets covering
+    // now_. Each step may feed the next; every event due exactly at
+    // now_ ends in l0_[now_ & 255].
+    while (!far_.empty() && ((far_.front().when ^ now_) < kWheelSpan)) {
+        std::pop_heap(far_.begin(), far_.end(), FarLater{});
+        TimedSlot e = std::move(far_.back());
+        far_.pop_back();
+        place(e.when, std::move(e.slot), /*cascade=*/true);
+    }
+    if (l2_.count > 0) {
+        const unsigned i2 = static_cast<unsigned>((now_ >> 16) & 255);
+        if (l2_.bits.test(i2))
+            cascadeWheelBucket(l2_, i2);
+    }
+    if (l1_.count > 0) {
+        const unsigned i1 = static_cast<unsigned>((now_ >> 8) & 255);
+        if (l1_.bits.test(i1))
+            cascadeWheelBucket(l1_, i1);
+    }
+
+    const unsigned idx = static_cast<unsigned>(now_ & 255);
+    assert(l0Bits_.test(idx) && "advanced to a cycle with no events");
+    curBucket_ = &l0_[idx];
+    curIdx_ = 0;
+    l0Bits_.clear(idx);
+    l0Count_ -= curBucket_->size();
+
+    // Cascading can interleave provenances; restore global insertion
+    // order. Almost always already sorted, so check first.
+    if (curBucket_->size() > 1 &&
+        !std::is_sorted(curBucket_->begin(), curBucket_->end(),
+                        [](const Slot &a, const Slot &b) {
+                            return a.seq < b.seq;
+                        }))
+        std::sort(curBucket_->begin(), curBucket_->end(),
+                  [](const Slot &a, const Slot &b) {
+                      return a.seq < b.seq;
+                  });
 }
 
 bool
 Engine::run(Cycle limit)
 {
     stopped_ = false;
-    while (!queue_.empty() && !stopped_) {
-        // priority_queue::top() is const; the event must be moved out
-        // before execution because the callback may schedule new events.
-        Event ev = std::move(const_cast<Event &>(queue_.top()));
-        queue_.pop();
-        if (ev.when > limit) {
-            // Put the horizon back so a later run() can resume.
-            queue_.push(std::move(ev));
-            now_ = limit;
+    for (;;) {
+        // Drain the staged bucket for the current cycle, then the ring
+        // (same-cycle arrivals, which were inserted later than anything
+        // staged).
+        if (curBucket_ != nullptr) {
+            while (curIdx_ < curBucket_->size()) {
+                Slot &s = (*curBucket_)[curIdx_++];
+                ++eventsExecuted_;
+                s.invoke();
+                s.fn = UniqueFunction(); // destroy payload promptly
+                if (stopped_)
+                    return pendingEvents() == 0;
+            }
+            curBucket_->clear(); // keeps capacity for reuse
+            curBucket_ = nullptr;
+            curIdx_ = 0;
+        }
+        while (!ready_.empty()) {
+            Slot s = ready_.pop();
+            ++eventsExecuted_;
+            s.invoke();
+            if (stopped_)
+                return pendingEvents() == 0;
+        }
+        const Cycle next = peekNext();
+        if (next == kCycleMax && pendingEvents() == 0)
+            return true;
+        if (next > limit) {
+            // Park at the limit so a later run() can resume; pending
+            // events stay in their tiers. Parking never crosses a
+            // window boundary ahead of a pending event (limit < next),
+            // so the wheel invariants hold.
+            if (limit > now_)
+                now_ = limit;
             return false;
         }
-        now_ = ev.when;
-        ++eventsExecuted_;
-        ev.fn();
+        now_ = next;
+        stageCurrentCycle();
     }
-    return queue_.empty();
 }
 
 } // namespace wisync::sim

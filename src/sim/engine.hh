@@ -6,13 +6,50 @@
  * callbacks at absolute or relative cycle times; the engine executes
  * them in (cycle, insertion-order) order, which makes simulations fully
  * deterministic for a given seed.
+ *
+ * Internally the queue is a three-tier scheduler, chosen so that the
+ * common cases never pay a heap allocation or an O(log n) comparison
+ * sift:
+ *
+ *   1. Ready ring     — events due at the current cycle (scheduleIn(0),
+ *                       mutex handoffs, CondVar wakeups, arbitration
+ *                       windows). A FIFO ring buffer: push/pop are O(1)
+ *                       and allocation-free in steady state.
+ *   2. Calendar wheel — a hierarchical timing wheel (Varghese/Lauck
+ *                       style). Level 0 has one bucket per cycle over a
+ *                       256-cycle block; levels 1 and 2 cover 2^16 and
+ *                       2^24 cycles at coarser granularity. Insertion
+ *                       is O(1); an event cascades to a finer level at
+ *                       most twice in its lifetime; the next busy cycle
+ *                       is found with 256-bit occupancy bitmaps. The
+ *                       model's dominant delays (wireless slots, mesh
+ *                       hops, cache latencies) are small constants that
+ *                       go straight to level 0.
+ *   3. Overflow heap  — events more than 2^24 cycles out (essentially
+ *                       only watchdogs). A conventional (when, seq)
+ *                       min-heap; correctness fallback, not a fast
+ *                       path.
+ *
+ * Determinism contract: execution order is exactly (cycle, global
+ * insertion order), bit-identical to a single (when, seq) min-heap.
+ * Every slot carries its insertion sequence number; when a cycle's
+ * events are staged for execution they are sorted by that number if
+ * cascading mixed their provenance (same-cycle arrivals during
+ * execution are FIFO behind them by construction, since they are
+ * inserted later than anything staged). tests/test_engine_determinism.cc
+ * replays randomized schedules against a reference heap scheduler to
+ * lock this in.
  */
 
 #ifndef WISYNC_SIM_ENGINE_HH
 #define WISYNC_SIM_ENGINE_HH
 
+#include <array>
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <queue>
+#include <cstring>
 #include <vector>
 
 #include "sim/function.hh"
@@ -30,9 +67,29 @@ namespace wisync::sim {
 class Engine
 {
   public:
+    /**
+     * Level-0 wheel span: delays below this (without crossing a block
+     * boundary) are one bucket lookup away. Kept public so tests can
+     * exercise the level and overflow boundaries.
+     */
+    static constexpr Cycle kCalendarHorizon = 256;
+
+    /** Deltas at or beyond this go to the overflow heap. */
+    static constexpr Cycle kWheelSpan = Cycle{1} << 24;
+
+    /** Per-tier event counters (see tierStats()). */
+    struct TierStats
+    {
+        std::uint64_t ready = 0;    ///< same-cycle ring insertions
+        std::uint64_t calendar = 0; ///< wheel insertions (any level)
+        std::uint64_t heap = 0;     ///< overflow heap insertions
+        std::uint64_t cascades = 0; ///< wheel level-to-level migrations
+    };
+
     Engine() = default;
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
+    ~Engine(); // destroys pending wheel events still in the node pool
 
     /** Current simulated time in cycles. */
     Cycle now() const { return now_; }
@@ -43,19 +100,38 @@ class Engine
      * @param when Absolute cycle; must be >= now().
      * @param fn   Callback executed when simulated time reaches @p when.
      */
-    void schedule(Cycle when, UniqueFunction fn);
+    void
+    schedule(Cycle when, UniqueFunction fn)
+    {
+        scheduleSlot(when, Slot{std::move(fn), nullptr, 0});
+    }
 
     /** Schedule a callback @p delta cycles from now. */
     void scheduleIn(Cycle delta, UniqueFunction fn)
     {
-        schedule(now_ + delta, std::move(fn));
+        scheduleSlot(now_ + delta, Slot{std::move(fn), nullptr, 0});
+    }
+
+    /**
+     * Fast path for coroutine wakeups: resume @p h at now() + delta.
+     *
+     * Equivalent to scheduleIn(delta, [h] { h.resume(); }) but
+     * guaranteed to stay inside the event slot's inline buffer. This is
+     * the route every awaiter in coro/primitives.hh takes.
+     */
+    void
+    resumeHandle(Cycle delta, std::coroutine_handle<> h)
+    {
+        scheduleSlot(now_ + delta, Slot{UniqueFunction{}, h.address(), 0});
     }
 
     /**
      * Run until the event queue drains or @p limit is reached.
      *
-     * @param limit Hard cycle limit (guards against livelock in tests).
-     * @return true if the queue drained, false if the limit was hit.
+     * @param limit Hard cycle limit (guards against livelock in tests);
+     *              must be >= now().
+     * @return true if the queue drained, false if the limit was hit or
+     *         stop() was called with events still pending.
      */
     bool run(Cycle limit = kCycleMax);
 
@@ -65,33 +141,278 @@ class Engine
     /** Number of events executed so far (for micro-benchmarks). */
     std::uint64_t eventsExecuted() const { return eventsExecuted_; }
 
-    /** Number of events currently pending. */
-    std::size_t pendingEvents() const { return queue_.size(); }
+    /** Number of events currently pending across all tiers. */
+    std::size_t
+    pendingEvents() const
+    {
+        return ready_.size() +
+               (curBucket_ != nullptr ? curBucket_->size() - curIdx_ : 0) +
+               l0Count_ + l1_.count + l2_.count + far_.size();
+    }
+
+    /** Cumulative per-tier counters (for benchmarks). */
+    const TierStats &tierStats() const { return tierStats_; }
 
   private:
-    struct Event
+    /**
+     * One scheduled event: a callable or — on the coroutine fast path —
+     * a raw frame address (which skips both the type-erased dispatch
+     * and the inline-buffer copy when slots move between tiers), plus
+     * the insertion number.
+     */
+    struct Slot
     {
-        Cycle when;
-        std::uint64_t seq;
         UniqueFunction fn;
-    };
+        void *handle = nullptr;
+        std::uint64_t seq = 0;
 
-    struct Later
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
+        void
+        invoke()
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            if (handle != nullptr)
+                std::coroutine_handle<>::from_address(handle).resume();
+            else
+                fn();
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /** Wheel levels >= 1 and the overflow heap also need the cycle. */
+    struct TimedSlot
+    {
+        Cycle when;
+        Slot slot;
+
+        TimedSlot(Cycle w, Slot &&s) : when(w), slot(std::move(s)) {}
+        TimedSlot(TimedSlot &&) = default;
+        TimedSlot &operator=(TimedSlot &&) = default;
+    };
+
+    /** Pool node: a timed slot on an intrusive per-bucket FIFO list. */
+    struct Node
+    {
+        TimedSlot ts;
+        std::uint32_t next;
+
+        Node(Cycle w, Slot &&s, std::uint32_t n)
+            : ts(w, std::move(s)), next(n)
+        {}
+    };
+
+    /**
+     * Chunked node pool for the coarse wheel levels.
+     *
+     * Far-future events can accumulate by the tens of thousands (the
+     * schedule-then-run microbenchmark pattern); per-bucket vectors
+     * would realloc while growing and hand hundreds of kilobytes back
+     * to the allocator on engine destruction, which glibc returns to
+     * the OS — and the page-fault churn of re-growing dominated the
+     * benchmark. Fixed 512-entry chunks are recycled through a
+     * process-wide cache (see engine.cc), so chunk allocation is a
+     * once-per-process cost and nodes never move once constructed.
+     */
+    class NodePool
+    {
+      public:
+        static constexpr std::uint32_t kNil = 0xffffffffu;
+        static constexpr std::uint32_t kChunkShift = 9;
+        static constexpr std::uint32_t kChunkEntries = 1u << kChunkShift;
+
+        NodePool() = default;
+        NodePool(const NodePool &) = delete;
+        NodePool &operator=(const NodePool &) = delete;
+        ~NodePool(); // returns chunks to the process-wide cache
+
+        Node *
+        at(std::uint32_t i)
+        {
+            return reinterpret_cast<Node *>(
+                chunks_[i >> kChunkShift] +
+                std::size_t{i & (kChunkEntries - 1)} * sizeof(Node));
+        }
+
+        /** Construct a node; never moves existing nodes. */
+        std::uint32_t make(Cycle when, Slot &&s, std::uint32_t next);
+
+        /** Destroy a node and recycle its index. */
+        void
+        recycle(std::uint32_t i)
+        {
+            Node *n = at(i);
+            n->~Node();
+            // The slot is raw storage again; it holds the freelist link.
+            std::memcpy(static_cast<void *>(n), &freeHead_,
+                        sizeof(freeHead_));
+            freeHead_ = i;
+        }
+
+      private:
+        std::vector<std::byte *> chunks_;
+        std::uint32_t freeHead_ = kNil;
+        std::uint32_t top_ = 0;
+    };
+
+    /** 256-bit occupancy bitmap with find-first-set-at-or-after. */
+    struct Bitmap
+    {
+        std::array<std::uint64_t, 4> w{};
+
+        void set(unsigned i) { w[i >> 6] |= std::uint64_t{1} << (i & 63); }
+        void
+        clear(unsigned i)
+        {
+            w[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+        }
+        bool
+        test(unsigned i) const
+        {
+            return (w[i >> 6] >> (i & 63)) & 1;
+        }
+        /** First set index >= from, or 256 if none. */
+        unsigned next(unsigned from) const;
+    };
+
+    /**
+     * One coarse wheel level: 256 intrusive FIFO lists of pool nodes
+     * (list order is insertion order, which staging relies on), plus
+     * the occupancy bitmap and per-bucket minimum cycle.
+     */
+    struct Wheel
+    {
+        std::array<std::uint32_t, 256> head;
+        std::array<std::uint32_t, 256> tail;
+        std::array<Cycle, 256> minWhen{};
+        Bitmap bits;
+        std::size_t count = 0;
+    };
+
+    /** Growable power-of-two FIFO ring of same-cycle events. */
+    class ReadyRing
+    {
+      public:
+        bool empty() const { return size_ == 0; }
+        std::size_t size() const { return size_; }
+
+        void
+        push(Slot s)
+        {
+            if (size_ == buf_.size())
+                grow();
+            buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(s);
+            ++size_;
+        }
+
+        Slot
+        pop()
+        {
+            Slot s = std::move(buf_[head_]);
+            head_ = (head_ + 1) & (buf_.size() - 1);
+            --size_;
+            return s;
+        }
+
+      private:
+        void grow();
+
+        std::vector<Slot> buf_;
+        std::size_t head_ = 0;
+        std::size_t size_ = 0;
+    };
+
+    /** Min-heap order by (when, seq) via std::push_heap/pop_heap. */
+    struct FarLater
+    {
+        bool
+        operator()(const TimedSlot &a, const TimedSlot &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.slot.seq > b.slot.seq;
+        }
+    };
+
+    /** Classify + insert. Inline so the ring fast path costs no call. */
+    void
+    scheduleSlot(Cycle when, Slot s)
+    {
+        assert(when >= now_ && "cannot schedule an event in the past");
+        s.seq = nextSeq_++;
+        if (when == now_) {
+            // Same-cycle: FIFO ring, behind everything staged for this
+            // cycle (all of which was scheduled earlier).
+            ready_.push(std::move(s));
+            ++tierStats_.ready;
+            return;
+        }
+        place(when, std::move(s), /*cascade=*/false);
+    }
+
+    /**
+     * File @p s under the right tier for target cycle @p when > now.
+     * The level-0 branch is inline (it is the dominant non-ring case:
+     * wireless slots, mesh hops, cache latencies).
+     */
+    void
+    place(Cycle when, Slot &&s, bool cascade)
+    {
+        const Cycle diff = when ^ now_;
+        if (cascade)
+            ++tierStats_.cascades;
+        if (diff < kCalendarHorizon) {
+            const unsigned idx = static_cast<unsigned>(when & 255);
+            l0_[idx].push_back(std::move(s));
+            l0Bits_.set(idx);
+            ++l0Count_;
+            if (!cascade)
+                ++tierStats_.calendar;
+            return;
+        }
+        placeCoarse(when, std::move(s), diff, cascade);
+    }
+
+    /** Slow tail of place(): levels 1, 2 and the overflow heap. */
+    void placeCoarse(Cycle when, Slot &&s, Cycle diff, bool cascade);
+
+    /** Earliest pending cycle > now across all tiers (kCycleMax: none). */
+    Cycle peekNext() const;
+
+    /**
+     * With now_ just advanced to the next busy cycle: cascade coarser
+     * tiers into finer ones and move this cycle's events into current_.
+     */
+    void stageCurrentCycle();
+
+    void cascadeWheelBucket(Wheel &w, unsigned idx);
+
+    // Tier 1: same-cycle ring + a cursor over the level-0 bucket being
+    // executed in place. In-place execution is safe: a callback can
+    // never insert into the bucket under the cursor (same-cycle events
+    // go to the ring; the same index in the next block is outside the
+    // level-0 window), so the vector cannot reallocate mid-drain.
+    ReadyRing ready_;
+    std::vector<Slot> *curBucket_ = nullptr;
+    std::size_t curIdx_ = 0;
+
+    // Tier 2: hierarchical wheel. Level 0 is one bucket per cycle over
+    // the 256-cycle block containing now_ (bucket index = when & 255;
+    // every resident's target cycle is implied by its index). Levels 1
+    // and 2 bucket by bits 8..15 and 16..23 of the target cycle and are
+    // only ever populated with cycles in now_'s aligned 2^16 / 2^24
+    // enclosing windows, so indices never collide across windows.
+    std::array<std::vector<Slot>, 256> l0_;
+    Bitmap l0Bits_;
+    std::size_t l0Count_ = 0;
+    Wheel l1_;
+    Wheel l2_;
+    NodePool pool_;
+
+    // Tier 3: overflow min-heap for deltas >= kWheelSpan.
+    std::vector<TimedSlot> far_;
+
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t eventsExecuted_ = 0;
     bool stopped_ = false;
+    TierStats tierStats_;
 };
 
 } // namespace wisync::sim

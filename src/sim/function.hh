@@ -3,56 +3,202 @@
  * Move-only type-erased callable, used for event callbacks.
  *
  * std::function requires copyability, which rules out lambdas that own
- * coroutine frames or other move-only resources. This is a minimal
- * replacement (no small-buffer optimization; event rates in this
- * simulator make the allocation cost irrelevant next to model work).
+ * coroutine frames or other move-only resources. Unlike the original
+ * minimal replacement, this version carries a 48-byte small-buffer
+ * optimization: the lambdas scheduled on the hot path (a coroutine
+ * handle, a `this` pointer, a pointer plus a counter) are stored inline
+ * and never touch the heap, which is what makes the event kernel
+ * allocation-free in steady state.
+ *
+ * Inline storage is reserved for trivially-copyable payloads so that
+ * moving a UniqueFunction is always a plain byte copy (no per-type
+ * relocation call, no possibility of interior-pointer breakage).
+ * Anything larger or non-trivially-copyable — e.g. a detached task
+ * wrapper owning a coroutine frame, or a lambda owning a vector —
+ * transparently falls back to a heap allocation, exactly as before.
  */
 
 #ifndef WISYNC_SIM_FUNCTION_HH
 #define WISYNC_SIM_FUNCTION_HH
 
-#include <memory>
+#include <coroutine>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
 #include <utility>
 
 namespace wisync::sim {
 
-/** Move-only void() callable. */
+/** Move-only void() callable with small-buffer optimization. */
 class UniqueFunction
 {
   public:
+    /** Payloads up to this size (and trivially copyable) stay inline. */
+    static constexpr std::size_t kInlineSize = 48;
+    static constexpr std::size_t kInlineAlign = alignof(void *);
+
     UniqueFunction() = default;
 
-    template <typename F>
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, UniqueFunction>>>
     UniqueFunction(F &&f)
-        : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f)))
+    {
+        if constexpr (fitsInline<D>) {
+            ::new (static_cast<void *>(storage_)) D(std::forward<F>(f));
+            ops_ = &InlineOps<D>::ops;
+        } else {
+            D *p = new D(std::forward<F>(f));
+            std::memcpy(storage_, &p, sizeof(p));
+            ops_ = &HeapOps<D>::ops;
+        }
+    }
+
+    /**
+     * Wrap a coroutine resume. The handle is 8 bytes and trivially
+     * copyable, so it always lands in the inline buffer; this is what
+     * Engine::resumeHandle stores.
+     */
+    explicit UniqueFunction(std::coroutine_handle<> h)
+        : UniqueFunction(HandleResume{h})
     {}
 
-    UniqueFunction(UniqueFunction &&) = default;
-    UniqueFunction &operator=(UniqueFunction &&) = default;
+    // Relocation copies the whole inline buffer: payloads smaller than
+    // the buffer leave trailing bytes uninitialized, which is benign
+    // (they are never read through the payload type) but trips GCC's
+    // -Wmaybe-uninitialized.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+    UniqueFunction(UniqueFunction &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_ != nullptr)
+            std::memcpy(storage_, other.storage_, kInlineSize);
+        other.ops_ = nullptr;
+    }
+
+    UniqueFunction &
+    operator=(UniqueFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            if (other.ops_ != nullptr)
+                std::memcpy(storage_, other.storage_, kInlineSize);
+            ops_ = std::exchange(other.ops_, nullptr);
+        }
+        return *this;
+    }
+#pragma GCC diagnostic pop
+
     UniqueFunction(const UniqueFunction &) = delete;
     UniqueFunction &operator=(const UniqueFunction &) = delete;
 
-    explicit operator bool() const { return impl_ != nullptr; }
+    ~UniqueFunction() { reset(); }
 
-    void operator()() { impl_->call(); }
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void operator()() { ops_->call(storage_); }
+
+    /** True when the payload lives in the inline buffer (test hook). */
+    bool usesInlineStorage() const { return ops_ && ops_->inlineStored; }
 
   private:
-    struct Base
+    struct HandleResume
     {
-        virtual ~Base() = default;
-        virtual void call() = 0;
+        std::coroutine_handle<> h;
+        void operator()() const { h.resume(); }
     };
 
-    template <typename F>
-    struct Impl : Base
+    struct Ops
     {
-        explicit Impl(F &&f) : fn(std::move(f)) {}
-        explicit Impl(const F &f) : fn(f) {}
-        void call() override { fn(); }
-        F fn;
+        void (*call)(void *);
+        void (*destroy)(void *); // nullptr: trivially destructible inline
+        bool inlineStored;
     };
 
-    std::unique_ptr<Base> impl_;
+    // Inline storage demands trivial copyability: moves are memcpy, and
+    // trivially-copyable types are also trivially destructible, so the
+    // inline path needs no destroy hook at all.
+    template <typename D>
+    static constexpr bool fitsInline =
+        sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+        std::is_trivially_copyable_v<D>;
+
+    template <typename D>
+    struct InlineOps
+    {
+        static void
+        call(void *p)
+        {
+            (*std::launder(reinterpret_cast<D *>(p)))();
+        }
+        static constexpr Ops ops{&call, nullptr, true};
+    };
+
+    template <typename D>
+    struct HeapOps
+    {
+        static D *
+        ptr(void *p)
+        {
+            D *d;
+            std::memcpy(&d, p, sizeof(d));
+            return d;
+        }
+        static void call(void *p) { (*ptr(p))(); }
+        static void destroy(void *p) { delete ptr(p); }
+        static constexpr Ops ops{&call, &destroy, false};
+    };
+
+    void
+    reset()
+    {
+        if (ops_ && ops_->destroy)
+            ops_->destroy(storage_);
+        ops_ = nullptr;
+    }
+
+    alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+    const Ops *ops_ = nullptr;
+};
+
+/**
+ * Non-owning reference to a callable (the `void()`-shaped cousin of
+ * C++26 std::function_ref). Used for completion callbacks whose
+ * referent provably outlives the call — e.g. a commit lambda living in
+ * an awaiting coroutine frame — where std::function's copy + possible
+ * heap allocation is pure waste.
+ */
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F &, Args...>>>
+    FunctionRef(F &&f) noexcept
+        : obj_(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          call_([](void *obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F> *>(obj))(
+                  std::forward<Args>(args)...);
+          })
+    {}
+
+    R
+    operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void *obj_;
+    R (*call_)(void *, Args...);
 };
 
 } // namespace wisync::sim

@@ -81,15 +81,16 @@ DataChannel::arbitrate()
     }
 
     // Two or more heads in the same slot: every transmitter aborts
-    // after the listen cycle; the channel frees after 2 cycles.
+    // after the listen cycle; the channel frees after 2 cycles. One
+    // event per transmitter (rather than one owning the whole vector)
+    // keeps each callback inside the event slot's inline buffer; the
+    // per-attempt completion order matches the registration order.
     nextFree_ = engine_.now() + cfg_.collisionCycles;
     stats_.collisions.inc();
     stats_.busyCycles.inc(cfg_.collisionCycles);
-    engine_.scheduleIn(cfg_.collisionCycles,
-                       [attempts = std::move(attempts)] {
-                           for (Pending *p : attempts)
-                               p->done.set(Outcome::Collided);
-                       });
+    for (Pending *p : attempts)
+        engine_.scheduleIn(cfg_.collisionCycles,
+                           [p] { p->done.set(Outcome::Collided); });
 }
 
 Mac::Mac(sim::Engine &engine, DataChannel &channel, sim::Rng rng)

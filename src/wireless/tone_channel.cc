@@ -145,12 +145,18 @@ ToneChannel::allocatedCount() const
 }
 
 void
+ToneChannel::scheduleTick()
+{
+    engine_.scheduleIn(1, [this] { tick(); });
+}
+
+void
 ToneChannel::startTickerIfNeeded()
 {
     if (ticking_)
         return;
     ticking_ = true;
-    engine_.scheduleIn(1, [this] { tick(); });
+    scheduleTick();
 }
 
 void
@@ -189,7 +195,7 @@ ToneChannel::tick()
     } else {
         ++slotIdx_;
     }
-    engine_.scheduleIn(1, [this] { tick(); });
+    scheduleTick();
 }
 
 } // namespace wisync::wireless

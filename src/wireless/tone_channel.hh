@@ -151,6 +151,8 @@ class ToneChannel
     /** One 1 ns slot: scan the owning active barrier for silence. */
     void tick();
     void startTickerIfNeeded();
+    /** Queue the next tick one cycle out (calendar-tier event). */
+    void scheduleTick();
 
     sim::Engine &engine_;
     std::uint32_t numNodes_;

@@ -1,10 +1,14 @@
 /**
  * @file
- * Unit tests for the discrete-event engine.
+ * Unit tests for the discrete-event engine, including the three-tier
+ * scheduler's edge cases: run(limit) parking across wheel-level
+ * boundaries, stop() mid-cycle with same-cycle events pending, and the
+ * coroutine resume fast path.
  */
 
 #include <gtest/gtest.h>
 
+#include <coroutine>
 #include <vector>
 
 #include "sim/engine.hh"
@@ -108,6 +112,190 @@ TEST(Engine, ZeroDelaySelfScheduleMakesProgress)
     EXPECT_TRUE(eng.run());
     EXPECT_EQ(depth, 1000);
     EXPECT_EQ(eng.now(), 0u);
+}
+
+TEST(Engine, ScheduleAtNowFromInsideCallbackRunsSameCycle)
+{
+    Engine eng;
+    std::vector<int> order;
+    eng.schedule(7, [&] {
+        order.push_back(1);
+        // Absolute-time variant of the zero-delay self-schedule: the
+        // new event must run at cycle 7, after events already queued.
+        eng.schedule(eng.now(), [&] { order.push_back(3); });
+    });
+    eng.schedule(7, [&] { order.push_back(2); });
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eng.now(), 7u);
+}
+
+TEST(Engine, StopMidCycleKeepsSameCycleEventsPending)
+{
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+        eng.schedule(5, [&order, &eng, i] {
+            order.push_back(i);
+            if (i == 1)
+                eng.stop();
+        });
+    }
+    // Stopped after the second event: two same-cycle events pending.
+    EXPECT_FALSE(eng.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eng.pendingEvents(), 2u);
+    EXPECT_EQ(eng.now(), 5u);
+    // Resume finishes the cycle in the original insertion order.
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eng.now(), 5u);
+}
+
+TEST(Engine, StopFromRingEventKeepsRemainingRingPending)
+{
+    Engine eng;
+    std::vector<int> order;
+    eng.schedule(3, [&] {
+        order.push_back(0);
+        eng.scheduleIn(0, [&] { order.push_back(2); });
+        eng.scheduleIn(0, [&] { order.push_back(3); });
+        eng.stop();
+    });
+    eng.schedule(3, [&] { order.push_back(1); });
+    EXPECT_FALSE(eng.run());
+    EXPECT_EQ(order, (std::vector<int>{0}));
+    EXPECT_EQ(eng.pendingEvents(), 3u);
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, RunLimitResumesAcrossCalendarBlocks)
+{
+    // Events beyond the level-0 block (256 cycles) and beyond the
+    // level-1 window (65536 cycles) survive a park-and-resume at
+    // limits that land between them.
+    Engine eng;
+    std::vector<Cycle> fired;
+    for (Cycle when : {Cycle{10}, Cycle{300}, Cycle{70'000},
+                       Cycle{20'000'000}, (Cycle{1} << 25) + 9})
+        eng.schedule(when, [&fired, &eng] { fired.push_back(eng.now()); });
+
+    EXPECT_FALSE(eng.run(100)); // parks mid-block
+    EXPECT_EQ(eng.now(), 100u);
+    EXPECT_EQ(fired, (std::vector<Cycle>{10}));
+
+    EXPECT_FALSE(eng.run(299)); // parks one cycle before the event
+    EXPECT_EQ(eng.now(), 299u);
+
+    EXPECT_FALSE(eng.run(65'000)); // crosses the level-0 horizon
+    EXPECT_EQ(fired, (std::vector<Cycle>{10, 300}));
+
+    EXPECT_FALSE(eng.run(1'000'000)); // crosses the level-1 window
+    EXPECT_EQ(fired, (std::vector<Cycle>{10, 300, 70'000}));
+
+    EXPECT_TRUE(eng.run()); // drains the level-2 and overflow tiers
+    EXPECT_EQ(fired, (std::vector<Cycle>{10, 300, 70'000, 20'000'000,
+                                         (Cycle{1} << 25) + 9}));
+    EXPECT_EQ(eng.pendingEvents(), 0u);
+}
+
+TEST(Engine, ScheduleWhileParkedInsideBlock)
+{
+    // Park inside a block that still has a pending event, then insert
+    // an earlier event from outside; both must fire in time order.
+    Engine eng;
+    std::vector<Cycle> fired;
+    eng.schedule(200, [&] { fired.push_back(eng.now()); });
+    EXPECT_FALSE(eng.run(50));
+    eng.schedule(60, [&] { fired.push_back(eng.now()); });
+    eng.scheduleIn(0, [&] { fired.push_back(eng.now()); }); // at 50
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(fired, (std::vector<Cycle>{50, 60, 200}));
+}
+
+TEST(Engine, TierCountersClassifyInsertions)
+{
+    Engine eng;
+    eng.schedule(0, [] {});                    // ready ring
+    eng.schedule(3, [] {});                    // calendar level 0
+    eng.schedule(1000, [] {});                 // calendar level 1
+    eng.schedule(1'000'000, [] {});            // calendar level 2
+    eng.schedule(Cycle{1} << 30, [] {});       // overflow heap
+    const auto &ts = eng.tierStats();
+    EXPECT_EQ(ts.ready, 1u);
+    EXPECT_EQ(ts.calendar, 3u);
+    EXPECT_EQ(ts.heap, 1u);
+    EXPECT_EQ(eng.pendingEvents(), 5u);
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(eng.eventsExecuted(), 5u);
+    EXPECT_EQ(eng.pendingEvents(), 0u);
+}
+
+TEST(Engine, SameCycleOrderPreservedAcrossTierProvenance)
+{
+    // Two events for the same cycle, one scheduled from far away (it
+    // waits in a coarse tier) and one scheduled close by (level 0):
+    // insertion order must still decide the tie.
+    Engine eng;
+    std::vector<int> order;
+    const Cycle target = 70'000;
+    eng.schedule(target, [&] { order.push_back(1); }); // coarse resident
+    eng.schedule(69'990, [&] {
+        // Scheduled at target-10: lands in level 0, later insertion.
+        eng.schedule(target, [&] { order.push_back(2); });
+    });
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// --- resumeHandle fast path ---------------------------------------------
+
+struct FireAndForget
+{
+    struct promise_type
+    {
+        FireAndForget get_return_object() const { return {}; }
+        std::suspend_never initial_suspend() const noexcept { return {}; }
+        std::suspend_never final_suspend() const noexcept { return {}; }
+        void return_void() const {}
+        [[noreturn]] void unhandled_exception() const { std::terminate(); }
+    };
+};
+
+struct ResumeIn
+{
+    Engine &eng;
+    Cycle delta;
+    bool await_ready() const noexcept { return false; }
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        eng.resumeHandle(delta, h);
+    }
+    void await_resume() const noexcept {}
+};
+
+FireAndForget
+hopper(Engine &eng, std::vector<Cycle> &log)
+{
+    co_await ResumeIn{eng, 5};
+    log.push_back(eng.now());
+    co_await ResumeIn{eng, 0}; // same-cycle requeue
+    log.push_back(eng.now());
+    co_await ResumeIn{eng, 300}; // crosses the level-0 block
+    log.push_back(eng.now());
+}
+
+TEST(Engine, ResumeHandleDrivesCoroutineThroughTiers)
+{
+    Engine eng;
+    std::vector<Cycle> log;
+    hopper(eng, log);
+    EXPECT_EQ(eng.pendingEvents(), 1u);
+    EXPECT_TRUE(eng.run());
+    EXPECT_EQ(log, (std::vector<Cycle>{5, 5, 305}));
+    EXPECT_EQ(eng.eventsExecuted(), 3u);
 }
 
 } // namespace

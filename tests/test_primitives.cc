@@ -24,6 +24,26 @@ using wisync::coro::Task;
 using wisync::sim::Cycle;
 using wisync::sim::Engine;
 
+TEST(SpawnDetached, PendingSpawnReleasedOnEngineTeardown)
+{
+    // An engine destroyed before the spawn cycle must release the
+    // wrapper frame and the task moved into it (the spawn event owns
+    // them until fired). The assertion body is trivial; the real check
+    // is LeakSanitizer in the debug-asan-ubsan CI job.
+    bool ran = false;
+    {
+        Engine eng;
+        auto body = [&ran](Engine &e) -> Task<void> {
+            co_await delay(e, 5);
+            ran = true;
+        };
+        wisync::coro::spawnFn(eng, 10, body, std::ref(eng));
+        EXPECT_EQ(eng.pendingEvents(), 1u);
+        // Never run: teardown with the launcher still queued.
+    }
+    EXPECT_FALSE(ran);
+}
+
 TEST(SimMutex, SerializesCriticalSections)
 {
     Engine eng;
