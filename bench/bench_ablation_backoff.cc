@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/tight_loop.hh"
 
 using namespace wisync;
@@ -20,6 +21,7 @@ using namespace wisync;
 int
 main()
 {
+    harness::SweepHarness machines;
     const std::uint32_t cores =
         harness::sweepMode() == harness::SweepMode::Quick ? 16 : 64;
     workloads::TightLoopParams params;
@@ -36,7 +38,8 @@ main()
         auto cfg = core::MachineConfig::make(core::ConfigKind::WiSyncNoT,
                                              cores);
         cfg.wireless.maxBackoffExp = max_exp;
-        const auto r = workloads::runTightLoopCfg(cfg, params);
+        const auto r =
+            workloads::runTightLoopOn(machines.acquire(cfg), params);
         tab.row({std::to_string(max_exp),
                  r.completed
                      ? harness::fmt(static_cast<double>(r.cycles) /

@@ -14,6 +14,7 @@
 
 #include "core/machine.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "sync/wisync_sync.hh"
 
 using namespace wisync;
@@ -70,11 +71,12 @@ int
 main()
 {
     constexpr int kMsgs = 200;
+    harness::SweepHarness machines;
 
     // Bulk transfers.
     sim::Cycle bulk_cycles = 0;
     {
-        core::Machine m(
+        core::Machine &m = machines.acquire(
             core::MachineConfig::make(core::ConfigKind::WiSync, 2));
         sync::ProducerConsumer pc(m, 1);
         m.spawnThread(0, [&pc](core::ThreadCtx &ctx) {
@@ -87,10 +89,10 @@ main()
         bulk_cycles = m.engine().now();
     }
 
-    // Scalar stores.
+    // Scalar stores: the same machine, reset between sweep points.
     sim::Cycle scalar_cycles = 0;
     {
-        core::Machine m(
+        core::Machine &m = machines.acquire(
             core::MachineConfig::make(core::ConfigKind::WiSync, 2));
         ScalarChannel ch;
         ch.data = sync::setupBmWords(m, 4, 1);

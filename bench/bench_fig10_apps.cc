@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/apps.hh"
 
 using namespace wisync;
@@ -21,6 +22,7 @@ int
 main()
 {
     using core::ConfigKind;
+    harness::SweepHarness machines;
     const std::uint32_t cores =
         harness::sweepMode() == harness::SweepMode::Quick ? 16 : 64;
 
@@ -31,14 +33,15 @@ main()
 
     std::vector<double> sp_plus, sp_not, sp_full;
     for (const auto &app : workloads::appSuite()) {
-        const auto base =
-            workloads::runApp(app, ConfigKind::Baseline, cores);
-        const auto plus =
-            workloads::runApp(app, ConfigKind::BaselinePlus, cores);
-        const auto not_ =
-            workloads::runApp(app, ConfigKind::WiSyncNoT, cores);
-        const auto full =
-            workloads::runApp(app, ConfigKind::WiSync, cores);
+        auto run = [&](ConfigKind kind) {
+            return workloads::runAppOn(
+                app,
+                machines.acquire(core::MachineConfig::make(kind, cores)));
+        };
+        const auto base = run(ConfigKind::Baseline);
+        const auto plus = run(ConfigKind::BaselinePlus);
+        const auto not_ = run(ConfigKind::WiSyncNoT);
+        const auto full = run(ConfigKind::WiSync);
         const double b = static_cast<double>(base.cycles);
         sp_plus.push_back(b / static_cast<double>(plus.cycles));
         sp_not.push_back(b / static_cast<double>(not_.cycles));

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/apps.hh"
 
 using namespace wisync;
@@ -25,6 +26,7 @@ main()
 {
     using core::ConfigKind;
     using core::Variant;
+    harness::SweepHarness machines;
     const std::uint32_t cores =
         harness::sweepMode() == harness::SweepMode::Quick ? 16 : 64;
 
@@ -49,24 +51,22 @@ main()
         std::vector<double> sp_plus, sp_not, sp_full;
         for (const auto &name : names) {
             const auto &app = workloads::appByName(name);
-            const auto base =
-                workloads::runApp(app, ConfigKind::Baseline, cores, v);
-            const double b = static_cast<double>(base.cycles);
+            auto run = [&](ConfigKind kind) {
+                return workloads::runAppOn(
+                    app, machines.acquire(
+                             core::MachineConfig::make(kind, cores, v)));
+            };
+            const double b = static_cast<double>(
+                run(ConfigKind::Baseline).cycles);
             sp_plus.push_back(
                 b / static_cast<double>(
-                        workloads::runApp(app, ConfigKind::BaselinePlus,
-                                          cores, v)
-                            .cycles));
+                        run(ConfigKind::BaselinePlus).cycles));
             sp_not.push_back(
                 b / static_cast<double>(
-                        workloads::runApp(app, ConfigKind::WiSyncNoT,
-                                          cores, v)
-                            .cycles));
+                        run(ConfigKind::WiSyncNoT).cycles));
             sp_full.push_back(
-                b / static_cast<double>(
-                        workloads::runApp(app, ConfigKind::WiSync, cores,
-                                          v)
-                            .cycles));
+                b /
+                static_cast<double>(run(ConfigKind::WiSync).cycles));
         }
         fig.row({core::toString(v), harness::fmt(harness::geomean(sp_plus)),
                  harness::fmt(harness::geomean(sp_not)),

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/tight_loop.hh"
 
 using namespace wisync;
@@ -19,6 +20,7 @@ int
 main()
 {
     using core::ConfigKind;
+    harness::SweepHarness machines;
 
     std::vector<std::uint32_t> cores;
     switch (harness::sweepMode()) {
@@ -40,14 +42,15 @@ main()
     fig.header({"Cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync",
                 "Base/WiSync"});
     for (const auto n : cores) {
-        const auto base =
-            workloads::runTightLoop(ConfigKind::Baseline, n, params);
-        const auto plus =
-            workloads::runTightLoop(ConfigKind::BaselinePlus, n, params);
-        const auto not_ =
-            workloads::runTightLoop(ConfigKind::WiSyncNoT, n, params);
-        const auto full =
-            workloads::runTightLoop(ConfigKind::WiSync, n, params);
+        auto run = [&](ConfigKind kind) {
+            return workloads::runTightLoopOn(
+                machines.acquire(core::MachineConfig::make(kind, n)),
+                params);
+        };
+        const auto base = run(ConfigKind::Baseline);
+        const auto plus = run(ConfigKind::BaselinePlus);
+        const auto not_ = run(ConfigKind::WiSyncNoT);
+        const auto full = run(ConfigKind::WiSync);
         auto per = [](const workloads::KernelResult &r) {
             return static_cast<double>(r.cycles) /
                    static_cast<double>(r.operations);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/livermore.hh"
 
 using namespace wisync;
@@ -19,8 +20,9 @@ using namespace wisync;
 namespace {
 
 void
-sweep(workloads::LivermoreLoop loop, const char *name,
-      std::uint32_t cores, const std::vector<std::uint32_t> &lengths)
+sweep(harness::SweepHarness &machines, workloads::LivermoreLoop loop,
+      const char *name, std::uint32_t cores,
+      const std::vector<std::uint32_t> &lengths)
 {
     using core::ConfigKind;
     harness::TextTable fig(std::string("Figure 8: Livermore ") + name +
@@ -33,7 +35,11 @@ sweep(workloads::LivermoreLoop loop, const char *name,
         params.n = n;
         params.passes = 1;
         auto run = [&](ConfigKind kind) {
-            return workloads::runLivermore(loop, kind, cores, params)
+            return workloads::runLivermoreOn(
+                       loop,
+                       machines.acquire(
+                           core::MachineConfig::make(kind, cores)),
+                       params)
                 .cycles;
         };
         const auto base = run(ConfigKind::Baseline);
@@ -75,12 +81,13 @@ main()
         break;
     }
 
+    harness::SweepHarness machines;
     for (const auto cores : corecounts) {
-        sweep(workloads::LivermoreLoop::Iccg, "loop 2 (ICCG)", cores,
-              len23);
-        sweep(workloads::LivermoreLoop::InnerProduct,
+        sweep(machines, workloads::LivermoreLoop::Iccg, "loop 2 (ICCG)",
+              cores, len23);
+        sweep(machines, workloads::LivermoreLoop::InnerProduct,
               "loop 3 (inner product)", cores, len23);
-        sweep(workloads::LivermoreLoop::LinearRecurrence,
+        sweep(machines, workloads::LivermoreLoop::LinearRecurrence,
               "loop 6 (linear recurrence)", cores, len6);
     }
     return 0;

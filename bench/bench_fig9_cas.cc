@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/cas_kernels.hh"
 
 using namespace wisync;
@@ -19,7 +20,8 @@ using namespace wisync;
 namespace {
 
 void
-sweep(workloads::CasKernel kernel, const char *name, std::uint32_t cores,
+sweep(harness::SweepHarness &machines, workloads::CasKernel kernel,
+      const char *name, std::uint32_t cores,
       const std::vector<std::uint32_t> &cs_sizes)
 {
     using core::ConfigKind;
@@ -31,10 +33,14 @@ sweep(workloads::CasKernel kernel, const char *name, std::uint32_t cores,
         workloads::CasKernelParams params;
         params.criticalSectionInstr = cs;
         params.duration = 200'000 + static_cast<sim::Cycle>(cs) * 16;
-        const auto base = workloads::runCasKernel(
-            kernel, ConfigKind::Baseline, cores, params);
-        const auto wis = workloads::runCasKernel(
-            kernel, ConfigKind::WiSync, cores, params);
+        auto run = [&](ConfigKind kind) {
+            return workloads::runCasKernelOn(
+                kernel,
+                machines.acquire(core::MachineConfig::make(kind, cores)),
+                params);
+        };
+        const auto base = run(ConfigKind::Baseline);
+        const auto wis = run(ConfigKind::WiSync);
         fig.row({std::to_string(cs),
                  harness::fmt(base.opsPerKiloCycle(), 2),
                  harness::fmt(wis.opsPerKiloCycle(), 2),
@@ -68,10 +74,14 @@ main()
         break;
     }
 
+    harness::SweepHarness machines;
     for (const auto cores : corecounts) {
-        sweep(workloads::CasKernel::Fifo, "FIFO", cores, cs_sizes);
-        sweep(workloads::CasKernel::Lifo, "LIFO", cores, cs_sizes);
-        sweep(workloads::CasKernel::Add, "ADD", cores, cs_sizes);
+        sweep(machines, workloads::CasKernel::Fifo, "FIFO", cores,
+              cs_sizes);
+        sweep(machines, workloads::CasKernel::Lifo, "LIFO", cores,
+              cs_sizes);
+        sweep(machines, workloads::CasKernel::Add, "ADD", cores,
+              cs_sizes);
     }
     return 0;
 }

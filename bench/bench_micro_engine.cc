@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "coro/frame_pool.hh"
 #include "coro/primitives.hh"
 #include "core/machine.hh"
 #include "mem/mem_system.hh"
@@ -118,13 +119,27 @@ chain(sim::Engine &eng, int depth)
 void
 BM_CoroutineChain(benchmark::State &state)
 {
+    const auto before = coro::framePool().stats();
     for (auto _ : state) {
         sim::Engine eng;
         coro::spawnDetached(eng, chain(eng, 1000));
         eng.run();
         benchmark::DoNotOptimize(eng.now());
     }
+    const auto after = coro::framePool().stats();
     state.SetItemsProcessed(state.iterations() * 1000);
+    // Fraction of frame allocations served from the pool's free lists
+    // (steady state should be ~1; a drop means the pool regressed).
+    const double allocs =
+        static_cast<double>(after.pooledAllocs - before.pooledAllocs);
+    state.counters["pool_reuse_fraction"] =
+        allocs == 0.0
+            ? 0.0
+            : static_cast<double>(after.freelistReuses -
+                                  before.freelistReuses) /
+                  allocs;
+    state.counters["pool_fallback_allocs"] = static_cast<double>(
+        after.fallbackAllocs - before.fallbackAllocs);
 }
 BENCHMARK(BM_CoroutineChain);
 
@@ -195,6 +210,103 @@ BM_CoherentPingPong(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 400);
 }
 BENCHMARK(BM_CoherentPingPong);
+
+coro::Task<void>
+touchPoint(core::ThreadCtx &ctx)
+{
+    // A minimal but representative sweep-point body: a coherent RMW
+    // and a BM broadcast, so reset correctness (caches, directory, BM,
+    // channel) is exercised, not just construction.
+    co_await ctx.fetchAdd(0x1000'0000, 1);
+    co_await ctx.bmStore(0, 1);
+}
+
+void
+runSweepPoint(core::Machine &m)
+{
+    m.bm()->storeArray().setTag(0, 1);
+    m.spawnThread(0, [](core::ThreadCtx &ctx) { return touchPoint(ctx); });
+    m.run();
+}
+
+void
+BM_MachineBuildFresh(benchmark::State &state)
+{
+    // A/B pair with BM_MachineResetReuse: one sweep point per
+    // iteration on a freshly constructed machine. The ratio between
+    // the two is the regression gate for Machine::reset (same-runner,
+    // same-process, so absolute noise cancels). 64 cores = the
+    // figure benches' dominant shape.
+    const auto cfg =
+        core::MachineConfig::make(core::ConfigKind::WiSync, 64);
+    for (auto _ : state) {
+        core::Machine m(cfg);
+        runSweepPoint(m);
+        benchmark::DoNotOptimize(m.engine().now());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineBuildFresh);
+
+void
+BM_MachineResetReuse(benchmark::State &state)
+{
+    const auto cfg =
+        core::MachineConfig::make(core::ConfigKind::WiSync, 64);
+    core::Machine m(cfg);
+    for (auto _ : state) {
+        m.reset();
+        runSweepPoint(m);
+        benchmark::DoNotOptimize(m.engine().now());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineResetReuse);
+
+void
+BM_FramePoolChurn(benchmark::State &state)
+{
+    // A/B pair with BM_HeapChurn: the frame pool's alloc/free cycle on
+    // a realistic size mix versus the system allocator's.
+    static constexpr std::size_t kSizes[] = {96, 160, 224, 320, 480};
+    coro::FramePool pool;
+    void *live[64] = {};
+    std::size_t n = 0;
+    for (auto _ : state) {
+        if (n == 64) {
+            while (n > 0)
+                pool.deallocate(live[--n]);
+        }
+        live[n] = pool.allocate(kSizes[n % std::size(kSizes)]);
+        benchmark::DoNotOptimize(live[n]);
+        ++n;
+    }
+    while (n > 0)
+        pool.deallocate(live[--n]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FramePoolChurn);
+
+void
+BM_HeapChurn(benchmark::State &state)
+{
+    static constexpr std::size_t kSizes[] = {96, 160, 224, 320, 480};
+    void *live[64] = {};
+    std::size_t n = 0;
+    for (auto _ : state) {
+        if (n == 64) {
+            while (n > 0)
+                ::operator delete(live[--n]);
+        }
+        live[n] = ::operator new(kSizes[n % std::size(kSizes)]);
+        benchmark::DoNotOptimize(live[n]);
+        ++n;
+    }
+    while (n > 0)
+        ::operator delete(live[--n]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapChurn);
 
 void
 BM_BmBroadcastStore(benchmark::State &state)

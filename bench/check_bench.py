@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Ratio-based regression gate over BENCH_kernel.json.
+
+Absolute throughput numbers are far too noisy on shared CI runners to
+gate on, so every rule below is either a same-process A/B ratio
+(numerator and denominator measured in the same binary on the same
+runner, so machine speed cancels) or a deterministic counter emitted by
+the benchmark itself.
+
+Usage: bench/check_bench.py [BENCH_kernel.json]
+Exit status 0 = all gates pass.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    by_name = {}
+    for b in data.get("benchmarks", []):
+        by_name[b["name"]] = b
+    return by_name
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernel.json"
+    bench = load(path)
+    failures = []
+    checks = []
+
+    def need(name):
+        if name not in bench:
+            failures.append(f"missing benchmark: {name}")
+            return None
+        return bench[name]
+
+    def ratio_gate(num, den, minimum, why):
+        a, b = need(num), need(den)
+        if a is None or b is None:
+            return
+        r = a["items_per_second"] / b["items_per_second"]
+        line = f"{num}/{den} = {r:.2f} (gate: >= {minimum}) — {why}"
+        checks.append(line)
+        if r < minimum:
+            failures.append(f"FAIL {line}")
+
+    def counter_gate(name, counter, op, bound, why):
+        b = need(name)
+        if b is None:
+            return
+        if counter not in b:
+            failures.append(f"missing counter {name}:{counter}")
+            return
+        v = b[counter]
+        ok = v <= bound if op == "<=" else v >= bound
+        line = f"{name}:{counter} = {v} (gate: {op} {bound}) — {why}"
+        checks.append(line)
+        if not ok:
+            failures.append(f"FAIL {line}")
+
+    # Machine reuse: running a sweep point on a reset machine must be
+    # substantially faster than a rebuild (the PR's raison d'être).
+    ratio_gate("BM_MachineResetReuse", "BM_MachineBuildFresh", 1.15,
+               "Machine::reset must beat full reconstruction")
+
+    # Frame pool: pooled alloc/free must stay competitive with malloc
+    # (it is normally faster; 0.7 absorbs runner noise).
+    ratio_gate("BM_FramePoolChurn", "BM_HeapChurn", 0.7,
+               "frame pool must not regress below the system allocator")
+
+    # Deterministic scheduler-tier counters: the hot benches must never
+    # spill into the overflow heap, and coroutine frames must be served
+    # from the pool's free lists in steady state.
+    counter_gate("BM_EngineScheduleRunNearFuture", "tier_heap", "<=", 0,
+                 "near-future deltas belong in the calendar wheel")
+    counter_gate("BM_CoroutineResumeZeroDelay", "tier_heap", "<=", 0,
+                 "zero-delay resumes belong in the ready ring")
+    counter_gate("BM_CoroutineChain", "pool_reuse_fraction", ">=", 0.9,
+                 "steady-state frames must come from the free lists")
+    counter_gate("BM_CoroutineChain", "pool_fallback_allocs", "<=", 0,
+                 "model coroutine frames must fit the pooled classes")
+
+    for line in checks:
+        print(" ", line)
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print(f"all {len(checks)} bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,27 +2,146 @@
 #
 # Run the kernel micro-benchmarks (plus, with --all, the paper-figure
 # benches) in JSON mode and merge the results into BENCH_kernel.json at
-# the repository root. The file seeds the performance trajectory: diff
-# items_per_second between commits to catch kernel regressions.
+# the repository root. The file seeds the performance trajectory: the
+# ratio gates in bench/check_bench.py (run via --check, wired into CI)
+# compare same-process A/B pairs and deterministic counters, which are
+# robust on shared runners where absolute numbers are not.
+#
+# --sweep times the figure-bench sweeps twice — once with machine
+# reuse disabled (WISYNC_NO_REUSE=1, one Machine build per sweep
+# point) and once with the SweepHarness reusing machines via
+# Machine::reset — and records the same-session A/B to
+# BENCH_sweep.json. CPU (user) time is measured, not wall time: the
+# benches are single-threaded, and CPU time is robust against noisy
+# neighbours on shared runners. With --baseline-dir pointing at a
+# build of an older commit, each bench also gets a baseline leg (the
+# full before/after effect of reuse + frame pool + build cost).
 #
 # Usage: bench/run_bench.sh [--build-dir DIR] [--out FILE] [--all]
+#                           [--min-time SEC] [--check]
+#                           [--sweep [--sweep-out FILE]
+#                            [--baseline-dir DIR] [--baseline-name N]]
 
 set -euo pipefail
 
 BUILD_DIR=build
 OUT=BENCH_kernel.json
+SWEEP_OUT=BENCH_sweep.json
 ALL=0
+CHECK=0
+SWEEP=0
+MIN_TIME=0.5
+BASELINE_DIR=""
+BASELINE_NAME=baseline
 while [[ $# -gt 0 ]]; do
     case "$1" in
       --build-dir) BUILD_DIR=$2; shift 2 ;;
       --out) OUT=$2; shift 2 ;;
+      --sweep-out) SWEEP_OUT=$2; shift 2 ;;
       --all) ALL=1; shift ;;
+      --check) CHECK=1; shift ;;
+      --sweep) SWEEP=1; shift ;;
+      --min-time) MIN_TIME=$2; shift 2 ;;
+      --baseline-dir) BASELINE_DIR=$2; shift 2 ;;
+      --baseline-name) BASELINE_NAME=$2; shift 2 ;;
       *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
 done
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$REPO_ROOT"
+
+require_exe() {
+    if [[ ! -x $1 ]]; then
+        echo "missing $1 — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+        exit 1
+    fi
+}
+
+if [[ $SWEEP -eq 1 ]]; then
+    SWEEP_BENCHES=(bench_fig7_tightloop bench_fig8_livermore bench_fig9_cas
+                   bench_fig10_apps bench_fig11_sensitivity
+                   bench_ablation_backoff bench_ablation_bulk)
+    MODE=${WISYNC_QUICK:+quick}
+    MODE=${MODE:-${WISYNC_FULL:+full}}
+    MODE=${MODE:-default}
+    # One leg: best-of-3 CPU (user) milliseconds of one full sweep.
+    cpu_ms() {
+        local exe=$1
+        shift
+        local best=""
+        local rep t
+        for rep in 1 2 3; do
+            t=$( { env "$@" bash -c \
+                "TIMEFORMAT=%U; time \"$exe\" >/dev/null 2>&1"; } 2>&1 |
+                tail -1 )
+            t=$(python3 -c "print(int(float('$t') * 1000))")
+            if [[ -z $best || $t -lt $best ]]; then best=$t; fi
+        done
+        echo "$best"
+    }
+
+    ROWS=""
+    for b in "${SWEEP_BENCHES[@]}"; do
+        exe="$BUILD_DIR/bench/$b"
+        require_exe "$exe"
+        echo "== $b (A: fresh machines)"
+        fresh=$(cpu_ms "$exe" WISYNC_NO_REUSE=1)
+        echo "== $b (B: reset reuse)"
+        reuse=$(cpu_ms "$exe")
+        base=-1
+        if [[ -n $BASELINE_DIR ]]; then
+            bexe="$BASELINE_DIR/bench/$b"
+            require_exe "$bexe"
+            echo "== $b (C: $BASELINE_NAME)"
+            base=$(cpu_ms "$bexe")
+        fi
+        ROWS+="$b $fresh $reuse $base"$'\n'
+    done
+    ROWFILE=$(mktemp)
+    trap 'rm -f "$ROWFILE"' EXIT
+    printf '%s' "$ROWS" >"$ROWFILE"
+    python3 - "$SWEEP_OUT" "$MODE" "$ROWFILE" "$BASELINE_NAME" <<'EOF'
+import json, sys
+out, mode, name = sys.argv[1], sys.argv[2], sys.argv[4]
+rows = []
+for line in open(sys.argv[3]):
+    parts = line.split()
+    if len(parts) != 4:
+        continue
+    bench, fresh, reuse, base = parts[0], int(parts[1]), int(parts[2]), \
+        int(parts[3])
+    row = {
+        "name": bench,
+        "fresh_cpu_seconds": round(fresh / 1e3, 3),
+        "reuse_cpu_seconds": round(reuse / 1e3, 3),
+        "speedup_fresh_over_reuse": round(fresh / max(1, reuse), 2),
+    }
+    if base >= 0:
+        row[f"{name}_cpu_seconds"] = round(base / 1e3, 3)
+        row[f"speedup_{name}_over_reuse"] = round(base / max(1, reuse), 2)
+    rows.append(row)
+doc = {
+    "sweep_mode": mode,
+    "method": "best-of-3 CPU (user) seconds per full sweep, same "
+              "session; fresh = WISYNC_NO_REUSE=1 (one Machine build "
+              "per sweep point), reuse = SweepHarness + Machine::reset",
+    "benches": rows,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+print(f"wrote {out}")
+for r in rows:
+    extra = ""
+    k = f"speedup_{name}_over_reuse"
+    if k in r:
+        extra = f", {r[k]}x vs {name}"
+    print(f"  {r['name']}: {r['fresh_cpu_seconds']}s fresh vs "
+          f"{r['reuse_cpu_seconds']}s reuse "
+          f"({r['speedup_fresh_over_reuse']}x{extra})")
+EOF
+    exit 0
+fi
 
 BENCHES=(bench_micro_engine)
 if [[ $ALL -eq 1 ]]; then
@@ -36,12 +155,9 @@ trap 'rm -rf "$TMP"' EXIT
 
 for b in "${BENCHES[@]}"; do
     exe="$BUILD_DIR/bench/$b"
-    if [[ ! -x $exe ]]; then
-        echo "missing $exe — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-        exit 1
-    fi
+    require_exe "$exe"
     echo "== $b"
-    "$exe" --benchmark_format=json --benchmark_min_time=0.5 \
+    "$exe" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
         >"$TMP/$b.json"
 done
 
@@ -61,3 +177,7 @@ with open(out, "w") as f:
     json.dump(merged, f, indent=1)
 print(f"wrote {out} with {len(merged['benchmarks'])} benchmarks")
 EOF
+
+if [[ $CHECK -eq 1 ]]; then
+    python3 bench/check_bench.py "$OUT"
+fi

@@ -1,6 +1,9 @@
 #include "bm/bm_store.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace wisync::bm {
 
@@ -63,6 +66,28 @@ BmStore::tag(sim::BmAddr addr) const
 {
     WISYNC_ASSERT(addr < words_, "BM tag OOB");
     return tags_[addr];
+}
+
+void
+BmStore::reset()
+{
+    for (auto &replica : replicas_)
+        std::fill(replica.begin(), replica.end(), 0);
+    std::fill(tags_.begin(), tags_.end(), kNoPid);
+    watches_.clear();
+}
+
+std::uint64_t
+BmStore::fingerprint() const
+{
+    std::uint64_t acc = 0x9E3779B97F4A7C15ull;
+    for (std::uint32_t n = 0; n < numNodes_; ++n)
+        for (std::uint32_t w = 0; w < words_; ++w)
+            acc += sim::mix64((std::uint64_t{n} << 32 | w) ^
+                              sim::mix64(replicas_[n][w]));
+    for (std::uint32_t w = 0; w < words_; ++w)
+        acc += sim::mix64(~std::uint64_t{w} ^ sim::mix64(tags_[w]));
+    return acc;
 }
 
 coro::VersionedEvent &

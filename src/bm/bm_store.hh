@@ -59,6 +59,15 @@ class BmStore
     /** Per-(node,word) update event for event-driven spinning. */
     coro::VersionedEvent &watch(sim::NodeId node, sim::BmAddr addr);
 
+    /** All replicas zero, all tags free, no watchers (no realloc). */
+    void reset();
+
+    /**
+     * Order-independent digest of every replica's values plus the PID
+     * tags (reset-equivalence test support).
+     */
+    std::uint64_t fingerprint() const;
+
   private:
     sim::Engine &engine_;
     std::uint32_t numNodes_;

@@ -16,13 +16,34 @@ BmSystem::BmSystem(sim::Engine &engine, std::uint32_t num_nodes,
     for (std::uint32_t n = 0; n < numNodes_; ++n)
         macs_.push_back(std::make_unique<wireless::Mac>(engine_, channel_,
                                                         rng.fork()));
-    if (with_tone) {
-        tone_ = std::make_unique<wireless::ToneChannel>(engine_, numNodes_,
-                                                        cfg_.allocSlots);
-        tone_->setReleaseHandler(
-            [this](sim::BmAddr addr) { store_.toggleAll(addr); });
-    }
+    // The Tone channel hardware is always built; whether the config
+    // exposes it (WiSync vs WiSyncNoT) is a flag, so reset() can move
+    // one machine between kinds without reallocating anything.
+    tone_ = std::make_unique<wireless::ToneChannel>(engine_, numNodes_,
+                                                    cfg_.allocSlots);
+    tone_->setReleaseHandler(
+        [this](sim::BmAddr addr) { store_.toggleAll(addr); });
+    toneEnabled_ = with_tone;
     pendingRmw_.resize(numNodes_);
+}
+
+void
+BmSystem::reset(const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
+                sim::Rng rng, bool with_tone)
+{
+    WISYNC_FATAL_IF(cfg.words() != cfg_.words() ||
+                        cfg.allocSlots != cfg_.allocSlots,
+                    "BmSystem::reset cannot change BM capacity");
+    cfg_ = cfg;
+    store_.reset();
+    channel_.reset(wcfg);
+    // Same fork order as construction: node 0 first.
+    for (auto &mac : macs_)
+        mac->reset(rng.fork());
+    tone_->reset();
+    toneEnabled_ = with_tone;
+    pendingRmw_.assign(numNodes_, PendingRmw{});
+    stats_.reset();
 }
 
 void
@@ -226,7 +247,7 @@ coro::Task<void>
 BmSystem::toneStore(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
 {
     checkPid(addr, pid);
-    WISYNC_ASSERT(tone_ != nullptr,
+    WISYNC_ASSERT(toneEnabled_,
                   "tone_st requires the Tone channel (WiSync config)");
     stats_.toneStores.inc();
     co_await coro::delay(engine_, 1); // tone-controller access
@@ -311,7 +332,7 @@ BmSystem::deallocEntries(sim::NodeId node, sim::BmAddr addr,
 bool
 BmSystem::allocToneBarrier(sim::BmAddr addr, std::vector<bool> armed)
 {
-    if (!tone_)
+    if (!toneEnabled_)
         return false;
     return tone_->alloc(addr, std::move(armed));
 }
@@ -319,7 +340,7 @@ BmSystem::allocToneBarrier(sim::BmAddr addr, std::vector<bool> armed)
 void
 BmSystem::deallocToneBarrier(sim::BmAddr addr)
 {
-    if (tone_)
+    if (toneEnabled_)
         tone_->dealloc(addr);
 }
 

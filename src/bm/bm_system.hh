@@ -105,6 +105,9 @@ struct BmStats
     sim::Counter toneStores;
     sim::Counter toneAnnouncements;
     sim::Counter protectionFaults;
+
+    /** Zero everything (assignment cannot miss a late-added field). */
+    void reset() { *this = {}; }
 };
 
 /**
@@ -202,11 +205,29 @@ class BmSystem
 
     BmStore &storeArray() { return store_; }
     wireless::DataChannel &dataChannel() { return channel_; }
-    wireless::ToneChannel *toneChannel() { return tone_.get(); }
+    wireless::ToneChannel *
+    toneChannel()
+    {
+        return toneEnabled_ ? tone_.get() : nullptr;
+    }
     wireless::Mac &mac(sim::NodeId node) { return *macs_[node]; }
     const BmStats &stats() const { return stats_; }
     const BmConfig &config() const { return cfg_; }
-    bool hasTone() const { return tone_ != nullptr; }
+    bool hasTone() const { return toneEnabled_; }
+
+    /**
+     * Return to post-construction state, optionally retiming: zeroed
+     * store, idle channels, fresh per-node MAC backoff/RNG streams
+     * (@p rng must be the same fork the constructor received so a
+     * reset machine draws the exact sequence a fresh one would), no
+     * pending RMWs, zero stats. @p cfg / @p wcfg may change timing
+     * only (capacity and AllocB slots are fixed at construction);
+     * @p with_tone may flip the Tone channel on or off (the channel
+     * hardware is always built — availability is a config property,
+     * which is what lets one machine serve every ConfigKind).
+     */
+    void reset(const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
+               sim::Rng rng, bool with_tone);
 
   private:
     void checkPid(sim::BmAddr addr, sim::Pid pid, std::uint32_t count = 1);
@@ -233,7 +254,9 @@ class BmSystem
     BmStore store_;
     wireless::DataChannel channel_;
     std::vector<std::unique_ptr<wireless::Mac>> macs_;
+    /** Always constructed; gated by toneEnabled_ (WiSyncNoT). */
     std::unique_ptr<wireless::ToneChannel> tone_;
+    bool toneEnabled_ = true;
     std::vector<PendingRmw> pendingRmw_; // per node
     BmStats stats_;
 };

@@ -14,11 +14,52 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
     mesh_ = std::make_unique<noc::Mesh>(engine_, cfg_.mesh);
     mem_ = std::make_unique<mem::MemSystem>(engine_, *mesh_, memory_,
                                             cfg_.numCores, cfg_.mem);
-    if (cfg_.hasWireless()) {
-        bm_ = std::make_unique<bm::BmSystem>(engine_, cfg_.numCores,
-                                             cfg_.bm, cfg_.wireless,
-                                             rng_.fork(), cfg_.hasTone());
-    }
+    // The wireless substrate is always built (it is small next to the
+    // cache/directory arrays); whether the config exposes it is gated
+    // in bm(). This makes every ConfigKind the same structural shape,
+    // so a sweep over kinds runs on one reset-reused machine.
+    bm_ = std::make_unique<bm::BmSystem>(engine_, cfg_.numCores, cfg_.bm,
+                                         cfg_.wireless, rng_.fork(),
+                                         cfg_.hasTone());
+}
+
+Machine::~Machine()
+{
+    // Frames of live threads/transactions reference the subsystems
+    // (mesh links, BM channels) through their local RAII guards;
+    // destroy them while every subsystem is still alive. ~Engine would
+    // otherwise do this after mesh_/mem_/bm_ are gone.
+    engine_.destroyLiveRoots();
+}
+
+void
+Machine::reset()
+{
+    reset(cfg_);
+}
+
+void
+Machine::reset(const MachineConfig &cfg)
+{
+    WISYNC_FATAL_IF(!cfg.compatibleShape(cfg_),
+                    "Machine::reset requires a shape-compatible config "
+                    "(same kind/cores/cache/BM geometry)");
+    cfg_ = cfg;
+    // Engine first: destroys live thread/transaction frames (whose
+    // teardown may touch subsystem mutexes) and drops every pending
+    // event, so the subsystem resets below never orphan a waiter.
+    engine_.reset();
+    // Mirror the constructor's RNG draw order exactly: seed the
+    // machine stream, then hand the BM system the first fork.
+    rng_.reseed(cfg_.seed);
+    memory_.clear();
+    mesh_->reset(cfg_.mesh);
+    mem_->reset(cfg_.mem);
+    bm_->reset(cfg_.bm, cfg_.wireless, rng_.fork(), cfg_.hasTone());
+    threads_.clear();
+    liveThreads_ = 0;
+    nextMem_ = kMemBase;
+    nextBm_ = 0;
 }
 
 ThreadCtx &
@@ -60,7 +101,7 @@ Machine::allocMem(std::uint64_t bytes, std::uint64_t align)
 bool
 Machine::allocBm(std::uint32_t words, sim::BmAddr &out)
 {
-    WISYNC_ASSERT(bm_ != nullptr, "allocBm on a machine without BM");
+    WISYNC_ASSERT(cfg_.hasWireless(), "allocBm on a machine without BM");
     if (nextBm_ + words > bm_->config().words())
         return false;
     out = nextBm_;

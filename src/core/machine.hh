@@ -113,6 +113,29 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &cfg);
+    ~Machine(); // destroys live thread/transaction frames first
+
+    /**
+     * Return every subsystem to its post-construction state without
+     * reallocating the subsystem graph, so one Machine can serve many
+     * sweep points (construction is the wall-time bottleneck of tight
+     * sweep loops).
+     *
+     * Contract: after reset() the machine is observationally identical
+     * to a freshly constructed Machine(config()) — same RNG streams,
+     * same event ordering, bit-identical stats and final memory/BM
+     * contents for the same workload (locked in by
+     * tests/test_machine_reset.cc). Legal at any point outside run():
+     * in-flight threads and hardware transactions are destroyed
+     * through the engine's detached-root registry.
+     *
+     * The overload taking a config may retime the machine (latencies,
+     * seed, issue width, MAC backoff, multicast mode) but must keep
+     * the structural shape — cfg.compatibleShape(config()) — since
+     * caches, BM arrays and the mesh are not reallocated.
+     */
+    void reset();
+    void reset(const MachineConfig &cfg);
 
     using ThreadBody = std::function<coro::Task<void>(ThreadCtx &)>;
 
@@ -136,7 +159,18 @@ class Machine
     noc::Mesh &mesh() { return *mesh_; }
     mem::Memory &memory() { return memory_; }
     mem::MemSystem &mem() { return *mem_; }
-    bm::BmSystem *bm() { return bm_.get(); }
+
+    /**
+     * The Broadcast Memory system, or nullptr on wired configs. The
+     * substrate is physically present on every machine (a structural
+     * invariant that lets reset() move a machine between kinds);
+     * whether the config exposes it is this gate.
+     */
+    bm::BmSystem *
+    bm()
+    {
+        return cfg_.hasWireless() ? bm_.get() : nullptr;
+    }
     const MachineConfig &config() const { return cfg_; }
     sim::Rng &rng() { return rng_; }
 
@@ -151,6 +185,9 @@ class Machine
     bool allocBm(std::uint32_t words, sim::BmAddr &out);
 
   private:
+    /** Base of the workload bump allocator in regular memory. */
+    static constexpr sim::Addr kMemBase = 0x1000'0000;
+
     MachineConfig cfg_;
     sim::Engine engine_;
     sim::Rng rng_;
@@ -160,7 +197,7 @@ class Machine
     std::unique_ptr<bm::BmSystem> bm_;
     std::vector<std::unique_ptr<ThreadCtx>> threads_;
     std::uint32_t liveThreads_ = 0;
-    sim::Addr nextMem_ = 0x1000'0000;
+    sim::Addr nextMem_ = kMemBase;
     sim::BmAddr nextBm_ = 0;
 };
 

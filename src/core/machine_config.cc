@@ -69,6 +69,25 @@ MachineConfig::make(ConfigKind kind, std::uint32_t cores, Variant variant)
     return cfg;
 }
 
+bool
+MachineConfig::compatibleShape(const MachineConfig &other) const
+{
+    // kind is deliberately NOT structural: every machine carries the
+    // full wired + wireless substrate, and reset() re-gates it, so a
+    // sweep over the four kinds reuses one machine per core count.
+    return numCores == other.numCores &&
+           mesh.numNodes == other.mesh.numNodes &&
+           mem.lineBytes == other.mem.lineBytes &&
+           mem.l1SizeBytes == other.mem.l1SizeBytes &&
+           mem.l1Assoc == other.mem.l1Assoc &&
+           mem.l2BankSizeBytes == other.mem.l2BankSizeBytes &&
+           mem.l2Assoc == other.mem.l2Assoc &&
+           mem.numMemCtrls == other.mem.numMemCtrls &&
+           mem.dramOutstanding == other.mem.dramOutstanding &&
+           bm.bmBytes == other.bm.bmBytes &&
+           bm.allocSlots == other.bm.allocSlots;
+}
+
 std::string
 MachineConfig::describe() const
 {

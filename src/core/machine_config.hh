@@ -68,6 +68,16 @@ struct MachineConfig
     static MachineConfig make(ConfigKind kind, std::uint32_t cores,
                               Variant variant = Variant::Default);
 
+    /**
+     * True when a Machine built from this config can be reused for
+     * @p other via Machine::reset: the same structural geometry (core
+     * count, cache/BM capacities, controller counts). The kind,
+     * timing knobs, seed and issue width may differ freely — reset()
+     * re-applies them (the wireless substrate is always built and
+     * merely gated per kind).
+     */
+    bool compatibleShape(const MachineConfig &other) const;
+
     /** Human-readable one-liner for harness output. */
     std::string describe() const;
 };

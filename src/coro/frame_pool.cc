@@ -1,0 +1,119 @@
+#include "coro/frame_pool.hh"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace wisync::coro {
+
+namespace {
+
+/**
+ * Per-frame header. 16 bytes keeps the frame itself on the default
+ * operator-new alignment; `cls` routes deallocation, and the magic
+ * value guards against a foreign pointer reaching deallocate().
+ */
+struct Header
+{
+    std::uint32_t cls;
+    std::uint32_t magic;
+    std::uint64_t pad;
+};
+
+constexpr std::uint32_t kPooledMagic = 0x46724d50;   // "FrMP"
+constexpr std::uint32_t kFallbackMagic = 0x46724d46; // "FrMF"
+constexpr std::uint32_t kFallbackClass = 0xffffffffu;
+
+static_assert(sizeof(Header) == 16);
+static_assert(sizeof(Header) % FramePool::kAlign == 0,
+              "the header must preserve frame alignment");
+
+} // namespace
+
+FramePool::~FramePool()
+{
+    // All engines (and hence all frames) are gone by the time the
+    // thread-local pool dies; hand the arenas back.
+    for (std::byte *c : chunks_)
+        ::operator delete(c);
+}
+
+void *
+FramePool::allocate(std::size_t bytes)
+{
+    const std::size_t total = bytes + sizeof(Header);
+    if (total > kMaxPooled) {
+        auto *raw = static_cast<std::byte *>(::operator new(total));
+        const Header h{kFallbackClass, kFallbackMagic, 0};
+        std::memcpy(raw, &h, sizeof(h));
+        ++stats_.fallbackAllocs;
+        return raw + sizeof(Header);
+    }
+
+    const std::size_t cls = classOf(total);
+    std::byte *raw;
+    if (free_[cls] != nullptr) {
+        raw = reinterpret_cast<std::byte *>(free_[cls]);
+        free_[cls] = free_[cls]->next;
+        ++stats_.freelistReuses;
+    } else {
+        const std::size_t need = (cls + 1) * kGranule;
+        if (bumpLeft_ < need) {
+            // The chunk tail that cannot hold this class is abandoned
+            // (bounded waste: < one max-size allocation per chunk).
+            bump_ = static_cast<std::byte *>(::operator new(kChunkBytes));
+            bumpLeft_ = kChunkBytes;
+            chunks_.push_back(bump_);
+            ++stats_.chunks;
+        }
+        raw = bump_;
+        bump_ += need;
+        bumpLeft_ -= need;
+    }
+    const Header h{static_cast<std::uint32_t>(cls), kPooledMagic, 0};
+    std::memcpy(raw, &h, sizeof(h));
+    ++stats_.pooledAllocs;
+    return raw + sizeof(Header);
+}
+
+void
+FramePool::deallocate(void *p) noexcept
+{
+    auto *raw = static_cast<std::byte *>(p) - sizeof(Header);
+    // Copy the header out before it is overwritten: the free-list link
+    // written below aliases the header bytes.
+    Header h;
+    std::memcpy(&h, raw, sizeof(h));
+    assert(h.magic ==
+           (h.cls == kFallbackClass ? kFallbackMagic : kPooledMagic));
+    if (h.cls == kFallbackClass) {
+        ++stats_.fallbackFrees;
+        ::operator delete(raw);
+        return;
+    }
+    auto *node = reinterpret_cast<FreeNode *>(raw);
+    node->next = free_[h.cls];
+    free_[h.cls] = node;
+    ++stats_.pooledFrees;
+}
+
+FramePool &
+framePool()
+{
+    thread_local FramePool pool;
+    return pool;
+}
+
+void *
+framePoolAllocate(std::size_t bytes)
+{
+    return framePool().allocate(bytes);
+}
+
+void
+framePoolDeallocate(void *p) noexcept
+{
+    framePool().deallocate(p);
+}
+
+} // namespace wisync::coro

@@ -166,6 +166,18 @@ class SimMutex
     bool locked() const { return locked_; }
     std::size_t waiting() const { return waiters_.size(); }
 
+    /**
+     * Drop all state (unlocked, no waiters). Only valid while no
+     * coroutine that could legally resume still waits — i.e. after the
+     * engine destroyed the frames parked here (Machine::reset).
+     */
+    void
+    reset()
+    {
+        locked_ = false;
+        waiters_.clear();
+    }
+
   private:
     sim::Engine &engine_;
     bool locked_ = false;
@@ -259,6 +271,14 @@ class Resource
 
     std::uint32_t available() const { return available_; }
 
+    /** Full capacity, no waiters (see SimMutex::reset caveat). */
+    void
+    reset()
+    {
+        available_ = capacity_;
+        waiters_.clear();
+    }
+
   private:
     sim::Engine &engine_;
     std::uint32_t available_;
@@ -313,6 +333,9 @@ class CondVar
     }
 
     std::size_t waiting() const { return waiters_.size(); }
+
+    /** Forget all waiters (see SimMutex::reset caveat). */
+    void reset() { waiters_.clear(); }
 
   private:
     sim::Engine &engine_;
@@ -401,6 +424,14 @@ class VersionedEvent
             co_await cv_.wait();
     }
 
+    /** Back to generation zero, no waiters (see SimMutex::reset). */
+    void
+    reset()
+    {
+        gen_ = 0;
+        cv_.reset();
+    }
+
   private:
     std::uint64_t gen_ = 0;
     CondVar cv_;
@@ -413,14 +444,30 @@ namespace detail {
  *
  * Created suspended: the spawn functions build the frame eagerly (so
  * the callable and its arguments move straight into it, with no
- * intermediate closure) and hand the raw handle to the engine's
- * resumeHandle fast path. On completion the frame destroys itself
- * (final_suspend never suspends).
+ * intermediate closure), register it in the engine's detached-root
+ * registry, and hand the raw handle to the resumeHandle fast path. On
+ * completion the frame releases its registry slot and destroys itself
+ * (final_suspend never suspends); an engine reset or destroyed with
+ * the root still live destroys it through the registry instead, which
+ * recursively tears down everything the root owns.
  */
 struct Detached
 {
     struct promise_type
     {
+        /** Wrapper frames come from the same pool as Task frames. */
+        static void *
+        operator new(std::size_t bytes)
+        {
+            return framePoolAllocate(bytes);
+        }
+
+        static void
+        operator delete(void *p) noexcept
+        {
+            framePoolDeallocate(p);
+        }
+
         Detached
         get_return_object()
         {
@@ -436,40 +483,14 @@ struct Detached
     std::coroutine_handle<> handle;
 };
 
-/**
- * Owns a suspended Detached frame until the engine fires it. Spawn
- * events must not be fire-and-forget raw handles: if the engine is
- * destroyed (or never run) before the spawn cycle, the wrapper frame —
- * and the Task moved into it — must still be destroyed. Deliberately
- * not trivially copyable, so UniqueFunction stores it on its owning
- * heap path.
- */
-class Launcher
+/** Register an eagerly-built root frame and schedule its first resume. */
+inline void
+launchDetached(sim::Engine &engine, std::uint32_t slot,
+               std::coroutine_handle<> h, sim::Cycle delta)
 {
-  public:
-    explicit Launcher(std::coroutine_handle<> h) : h_(h) {}
-    Launcher(Launcher &&o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
-    Launcher(const Launcher &) = delete;
-    Launcher &operator=(const Launcher &) = delete;
-    Launcher &operator=(Launcher &&) = delete;
-
-    ~Launcher()
-    {
-        if (h_)
-            h_.destroy();
-    }
-
-    void
-    operator()()
-    {
-        // The frame self-destroys on completion; release ownership
-        // before resuming.
-        std::exchange(h_, nullptr).resume();
-    }
-
-  private:
-    std::coroutine_handle<> h_;
-};
+    engine.bindRoot(slot, h);
+    engine.resumeHandle(delta, h);
+}
 
 } // namespace detail
 
@@ -487,16 +508,18 @@ spawnDetached(sim::Engine &engine, Task<void> task, Done on_done,
               sim::Cycle delta = 0)
 {
     // The wrapper coroutine owns the task frame for its whole lifetime;
-    // the task body starts when the engine resumes the wrapper. The
-    // Launcher owns the wrapper until then, so an engine torn down
-    // before the spawn cycle still releases everything.
-    auto runner = [](Task<void> t, Done done) -> detail::Detached {
+    // the task body starts when the engine resumes the wrapper.
+    auto runner = [](sim::Engine *eng, std::uint32_t slot, Task<void> t,
+                     Done done) -> detail::Detached {
         co_await t;
         done();
+        eng->releaseRoot(slot);
     };
-    engine.scheduleIn(
-        delta,
-        detail::Launcher(runner(std::move(task), std::move(on_done)).handle));
+    const std::uint32_t slot = engine.reserveRoot();
+    detail::launchDetached(
+        engine, slot,
+        runner(&engine, slot, std::move(task), std::move(on_done)).handle,
+        delta);
 }
 
 /** spawnDetached without a completion callback. */
@@ -520,12 +543,16 @@ template <typename Fn, typename... Args>
 void
 spawnFn(sim::Engine &engine, sim::Cycle delta, Fn fn, Args... args)
 {
-    auto runner = [](Fn fn, Args... args) -> detail::Detached {
+    auto runner = [](sim::Engine *eng, std::uint32_t slot, Fn fn,
+                     Args... args) -> detail::Detached {
         co_await std::invoke(fn, std::move(args)...);
+        eng->releaseRoot(slot);
     };
-    engine.scheduleIn(
-        delta,
-        detail::Launcher(runner(std::move(fn), std::move(args)...).handle));
+    const std::uint32_t slot = engine.reserveRoot();
+    detail::launchDetached(
+        engine, slot,
+        runner(&engine, slot, std::move(fn), std::move(args)...).handle,
+        delta);
 }
 
 /** spawnFn starting at the current cycle. */

@@ -24,9 +24,12 @@
 #define WISYNC_CORO_TASK_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "coro/frame_pool.hh"
 
 namespace wisync::coro {
 
@@ -38,6 +41,21 @@ namespace detail {
 /** State shared by all task promises: continuation + error slot. */
 struct TaskPromiseBase
 {
+    // Frames are allocated from the thread-local size-classed pool:
+    // steady-state spawn/await/complete cycles never touch malloc
+    // (oversized frames transparently fall back inside the pool).
+    static void *
+    operator new(std::size_t bytes)
+    {
+        return framePoolAllocate(bytes);
+    }
+
+    static void
+    operator delete(void *p) noexcept
+    {
+        framePoolDeallocate(p);
+    }
+
     std::coroutine_handle<> continuation = std::noop_coroutine();
     std::exception_ptr error;
 

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Machine reuse across sweep points.
+ *
+ * Every figure bench is a sweep over (config kind, core count,
+ * variant, workload parameters); rebuilding the full Machine — mesh,
+ * caches, directory, BM replicas — at each point dominates the sweep's
+ * wall time. The harness keeps one Machine per structural shape
+ * (MachineConfig::compatibleShape) and serves later points on that
+ * shape through Machine::reset, which is observationally identical to
+ * a fresh build (locked by tests/test_machine_reset.cc), so the
+ * figures are bit-for-bit unchanged.
+ *
+ * Setting WISYNC_NO_REUSE=1 disables reuse (every acquire builds a
+ * fresh machine); bench/run_bench.sh --sweep uses that for same-runner
+ * A/B wall-time comparisons recorded in BENCH_sweep.json.
+ */
+
+#ifndef WISYNC_HARNESS_SWEEP_HH
+#define WISYNC_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace wisync::harness {
+
+/**
+ * Cache of reusable Machines, keyed by structural shape.
+ *
+ * The cache is LRU-bounded (default 4 shapes, WISYNC_SWEEP_CACHE
+ * overrides): a figure sweep touches at most the four ConfigKinds per
+ * core count, while an unbounded cache across a core-count sweep
+ * would pin hundreds of megabytes of dead tag arrays — blocking the
+ * allocator from recycling those (warm) pages into the next build,
+ * which is slower than not caching at all.
+ */
+class SweepHarness
+{
+  public:
+    SweepHarness() = default;
+
+    /**
+     * A machine configured exactly per @p cfg, ready to run from
+     * cycle 0: either a reset shape-compatible cached machine or a
+     * fresh build. Treat the reference as valid only until the next
+     * acquire(): with reuse on it actually lives until the shape ages
+     * out of the LRU cache, but in WISYNC_NO_REUSE mode every acquire
+     * destroys the previous machine first.
+     */
+    core::Machine &acquire(const core::MachineConfig &cfg);
+
+    /** Machines constructed / served by reset so far. */
+    std::uint64_t builds() const { return builds_; }
+    std::uint64_t reuses() const { return reuses_; }
+
+    /** Drop every cached machine. */
+    void clear() { machines_.clear(); }
+
+    /** Max cached shapes (WISYNC_SWEEP_CACHE, default 4). */
+    static std::size_t capacity();
+
+    /** False when WISYNC_NO_REUSE=1 (A/B measurement mode). */
+    static bool reuseEnabled();
+
+  private:
+    /** Most-recently-used machine last. */
+    std::vector<std::unique_ptr<core::Machine>> machines_;
+    std::uint64_t builds_ = 0;
+    std::uint64_t reuses_ = 0;
+};
+
+} // namespace wisync::harness
+
+#endif // WISYNC_HARNESS_SWEEP_HH

@@ -19,6 +19,13 @@ CacheArray::CacheArray(std::uint32_t size_bytes, std::uint32_t assoc,
     lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
 }
 
+void
+CacheArray::reset()
+{
+    ++gen_;
+    clock_ = 0;
+}
+
 CacheLine *
 CacheArray::lookup(sim::Addr line_addr)
 {
@@ -35,7 +42,8 @@ CacheArray::peek(sim::Addr line_addr)
         static_cast<std::size_t>(setOf(line_addr)) * assoc_;
     for (std::uint32_t w = 0; w < assoc_; ++w) {
         CacheLine &line = lines_[base + w];
-        if (line.valid() && line.lineAddr == line_addr)
+        if (line.gen == gen_ && line.valid() &&
+            line.lineAddr == line_addr)
             return &line;
     }
     return nullptr;
@@ -47,12 +55,20 @@ CacheArray::victimFor(sim::Addr line_addr)
     const std::size_t base =
         static_cast<std::size_t>(setOf(line_addr)) * assoc_;
     CacheLine *victim = &lines_[base];
+    bool victim_valid = false;
     for (std::uint32_t w = 0; w < assoc_; ++w) {
         CacheLine &line = lines_[base + w];
-        if (!line.valid())
+        if (line.gen != gen_ || !line.valid()) {
+            // Stale-epoch lines are free slots; scrub so the caller
+            // never mistakes one for an evictable resident.
+            line.state = CohState::Invalid;
+            line.gen = gen_;
             return &line;
-        if (line.lruStamp < victim->lruStamp)
+        }
+        if (!victim_valid || line.lruStamp < victim->lruStamp) {
             victim = &line;
+            victim_valid = true;
+        }
     }
     return victim;
 }
@@ -64,6 +80,7 @@ CacheArray::install(CacheLine *slot, sim::Addr line_addr, CohState state)
     slot->lineAddr = line_addr;
     slot->state = state;
     slot->lruStamp = ++clock_;
+    slot->gen = gen_;
 }
 
 } // namespace wisync::mem

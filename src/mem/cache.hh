@@ -48,14 +48,31 @@ isOwner(CohState s)
            s == CohState::Exclusive;
 }
 
-/** One cache line's bookkeeping. */
+/**
+ * One cache line's bookkeeping.
+ *
+ * Deliberately no field initializers: the tag arrays are megabytes of
+ * these, and value-initialization of an NSDMI-free aggregate is a
+ * single memset. All-zero is the correct initial state (Invalid == 0,
+ * epoch 0); CacheArray's vector value-initializes every element.
+ */
 struct CacheLine
 {
-    sim::Addr lineAddr = 0;
-    CohState state = CohState::Invalid;
-    std::uint64_t lruStamp = 0;
+    sim::Addr lineAddr;
+    std::uint64_t lruStamp;
+    /**
+     * Epoch stamp: lines from older epochs read as invalid. 32 bits
+     * shares the tail padding with `state`, keeping the line at 24
+     * bytes; a false hit would need a line untouched across exactly
+     * 2^32 resets, which no real sweep approaches.
+     */
+    std::uint32_t gen;
+    CohState state;
     bool valid() const { return state != CohState::Invalid; }
 };
+static_assert(sizeof(CacheLine) == 24, "tag arrays are size-critical");
+static_assert(static_cast<int>(CohState::Invalid) == 0,
+              "zero-init must mean Invalid");
 
 /**
  * Tag array: size/assoc/line-size in bytes, true-LRU replacement.
@@ -95,6 +112,15 @@ class CacheArray
     std::uint32_t assoc() const { return assoc_; }
     std::uint32_t lineBytes() const { return lineBytes_; }
 
+    /**
+     * Invalidate every line and rewind the LRU clock, in O(1): the
+     * array's epoch is bumped and stale-epoch lines read as invalid
+     * (they are re-stamped on install). A 512 KB bank holds megabytes
+     * of tag state; sweeping it per Machine::reset would cost more
+     * than the reset saves.
+     */
+    void reset();
+
   private:
     std::uint32_t setOf(sim::Addr line_addr) const
     {
@@ -106,6 +132,7 @@ class CacheArray
     std::uint32_t lineBytes_;
     std::uint32_t numSets_;
     std::uint64_t clock_ = 0;
+    std::uint32_t gen_ = 0; // current epoch (see reset())
     std::vector<CacheLine> lines_; // numSets_ x assoc_
 };
 

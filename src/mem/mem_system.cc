@@ -34,6 +34,30 @@ MemSystem::MemSystem(sim::Engine &engine, noc::Mesh &mesh, Memory &memory,
             std::make_unique<coro::Resource>(engine_, cfg_.dramOutstanding));
 }
 
+void
+MemSystem::reset(const MemConfig &cfg)
+{
+    WISYNC_FATAL_IF(cfg.lineBytes != cfg_.lineBytes ||
+                        cfg.l1SizeBytes != cfg_.l1SizeBytes ||
+                        cfg.l1Assoc != cfg_.l1Assoc ||
+                        cfg.l2BankSizeBytes != cfg_.l2BankSizeBytes ||
+                        cfg.l2Assoc != cfg_.l2Assoc ||
+                        cfg.numMemCtrls != cfg_.numMemCtrls ||
+                        cfg.dramOutstanding != cfg_.dramOutstanding,
+                    "MemSystem::reset cannot change the geometry");
+    cfg_ = cfg;
+    for (auto &l1 : l1_)
+        l1.reset();
+    for (auto &bank : banks_) {
+        bank.tags.reset();
+        bank.dir.clear();
+    }
+    for (auto &ctrl : dramCtrls_)
+        ctrl->reset();
+    watches_.clear();
+    stats_.reset();
+}
+
 MemSystem::DirEntry &
 MemSystem::dirEntry(sim::Addr line)
 {

@@ -87,6 +87,9 @@ struct MemStats
     sim::Counter dramFetches;
     sim::Counter l2Recalls;
     sim::Accumulator missLatency;
+
+    /** Zero everything (assignment cannot miss a late-added field). */
+    void reset() { *this = {}; }
 };
 
 /**
@@ -147,6 +150,16 @@ class MemSystem
 
     /** Observable L1 state, for white-box tests. */
     CohState l1State(sim::NodeId node, sim::Addr addr);
+
+    /**
+     * Return to post-construction state, optionally retiming: all
+     * caches invalid, directory and spin-watch maps empty, DRAM
+     * controllers idle, stats zero. @p cfg may change latencies but
+     * must keep the geometry (line/cache sizes, associativities,
+     * controller count/depth). In-flight transactions must have been
+     * destroyed by the caller (Machine::reset) first.
+     */
+    void reset(const MemConfig &cfg);
 
   private:
     /** Directory entry: MOESI owner/sharers plus the MSHR mutex. */

@@ -1,6 +1,7 @@
 #include "mem/memory.hh"
 
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace wisync::mem {
 
@@ -17,6 +18,17 @@ Memory::write64(sim::Addr addr, std::uint64_t value)
 {
     WISYNC_ASSERT((addr & 7) == 0, "unaligned 64-bit write");
     words_[addr] = value;
+}
+
+std::uint64_t
+Memory::fingerprint() const
+{
+    // Commutative accumulation makes the digest independent of the
+    // unordered_map's iteration order.
+    std::uint64_t acc = 0x5851F42D4C957F2Dull;
+    for (const auto &[addr, value] : words_)
+        acc += sim::mix64(addr ^ sim::mix64(value));
+    return acc;
 }
 
 } // namespace wisync::mem

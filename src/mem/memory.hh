@@ -32,6 +32,17 @@ class Memory
     /** Number of words ever written (for tests). */
     std::size_t footprintWords() const { return words_.size(); }
 
+    /** Forget every written word (back to all-zero memory). */
+    void clear() { words_.clear(); }
+
+    /**
+     * Order-independent digest of the full (addr, value) contents.
+     * Two memories fingerprint equal iff they hold the same words —
+     * used by the reset-equivalence tests to compare final state
+     * without exposing the map.
+     */
+    std::uint64_t fingerprint() const;
+
   private:
     std::unordered_map<sim::Addr, std::uint64_t> words_;
 };

@@ -33,6 +33,20 @@ Mesh::Mesh(sim::Engine &engine, const MeshConfig &cfg)
         inject_.push_back(std::make_unique<coro::SimMutex>(engine_));
 }
 
+void
+Mesh::reset(const MeshConfig &cfg)
+{
+    WISYNC_FATAL_IF(cfg.numNodes != cfg_.numNodes,
+                    "Mesh::reset cannot change the node count");
+    WISYNC_ASSERT(cfg.linkBits > 0, "links need nonzero width");
+    cfg_ = cfg;
+    for (auto &link : links_)
+        link->reset();
+    for (auto &port : inject_)
+        port->reset();
+    stats_.reset();
+}
+
 std::uint32_t
 Mesh::hops(sim::NodeId a, sim::NodeId b) const
 {

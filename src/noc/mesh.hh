@@ -54,6 +54,9 @@ struct MeshStats
     sim::Counter flits;
     sim::Counter multicasts;
     sim::Accumulator latency;
+
+    /** Zero everything (assignment cannot miss a late-added field). */
+    void reset() { *this = {}; }
 };
 
 /**
@@ -94,6 +97,15 @@ class Mesh
 
     const MeshStats &stats() const { return stats_; }
     const MeshConfig &config() const { return cfg_; }
+
+    /**
+     * Return to post-construction state, optionally retiming: frees
+     * all links/ports and zeroes stats. @p cfg may change timing knobs
+     * (hopCycles, linkBits, treeMulticast) but must keep numNodes.
+     * Callers (Machine::reset) must have destroyed in-flight transfer
+     * coroutines first — link mutexes are cleared, not handed off.
+     */
+    void reset(const MeshConfig &cfg);
 
   private:
     std::uint32_t xOf(sim::NodeId n) const { return n % width_; }

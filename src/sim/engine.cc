@@ -86,20 +86,93 @@ Engine::NodePool::~NodePool()
 
 Engine::~Engine()
 {
-    // Destroy events still pending in the wheels (the ring, level 0,
-    // current_ and far_ clean up via their vectors).
-    for (Wheel *w : {&l1_, &l2_}) {
-        if (w->count == 0)
+    // Live detached roots first (their teardown may touch the ready
+    // ring), then events still pending in the wheels (the ring, level
+    // 0, current_ and far_ clean up via their vectors).
+    destroyLiveRoots();
+    clearWheel(l1_);
+    clearWheel(l2_);
+}
+
+std::uint32_t
+Engine::reserveRoot()
+{
+    std::uint32_t i;
+    if (rootFree_ != kNilRoot) {
+        i = rootFree_;
+        rootFree_ = roots_[i].next;
+    } else {
+        i = static_cast<std::uint32_t>(roots_.size());
+        roots_.push_back(RootSlot{});
+    }
+    roots_[i].handle = nullptr;
+    roots_[i].next = kNilRoot;
+    ++liveRoots_;
+    return i;
+}
+
+void
+Engine::destroyLiveRoots()
+{
+    // Destroying a root tears down its whole child chain (awaited Task
+    // members live in frame locals). Destructors in those frames may
+    // release model resources — e.g. a lock guard handing a mutex to a
+    // waiter via resumeHandle(0, ...) — which only *stores* handles in
+    // the ready ring; nothing is resumed here, and the caller clears
+    // the tiers afterwards (reset) or destroys them (~Engine).
+    for (std::size_t i = 0; i < roots_.size(); ++i) {
+        if (roots_[i].handle == nullptr)
             continue;
-        for (unsigned idx = w->bits.next(0); idx < 256;
-             idx = w->bits.next(idx + 1)) {
-            for (std::uint32_t i = w->head[idx]; i != NodePool::kNil;) {
+        auto h = std::coroutine_handle<>::from_address(roots_[i].handle);
+        roots_[i].handle = nullptr;
+        h.destroy();
+    }
+    roots_.clear();
+    rootFree_ = kNilRoot;
+    liveRoots_ = 0;
+}
+
+void
+Engine::clearWheel(Wheel &w)
+{
+    if (w.count != 0) {
+        for (unsigned idx = w.bits.next(0); idx < 256;
+             idx = w.bits.next(idx + 1)) {
+            for (std::uint32_t i = w.head[idx]; i != NodePool::kNil;) {
                 const std::uint32_t next = pool_.at(i)->next;
                 pool_.recycle(i);
                 i = next;
             }
         }
     }
+    w.bits = Bitmap{};
+    w.count = 0;
+}
+
+void
+Engine::reset()
+{
+    destroyLiveRoots(); // may push unlock handoffs into ready_
+    while (!ready_.empty())
+        (void)ready_.pop();
+    if (curBucket_ != nullptr) {
+        curBucket_->clear();
+        curBucket_ = nullptr;
+        curIdx_ = 0;
+    }
+    if (l0Count_ > 0)
+        for (auto &bucket : l0_)
+            bucket.clear();
+    l0Bits_ = Bitmap{};
+    l0Count_ = 0;
+    clearWheel(l1_);
+    clearWheel(l2_);
+    far_.clear();
+    now_ = 0;
+    nextSeq_ = 0;
+    eventsExecuted_ = 0;
+    stopped_ = false;
+    tierStats_ = TierStats{};
 }
 
 unsigned

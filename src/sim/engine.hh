@@ -89,7 +89,7 @@ class Engine
     Engine() = default;
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
-    ~Engine(); // destroys pending wheel events still in the node pool
+    ~Engine(); // destroys live root frames + pending wheel events
 
     /** Current simulated time in cycles. */
     Cycle now() const { return now_; }
@@ -152,6 +152,53 @@ class Engine
 
     /** Cumulative per-tier counters (for benchmarks). */
     const TierStats &tierStats() const { return tierStats_; }
+
+    // ---- Detached-root registry --------------------------------------
+    //
+    // Every detached root coroutine (spawnDetached/spawnFn wrappers —
+    // simulated threads, writebacks, tone announcements, whenAll legs)
+    // registers its frame here. A root that runs to completion releases
+    // its slot and self-destroys as before; reset() and ~Engine destroy
+    // the frames still live, so tearing down (or reusing) an engine
+    // mid-simulation cannot leak frames or the resources they own.
+    // Frames parked in the event tiers as raw resume handles are
+    // non-owning, so destroying the owner chain never double-frees.
+
+    /** Reserve a registry slot (handle bound separately). */
+    std::uint32_t reserveRoot();
+
+    /** Bind the frame handle of a reserved slot. */
+    void
+    bindRoot(std::uint32_t slot, std::coroutine_handle<> h)
+    {
+        roots_[slot].handle = h.address();
+    }
+
+    /** A root ran to completion: forget it (frame self-destroys). */
+    void
+    releaseRoot(std::uint32_t slot)
+    {
+        roots_[slot].handle = nullptr;
+        roots_[slot].next = rootFree_;
+        rootFree_ = slot;
+        --liveRoots_;
+    }
+
+    /** Destroy every live root frame (recursively tears down children). */
+    void destroyLiveRoots();
+
+    /** Registered roots that have not completed (for tests). */
+    std::size_t liveRootCount() const { return liveRoots_; }
+
+    /**
+     * Return the engine to its post-construction state without
+     * releasing its memory: destroys live root frames and pending
+     * events, clears every tier, and zeroes time, sequence numbers and
+     * counters. Pools (wheel nodes, ring/bucket capacity) are retained,
+     * which is the point: a reset engine schedules allocation-free from
+     * the first event. Must not be called from inside run().
+     */
+    void reset();
 
   private:
     /**
@@ -372,6 +419,9 @@ class Engine
     /** Slow tail of place(): levels 1, 2 and the overflow heap. */
     void placeCoarse(Cycle when, Slot &&s, Cycle diff, bool cascade);
 
+    /** Destroy all pending events in a coarse wheel level. */
+    void clearWheel(Wheel &w);
+
     /** Earliest pending cycle > now across all tiers (kCycleMax: none). */
     Cycle peekNext() const;
 
@@ -407,6 +457,17 @@ class Engine
 
     // Tier 3: overflow min-heap for deltas >= kWheelSpan.
     std::vector<TimedSlot> far_;
+
+    // Detached-root registry: slot-map with an intrusive free list.
+    struct RootSlot
+    {
+        void *handle = nullptr;
+        std::uint32_t next = 0xffffffffu;
+    };
+    static constexpr std::uint32_t kNilRoot = 0xffffffffu;
+    std::vector<RootSlot> roots_;
+    std::uint32_t rootFree_ = kNilRoot;
+    std::size_t liveRoots_ = 0;
 
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;

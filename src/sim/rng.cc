@@ -7,10 +7,7 @@ namespace {
 std::uint64_t
 splitmix64(std::uint64_t &x)
 {
-    std::uint64_t z = (x += 0x9E3779B97F4A7C15ull);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    return z ^ (z >> 31);
+    return mix64(x += 0x9E3779B97F4A7C15ull);
 }
 
 std::uint64_t
@@ -22,6 +19,12 @@ rotl(std::uint64_t x, int k)
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
+{
+    reseed(seed);
+}
+
+void
+Rng::reseed(std::uint64_t seed)
 {
     // splitmix64 guarantees a non-degenerate state even for seed == 0.
     for (auto &word : s_)

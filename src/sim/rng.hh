@@ -18,12 +18,28 @@
 
 namespace wisync::sim {
 
+/**
+ * splitmix64 finaliser: a cheap, high-quality 64-bit mixer. Shared by
+ * the RNG seeding and the order-independent state fingerprints
+ * (mem::Memory, bm::BmStore).
+ */
+inline std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 /** xoshiro256** generator with convenience distributions. */
 class Rng
 {
   public:
     /** Construct from a 64-bit seed (expanded via splitmix64). */
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Reinitialise to the exact state of a fresh Rng(seed). */
+    void reseed(std::uint64_t seed);
 
     /** Derive an independent child stream (for per-component RNGs). */
     Rng fork();

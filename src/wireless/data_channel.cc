@@ -13,6 +13,18 @@ DataChannel::DataChannel(sim::Engine &engine, const WirelessConfig &cfg)
                   "collision penalty must be below full transfer time");
 }
 
+void
+DataChannel::reset(const WirelessConfig &cfg)
+{
+    WISYNC_ASSERT(cfg.collisionCycles < cfg.dataCycles,
+                  "collision penalty must be below full transfer time");
+    cfg_ = cfg;
+    nextFree_ = 0;
+    openSlot_ = sim::kCycleMax;
+    slotAttempts_.clear();
+    stats_.reset();
+}
+
 coro::Task<DataChannel::Outcome>
 DataChannel::attempt(sim::NodeId src, bool bulk, sim::UniqueFunction &deliver,
                      const std::function<bool()> *abort)
@@ -96,6 +108,15 @@ DataChannel::arbitrate()
 Mac::Mac(sim::Engine &engine, DataChannel &channel, sim::Rng rng)
     : engine_(engine), channel_(channel), rng_(rng), order_(engine)
 {}
+
+void
+Mac::reset(sim::Rng rng)
+{
+    rng_ = rng;
+    order_.reset();
+    backoffExp_ = 0;
+    retries_.reset();
+}
 
 coro::Task<void>
 Mac::send(bool bulk, sim::UniqueFunction deliver,

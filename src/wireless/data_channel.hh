@@ -55,6 +55,9 @@ struct DataChannelStats
     sim::Counter busyCycles;
     /** Latency from first attempt to delivery, per message. */
     sim::Accumulator deliveryLatency;
+
+    /** Zero everything (assignment cannot miss a late-added field). */
+    void reset() { *this = {}; }
 };
 
 /**
@@ -107,6 +110,13 @@ class DataChannel
                               static_cast<double>(now);
     }
 
+    /**
+     * Idle channel, zero stats, optionally retimed via @p cfg. Pending
+     * attempts must already be gone (their coroutine frames destroyed
+     * by the engine reset that precedes this in Machine::reset).
+     */
+    void reset(const WirelessConfig &cfg);
+
   private:
     struct Pending
     {
@@ -153,6 +163,9 @@ class Mac
 
     std::uint32_t backoffExp() const { return backoffExp_; }
     std::uint64_t retries() const { return retries_.value(); }
+
+    /** Fresh backoff state and RNG stream; the order mutex is freed. */
+    void reset(sim::Rng rng);
 
   private:
     sim::Engine &engine_;

@@ -13,6 +13,17 @@ ToneChannel::ToneChannel(sim::Engine &engine, std::uint32_t num_nodes,
     allocB_.resize(allocSlots_);
 }
 
+void
+ToneChannel::reset()
+{
+    for (auto &b : allocB_)
+        b = Barrier{};
+    activeOrder_.clear();
+    slotIdx_ = 0;
+    ticking_ = false;
+    stats_.reset();
+}
+
 ToneChannel::Barrier *
 ToneChannel::find(sim::BmAddr addr)
 {

@@ -41,6 +41,9 @@ struct ToneChannelStats
     sim::Counter slotCycles;
     sim::Counter activations;
     sim::Accumulator concurrentActive;
+
+    /** Zero everything (assignment cannot miss a late-added field). */
+    void reset() { *this = {}; }
 };
 
 /**
@@ -130,6 +133,14 @@ class ToneChannel
     std::uint32_t capacity() const { return allocSlots_; }
 
     const ToneChannelStats &stats() const { return stats_; }
+
+    /**
+     * Empty AllocB/ActiveB, silent channel, zero stats, epochs back to
+     * zero. The ticker event (if pending) must have been dropped by
+     * the engine reset that precedes this; the release handler is
+     * retained.
+     */
+    void reset();
 
   private:
     struct Barrier

@@ -120,6 +120,13 @@ runApp(const AppProfile &profile, core::ConfigKind kind,
 {
     core::Machine machine(
         core::MachineConfig::make(kind, cores, variant));
+    return runAppOn(profile, machine);
+}
+
+KernelResult
+runAppOn(const AppProfile &profile, core::Machine &machine)
+{
+    const std::uint32_t cores = machine.config().numCores;
     sync::SyncFactory factory(machine);
 
     AppState st;

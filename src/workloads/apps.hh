@@ -27,6 +27,10 @@
 #include "core/machine_config.hh"
 #include "workloads/kernel_result.hh"
 
+namespace wisync::core {
+class Machine;
+}
+
 namespace wisync::workloads {
 
 /** Synchronization signature of one application. */
@@ -60,6 +64,9 @@ const AppProfile &appByName(const std::string &name);
 KernelResult runApp(const AppProfile &profile, core::ConfigKind kind,
                     std::uint32_t cores,
                     core::Variant variant = core::Variant::Default);
+
+/** As runApp but on a caller-prepared (fresh or reset) machine. */
+KernelResult runAppOn(const AppProfile &profile, core::Machine &machine);
 
 } // namespace wisync::workloads
 

@@ -188,6 +188,14 @@ runCasKernel(CasKernel kernel, core::ConfigKind kind, std::uint32_t cores,
              const CasKernelParams &params)
 {
     core::Machine machine(core::MachineConfig::make(kind, cores));
+    return runCasKernelOn(kernel, machine, params);
+}
+
+KernelResult
+runCasKernelOn(CasKernel kernel, core::Machine &machine,
+               const CasKernelParams &params)
+{
+    const std::uint32_t cores = machine.config().numCores;
     CasState st;
     st.machine = &machine;
     st.params = params;

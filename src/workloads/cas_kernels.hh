@@ -23,6 +23,10 @@
 #include "core/machine_config.hh"
 #include "workloads/kernel_result.hh"
 
+namespace wisync::core {
+class Machine;
+}
+
 namespace wisync::workloads {
 
 /** Which CAS kernel. */
@@ -49,6 +53,10 @@ struct CasKernelParams
 KernelResult runCasKernel(CasKernel kernel, core::ConfigKind kind,
                           std::uint32_t cores,
                           const CasKernelParams &params = {});
+
+/** As runCasKernel but on a caller-prepared (fresh or reset) machine. */
+KernelResult runCasKernelOn(CasKernel kernel, core::Machine &machine,
+                            const CasKernelParams &params = {});
 
 } // namespace wisync::workloads
 

@@ -306,12 +306,10 @@ linearRecurrenceReference(std::vector<std::uint64_t> w,
 namespace {
 
 LivermoreOutput
-runImpl(LivermoreLoop loop, core::ConfigKind kind, std::uint32_t cores,
-        const LivermoreParams &params, core::Variant variant,
-        bool collect)
+runImplOn(LivermoreLoop loop, core::Machine &machine,
+          const LivermoreParams &params, bool collect)
 {
-    core::Machine machine(
-        core::MachineConfig::make(kind, cores, variant));
+    const std::uint32_t cores = machine.config().numCores;
     sync::SyncFactory factory(machine);
 
     LivState st;
@@ -418,15 +416,25 @@ runLivermore(LivermoreLoop loop, core::ConfigKind kind,
              std::uint32_t cores, const LivermoreParams &params,
              core::Variant variant)
 {
-    return runImpl(loop, kind, cores, params, variant, false).result;
+    core::Machine machine(
+        core::MachineConfig::make(kind, cores, variant));
+    return runImplOn(loop, machine, params, false).result;
+}
+
+KernelResult
+runLivermoreOn(LivermoreLoop loop, core::Machine &machine,
+               const LivermoreParams &params)
+{
+    return runImplOn(loop, machine, params, false).result;
 }
 
 LivermoreOutput
 runLivermoreVerified(LivermoreLoop loop, core::ConfigKind kind,
                      std::uint32_t cores, const LivermoreParams &params)
 {
-    return runImpl(loop, kind, cores, params, core::Variant::Default,
-                   true);
+    core::Machine machine(
+        core::MachineConfig::make(kind, cores, core::Variant::Default));
+    return runImplOn(loop, machine, params, true);
 }
 
 } // namespace wisync::workloads

@@ -30,6 +30,10 @@
 #include "core/machine_config.hh"
 #include "workloads/kernel_result.hh"
 
+namespace wisync::core {
+class Machine;
+}
+
 namespace wisync::workloads {
 
 /** Which Livermore kernel. */
@@ -55,6 +59,10 @@ KernelResult runLivermore(LivermoreLoop loop, core::ConfigKind kind,
                           const LivermoreParams &params = {},
                           core::Variant variant =
                               core::Variant::Default);
+
+/** As runLivermore but on a caller-prepared (fresh or reset) machine. */
+KernelResult runLivermoreOn(LivermoreLoop loop, core::Machine &machine,
+                            const LivermoreParams &params = {});
 
 /** Serial references used by the tests. */
 std::vector<std::uint64_t> iccgReference(std::vector<std::uint64_t> x,

@@ -39,8 +39,14 @@ KernelResult
 runTightLoopCfg(const core::MachineConfig &cfg,
                 const TightLoopParams &params)
 {
-    const std::uint32_t cores = cfg.numCores;
     core::Machine machine(cfg);
+    return runTightLoopOn(machine, params);
+}
+
+KernelResult
+runTightLoopOn(core::Machine &machine, const TightLoopParams &params)
+{
+    const std::uint32_t cores = machine.config().numCores;
     sync::SyncFactory factory(machine);
 
     std::vector<sim::NodeId> nodes;

@@ -16,6 +16,10 @@
 #include "core/machine_config.hh"
 #include "workloads/kernel_result.hh"
 
+namespace wisync::core {
+class Machine;
+}
+
 namespace wisync::workloads {
 
 /** TightLoop parameters. */
@@ -42,6 +46,13 @@ KernelResult runTightLoop(core::ConfigKind kind, std::uint32_t cores,
  *  the MAC-backoff ablation bench). */
 KernelResult runTightLoopCfg(const core::MachineConfig &cfg,
                              const TightLoopParams &params = {});
+
+/**
+ * As runTightLoopCfg but on a caller-prepared machine (freshly built
+ * or reset — see harness::SweepHarness); one thread per core.
+ */
+KernelResult runTightLoopOn(core::Machine &machine,
+                            const TightLoopParams &params = {});
 
 } // namespace wisync::workloads
 

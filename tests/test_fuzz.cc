@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "core/machine.hh"
@@ -80,13 +81,24 @@ struct FuzzResult
     bool completed = false;
 };
 
+/**
+ * One randomized run. With @p reuse the workload executes on that
+ * (shape-compatible) machine after a reset instead of on a fresh
+ * build — per the reset contract the results must be identical.
+ */
 FuzzResult
 fuzzRun(ConfigKind kind, std::uint64_t seed, std::uint32_t threads,
-        int ops_per_thread)
+        int ops_per_thread, Machine *reuse = nullptr)
 {
     auto cfg = MachineConfig::make(kind, threads);
     cfg.seed = seed;
-    Machine m(cfg);
+    std::unique_ptr<Machine> owned;
+    if (reuse != nullptr) {
+        reuse->reset(cfg);
+    } else {
+        owned = std::make_unique<Machine>(cfg);
+    }
+    Machine &m = reuse != nullptr ? *reuse : *owned;
     wisync::sync::SyncFactory factory(m);
     std::vector<NodeId> nodes;
     for (NodeId n = 0; n < threads; ++n)
@@ -153,6 +165,37 @@ TEST_P(FuzzAllConfigs, DeterministicAcrossRepeats)
     EXPECT_EQ(a.bmCounter, b.bmCounter);
 }
 
+TEST_P(FuzzAllConfigs, FreshVsResetAlternationStaysEquivalent)
+{
+    // Randomly alternate between fresh machines and one persistent
+    // reset-reused machine across randomized iterations; every reused
+    // run must be bit-identical to its fresh reference.
+    const auto kind = GetParam();
+    Machine persistent(MachineConfig::make(kind, 8));
+    wisync::sim::Rng pick(0xA1B2C3D4);
+    int reused_runs = 0;
+    for (int i = 0; i < 8; ++i) {
+        const std::uint64_t seed = 5000 + static_cast<std::uint64_t>(i);
+        const auto reference = fuzzRun(kind, seed, 8, 15);
+        ASSERT_TRUE(reference.completed);
+        FuzzResult other;
+        if (pick.chance(0.5)) {
+            other = fuzzRun(kind, seed, 8, 15, &persistent);
+            ++reused_runs;
+        } else {
+            other = fuzzRun(kind, seed, 8, 15);
+        }
+        EXPECT_EQ(reference.cycles, other.cycles) << "iteration " << i;
+        EXPECT_EQ(reference.counter, other.counter) << "iteration " << i;
+        EXPECT_EQ(reference.bmCounter, other.bmCounter)
+            << "iteration " << i;
+        EXPECT_TRUE(other.replicasOk);
+    }
+    // The deterministic pick stream exercises both paths.
+    EXPECT_GT(reused_runs, 0);
+    EXPECT_LT(reused_runs, 8);
+}
+
 TEST_P(FuzzAllConfigs, DifferentSeedsDiverge)
 {
     const auto a = fuzzRun(GetParam(), 1, 8, 30);
@@ -180,6 +223,15 @@ TEST_P(FuzzScale, ScalesWithoutInvariantViolations)
         fuzzRun(kind, 777, static_cast<std::uint32_t>(threads), 25);
     ASSERT_TRUE(r.completed);
     EXPECT_TRUE(r.replicasOk);
+
+    // The same run on a reset-reused machine matches exactly.
+    Machine persistent(
+        MachineConfig::make(kind, static_cast<std::uint32_t>(threads)));
+    const auto again = fuzzRun(
+        kind, 777, static_cast<std::uint32_t>(threads), 25, &persistent);
+    EXPECT_EQ(r.cycles, again.cycles);
+    EXPECT_EQ(r.counter, again.counter);
+    EXPECT_EQ(r.bmCounter, again.bmCounter);
 }
 
 } // namespace

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "coro/frame_pool.hh"
 #include "coro/primitives.hh"
 #include "coro/task.hh"
 #include "sim/engine.hh"
@@ -174,6 +176,65 @@ TEST(Task, ParallelRootsInterleaveByTime)
     // At cycle 30 task 2's event was scheduled (at cycle 15) before
     // task 1's (at cycle 20), so task 2 runs first.
     EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(Task, FramesAreFreedWhenEngineDiesBeforeTheSpawnCycle)
+{
+    // A root spawned into the future owns its callable and arguments;
+    // destroying the engine before the spawn cycle must release them
+    // (the detached-root registry destroys the suspended frame).
+    const auto live_before = wisync::coro::framePool().liveFrames();
+    auto sentinel = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = sentinel;
+    {
+        Engine eng;
+        spawnFn(eng, 1000,
+                [](std::shared_ptr<int> keep) -> Task<void> {
+                    (void)*keep;
+                    co_return;
+                },
+                std::move(sentinel));
+        EXPECT_FALSE(watch.expired()); // alive inside the frame
+        // Engine destroyed without ever running.
+    }
+    EXPECT_TRUE(watch.expired());
+    EXPECT_EQ(wisync::coro::framePool().liveFrames(), live_before);
+}
+
+TEST(Task, FramesAreFreedWhenEngineDiesMidAwait)
+{
+    // Destroy the engine while a parent/child chain is suspended on a
+    // delay: the registry destroys the root, the root's frame destroys
+    // the child Task, and every pooled frame returns to the pool.
+    const auto live_before = wisync::coro::framePool().liveFrames();
+    auto sentinel = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = sentinel;
+    {
+        Engine eng;
+        spawnFn(eng, 0,
+                [&eng](std::shared_ptr<int> keep) -> Task<void> {
+                    (void)keep;
+                    co_await delayBody(eng, 1'000'000);
+                },
+                std::move(sentinel));
+        eng.run(10);
+        EXPECT_FALSE(watch.expired()); // suspended mid-await
+    }
+    EXPECT_TRUE(watch.expired());
+    EXPECT_EQ(wisync::coro::framePool().liveFrames(), live_before);
+}
+
+TEST(Task, RootRegistryTracksLiveRoots)
+{
+    Engine eng;
+    EXPECT_EQ(eng.liveRootCount(), 0u);
+    spawnNow(eng, [&eng]() -> Task<void> { co_await delay(eng, 5); });
+    spawnNow(eng, [&eng]() -> Task<void> { co_await delay(eng, 9); });
+    EXPECT_EQ(eng.liveRootCount(), 2u);
+    eng.run(5);
+    EXPECT_EQ(eng.liveRootCount(), 1u); // first completed, released
+    eng.run();
+    EXPECT_EQ(eng.liveRootCount(), 0u);
 }
 
 TEST(Task, ArgumentsAreCopiedIntoFrame)
