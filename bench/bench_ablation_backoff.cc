@@ -8,12 +8,16 @@
  * where barrier-arrival bursts collide): a tiny window thrashes the
  * channel with repeat collisions, while an over-large window adds
  * idle latency after bursts.
+ *
+ * The six window sizes form a ParallelSweep grid (the per-point
+ * MachineConfig carries the ablated maxBackoffExp).
  */
 
 #include <iostream>
+#include <vector>
 
+#include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
-#include "harness/sweep.hh"
 #include "workloads/tight_loop.hh"
 
 using namespace wisync;
@@ -21,7 +25,6 @@ using namespace wisync;
 int
 main()
 {
-    harness::SweepHarness machines;
     const std::uint32_t cores =
         harness::sweepMode() == harness::SweepMode::Quick ? 16 : 64;
     workloads::TightLoopParams params;
@@ -30,17 +33,26 @@ main()
     // livelock; cap the run so the bench reports it instead.
     params.runLimit = 3'000'000;
 
+    const std::vector<std::uint32_t> max_exps = {1, 2, 4, 6, 10, 14};
+
+    harness::ParallelSweep sweep;
+    for (const std::uint32_t max_exp : max_exps) {
+        auto cfg = core::MachineConfig::make(core::ConfigKind::WiSyncNoT,
+                                             cores);
+        cfg.wireless.maxBackoffExp = max_exp;
+        sweep.add(cfg, [params](core::Machine &m) {
+            return workloads::runTightLoopOn(m, params);
+        });
+    }
+    const auto results = sweep.run();
+
     harness::TextTable tab(
         "Ablation: MAC backoff window vs TightLoop (WiSyncNoT, " +
         std::to_string(cores) + " cores)");
     tab.header({"Max backoff exp", "Cycles/iter", "Collisions"});
-    for (const std::uint32_t max_exp : {1u, 2u, 4u, 6u, 10u, 14u}) {
-        auto cfg = core::MachineConfig::make(core::ConfigKind::WiSyncNoT,
-                                             cores);
-        cfg.wireless.maxBackoffExp = max_exp;
-        const auto r =
-            workloads::runTightLoopOn(machines.acquire(cfg), params);
-        tab.row({std::to_string(max_exp),
+    for (std::size_t i = 0; i < max_exps.size(); ++i) {
+        const auto &r = results[i];
+        tab.row({std::to_string(max_exps[i]),
                  r.completed
                      ? harness::fmt(static_cast<double>(r.cycles) /
                                         static_cast<double>(r.operations),

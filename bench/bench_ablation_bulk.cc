@@ -7,19 +7,25 @@
  * bench runs the producer-consumer pattern (§4.3.4) with bulk
  * transfers versus four scalar stores and reports the achieved
  * hand-off rate, isolating the design choice's benefit.
+ *
+ * The two variants are the grid of a (tiny) ParallelSweep: each body
+ * spawns its own threads on the prepared machine and reports cycles
+ * as a KernelResult.
  */
 
 #include <array>
 #include <iostream>
 
 #include "core/machine.hh"
+#include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
-#include "harness/sweep.hh"
 #include "sync/wisync_sync.hh"
 
 using namespace wisync;
 
 namespace {
+
+constexpr int kMsgs = 200;
 
 coro::Task<void>
 producerBulk(core::ThreadCtx &ctx, sync::ProducerConsumer *pc, int msgs)
@@ -33,6 +39,24 @@ consumerBulk(core::ThreadCtx &ctx, sync::ProducerConsumer *pc, int msgs)
 {
     for (int i = 0; i < msgs; ++i)
         co_await pc->consume(ctx);
+}
+
+workloads::KernelResult
+runBulk(core::Machine &m)
+{
+    sync::ProducerConsumer pc(m, 1);
+    m.spawnThread(0, [&pc](core::ThreadCtx &ctx) {
+        return producerBulk(ctx, &pc, kMsgs);
+    });
+    m.spawnThread(1, [&pc](core::ThreadCtx &ctx) {
+        return consumerBulk(ctx, &pc, kMsgs);
+    });
+    workloads::KernelResult r;
+    r.completed = m.run();
+    r.cycles = m.engine().now();
+    r.operations = kMsgs;
+    workloads::captureChannelStats(r, m);
+    return r;
 }
 
 /** Scalar variant: 4 single-word stores + flag. */
@@ -65,47 +89,39 @@ consumerScalar(core::ThreadCtx &ctx, ScalarChannel ch, int msgs)
     }
 }
 
+workloads::KernelResult
+runScalar(core::Machine &m)
+{
+    ScalarChannel ch;
+    ch.data = sync::setupBmWords(m, 4, 1);
+    ch.flag = sync::setupBmWords(m, 1, 1);
+    m.spawnThread(0, [ch](core::ThreadCtx &ctx) {
+        return producerScalar(ctx, ch, kMsgs);
+    });
+    m.spawnThread(1, [ch](core::ThreadCtx &ctx) {
+        return consumerScalar(ctx, ch, kMsgs);
+    });
+    workloads::KernelResult r;
+    r.completed = m.run();
+    r.cycles = m.engine().now();
+    r.operations = kMsgs;
+    workloads::captureChannelStats(r, m);
+    return r;
+}
+
 } // namespace
 
 int
 main()
 {
-    constexpr int kMsgs = 200;
-    harness::SweepHarness machines;
-
-    // Bulk transfers.
-    sim::Cycle bulk_cycles = 0;
-    {
-        core::Machine &m = machines.acquire(
-            core::MachineConfig::make(core::ConfigKind::WiSync, 2));
-        sync::ProducerConsumer pc(m, 1);
-        m.spawnThread(0, [&pc](core::ThreadCtx &ctx) {
-            return producerBulk(ctx, &pc, kMsgs);
-        });
-        m.spawnThread(1, [&pc](core::ThreadCtx &ctx) {
-            return consumerBulk(ctx, &pc, kMsgs);
-        });
-        m.run();
-        bulk_cycles = m.engine().now();
-    }
-
-    // Scalar stores: the same machine, reset between sweep points.
-    sim::Cycle scalar_cycles = 0;
-    {
-        core::Machine &m = machines.acquire(
-            core::MachineConfig::make(core::ConfigKind::WiSync, 2));
-        ScalarChannel ch;
-        ch.data = sync::setupBmWords(m, 4, 1);
-        ch.flag = sync::setupBmWords(m, 1, 1);
-        m.spawnThread(0, [ch](core::ThreadCtx &ctx) {
-            return producerScalar(ctx, ch, kMsgs);
-        });
-        m.spawnThread(1, [ch](core::ThreadCtx &ctx) {
-            return consumerScalar(ctx, ch, kMsgs);
-        });
-        m.run();
-        scalar_cycles = m.engine().now();
-    }
+    const auto cfg =
+        core::MachineConfig::make(core::ConfigKind::WiSync, 2);
+    harness::ParallelSweep sweep;
+    sweep.add(cfg, runBulk);
+    sweep.add(cfg, runScalar);
+    const auto results = sweep.run();
+    const sim::Cycle bulk_cycles = results[0].cycles;
+    const sim::Cycle scalar_cycles = results[1].cycles;
 
     harness::TextTable tab("Ablation: Bulk vs scalar BM transfers "
                            "(producer-consumer, 4-word messages)");

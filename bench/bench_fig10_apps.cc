@@ -7,13 +7,17 @@
  * apps (raytrace, radiosity) gain several-fold; most apps are
  * sync-light and sit near 1.0; WiSync geomean ~1.2 over Baseline and
  * ~1.1 over Baseline+.
+ *
+ * The (app x kind) grid runs through ParallelSweep; rows are printed
+ * from the merged results in suite order.
  */
 
+#include <array>
 #include <iostream>
 #include <vector>
 
+#include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
-#include "harness/sweep.hh"
 #include "workloads/apps.hh"
 
 using namespace wisync;
@@ -22,9 +26,32 @@ int
 main()
 {
     using core::ConfigKind;
-    harness::SweepHarness machines;
     const std::uint32_t cores =
         harness::sweepMode() == harness::SweepMode::Quick ? 16 : 64;
+
+    const std::array<ConfigKind, 4> kinds = {
+        ConfigKind::Baseline, ConfigKind::BaselinePlus,
+        ConfigKind::WiSyncNoT, ConfigKind::WiSync};
+
+    harness::ParallelSweep sweep;
+    struct Row
+    {
+        const workloads::AppProfile *app;
+        std::array<std::size_t, 4> idx;
+    };
+    std::vector<Row> rows;
+    for (const auto &app : workloads::appSuite()) {
+        Row row{&app, {}};
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            row.idx[k] = sweep.add(
+                core::MachineConfig::make(kinds[k], cores),
+                [&app](core::Machine &m) {
+                    return workloads::runAppOn(app, m);
+                });
+        }
+        rows.push_back(row);
+    }
+    const auto results = sweep.run();
 
     harness::TextTable fig(
         "Figure 10: speedup over Baseline, " + std::to_string(cores) +
@@ -32,21 +59,16 @@ main()
     fig.header({"App", "Baseline+", "WiSyncNoT", "WiSync"});
 
     std::vector<double> sp_plus, sp_not, sp_full;
-    for (const auto &app : workloads::appSuite()) {
-        auto run = [&](ConfigKind kind) {
-            return workloads::runAppOn(
-                app,
-                machines.acquire(core::MachineConfig::make(kind, cores)));
-        };
-        const auto base = run(ConfigKind::Baseline);
-        const auto plus = run(ConfigKind::BaselinePlus);
-        const auto not_ = run(ConfigKind::WiSyncNoT);
-        const auto full = run(ConfigKind::WiSync);
-        const double b = static_cast<double>(base.cycles);
-        sp_plus.push_back(b / static_cast<double>(plus.cycles));
-        sp_not.push_back(b / static_cast<double>(not_.cycles));
-        sp_full.push_back(b / static_cast<double>(full.cycles));
-        fig.row({app.name, harness::fmt(sp_plus.back()),
+    for (const auto &row : rows) {
+        const double b =
+            static_cast<double>(results[row.idx[0]].cycles);
+        sp_plus.push_back(
+            b / static_cast<double>(results[row.idx[1]].cycles));
+        sp_not.push_back(
+            b / static_cast<double>(results[row.idx[2]].cycles));
+        sp_full.push_back(
+            b / static_cast<double>(results[row.idx[3]].cycles));
+        fig.row({row.app->name, harness::fmt(sp_plus.back()),
                  harness::fmt(sp_not.back()),
                  harness::fmt(sp_full.back())});
     }

@@ -9,14 +9,18 @@
  * To keep the run time reasonable this uses a representative subset
  * of the suite (the sync-intensive apps plus several sync-light ones,
  * preserving the mix); the full suite is used with WISYNC_FULL=1.
+ *
+ * The (variant x app x kind) grid — the largest figure grid — runs
+ * through ParallelSweep; geomeans are folded from the merged results.
  */
 
+#include <array>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
-#include "harness/sweep.hh"
 #include "workloads/apps.hh"
 
 using namespace wisync;
@@ -26,7 +30,6 @@ main()
 {
     using core::ConfigKind;
     using core::Variant;
-    harness::SweepHarness machines;
     const std::uint32_t cores =
         harness::sweepMode() == harness::SweepMode::Quick ? 16 : 64;
 
@@ -43,32 +46,51 @@ main()
         Variant::Default, Variant::SlowNet, Variant::SlowNetL2,
         Variant::FastNet, Variant::SlowBmem};
 
+    const std::array<ConfigKind, 4> kinds = {
+        ConfigKind::Baseline, ConfigKind::BaselinePlus,
+        ConfigKind::WiSyncNoT, ConfigKind::WiSync};
+
+    harness::ParallelSweep sweep;
+    struct Cell
+    {
+        std::array<std::size_t, 4> idx;
+    };
+    // One Cell per (variant, app), in declaration order.
+    std::vector<std::vector<Cell>> grid(variants.size());
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        for (const auto &name : names) {
+            const auto &app = workloads::appByName(name);
+            Cell cell{};
+            for (std::size_t k = 0; k < kinds.size(); ++k) {
+                cell.idx[k] = sweep.add(
+                    core::MachineConfig::make(kinds[k], cores, variants[v]),
+                    [&app](core::Machine &m) {
+                        return workloads::runAppOn(app, m);
+                    });
+            }
+            grid[v].push_back(cell);
+        }
+    }
+    const auto results = sweep.run();
+
     harness::TextTable fig("Figure 11: geomean speedup over Baseline "
                            "under Table 6 variants, " +
                            std::to_string(cores) + " cores");
     fig.header({"Variant", "Baseline+", "WiSyncNoT", "WiSync"});
-    for (const auto v : variants) {
+    for (std::size_t v = 0; v < variants.size(); ++v) {
         std::vector<double> sp_plus, sp_not, sp_full;
-        for (const auto &name : names) {
-            const auto &app = workloads::appByName(name);
-            auto run = [&](ConfigKind kind) {
-                return workloads::runAppOn(
-                    app, machines.acquire(
-                             core::MachineConfig::make(kind, cores, v)));
-            };
-            const double b = static_cast<double>(
-                run(ConfigKind::Baseline).cycles);
+        for (const auto &cell : grid[v]) {
+            const double b =
+                static_cast<double>(results[cell.idx[0]].cycles);
             sp_plus.push_back(
-                b / static_cast<double>(
-                        run(ConfigKind::BaselinePlus).cycles));
+                b / static_cast<double>(results[cell.idx[1]].cycles));
             sp_not.push_back(
-                b / static_cast<double>(
-                        run(ConfigKind::WiSyncNoT).cycles));
+                b / static_cast<double>(results[cell.idx[2]].cycles));
             sp_full.push_back(
-                b /
-                static_cast<double>(run(ConfigKind::WiSync).cycles));
+                b / static_cast<double>(results[cell.idx[3]].cycles));
         }
-        fig.row({core::toString(v), harness::fmt(harness::geomean(sp_plus)),
+        fig.row({core::toString(variants[v]),
+                 harness::fmt(harness::geomean(sp_plus)),
                  harness::fmt(harness::geomean(sp_not)),
                  harness::fmt(harness::geomean(sp_full))});
     }

@@ -5,13 +5,19 @@
  * Expected shape (paper): WiSync stays low and flat thanks to the
  * Tone channel; WiSyncNoT is 2-6x above it; Baseline+ is ~an order of
  * magnitude above WiSync; Baseline is 2-3 orders above.
+ *
+ * The grid is declared up front and fanned out over host threads by
+ * harness::ParallelSweep (WISYNC_SWEEP_THREADS; 1 = serial); results
+ * come back in grid order, so the table below is byte-identical at
+ * any thread count.
  */
 
+#include <array>
 #include <iostream>
 #include <vector>
 
+#include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
-#include "harness/sweep.hh"
 #include "workloads/tight_loop.hh"
 
 using namespace wisync;
@@ -20,7 +26,6 @@ int
 main()
 {
     using core::ConfigKind;
-    harness::SweepHarness machines;
 
     std::vector<std::uint32_t> cores;
     switch (harness::sweepMode()) {
@@ -37,28 +42,44 @@ main()
     params.iterations =
         harness::sweepMode() == harness::SweepMode::Quick ? 5 : 20;
 
+    const std::array<ConfigKind, 4> kinds = {
+        ConfigKind::Baseline, ConfigKind::BaselinePlus,
+        ConfigKind::WiSyncNoT, ConfigKind::WiSync};
+
+    harness::ParallelSweep sweep;
+    struct Row
+    {
+        std::uint32_t cores;
+        std::array<std::size_t, 4> idx;
+    };
+    std::vector<Row> rows;
+    for (const auto n : cores) {
+        Row row{n, {}};
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            row.idx[k] = sweep.add(
+                core::MachineConfig::make(kinds[k], n),
+                [params](core::Machine &m) {
+                    return workloads::runTightLoopOn(m, params);
+                });
+        }
+        rows.push_back(row);
+    }
+    const auto results = sweep.run();
+
     harness::TextTable fig(
         "Figure 7: TightLoop cycles/iteration vs core count");
     fig.header({"Cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync",
                 "Base/WiSync"});
-    for (const auto n : cores) {
-        auto run = [&](ConfigKind kind) {
-            return workloads::runTightLoopOn(
-                machines.acquire(core::MachineConfig::make(kind, n)),
-                params);
-        };
-        const auto base = run(ConfigKind::Baseline);
-        const auto plus = run(ConfigKind::BaselinePlus);
-        const auto not_ = run(ConfigKind::WiSyncNoT);
-        const auto full = run(ConfigKind::WiSync);
-        auto per = [](const workloads::KernelResult &r) {
+    for (const auto &row : rows) {
+        auto per = [&](std::size_t k) {
+            const auto &r = results[row.idx[k]];
             return static_cast<double>(r.cycles) /
                    static_cast<double>(r.operations);
         };
-        fig.row({std::to_string(n), harness::fmt(per(base), 0),
-                 harness::fmt(per(plus), 0), harness::fmt(per(not_), 0),
-                 harness::fmt(per(full), 0),
-                 harness::fmt(per(base) / per(full), 1) + "x"});
+        fig.row({std::to_string(row.cores), harness::fmt(per(0), 0),
+                 harness::fmt(per(1), 0), harness::fmt(per(2), 0),
+                 harness::fmt(per(3), 0),
+                 harness::fmt(per(0) / per(3), 1) + "x"});
     }
     fig.print(std::cout);
     return 0;

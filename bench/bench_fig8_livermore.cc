@@ -6,48 +6,80 @@
  * several times faster than Baseline+ and ~2 orders below Baseline at
  * small vectors; Baseline+ closes the gap as vectors grow (compute
  * starts to dominate), fastest for loop 6's large bodies.
+ *
+ * All (core count x loop x length x kind) points form one
+ * ParallelSweep grid, so every table's points run concurrently.
  */
 
+#include <array>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
-#include "harness/sweep.hh"
 #include "workloads/livermore.hh"
 
 using namespace wisync;
 
 namespace {
 
-void
-sweep(harness::SweepHarness &machines, workloads::LivermoreLoop loop,
-      const char *name, std::uint32_t cores,
-      const std::vector<std::uint32_t> &lengths)
+using core::ConfigKind;
+
+constexpr std::array<ConfigKind, 4> kKinds = {
+    ConfigKind::Baseline, ConfigKind::BaselinePlus, ConfigKind::WiSyncNoT,
+    ConfigKind::WiSync};
+
+struct Row
 {
-    using core::ConfigKind;
-    harness::TextTable fig(std::string("Figure 8: Livermore ") + name +
-                           " execution cycles, " +
-                           std::to_string(cores) + " cores");
-    fig.header({"VecLen", "Baseline", "Baseline+", "WiSyncNoT", "WiSync",
-                "Base/WiSync"});
+    std::uint32_t n;
+    std::array<std::size_t, 4> idx;
+};
+
+struct Table
+{
+    std::string title;
+    std::vector<Row> rows;
+};
+
+Table
+declare(harness::ParallelSweep &sweep, workloads::LivermoreLoop loop,
+        const char *name, std::uint32_t cores,
+        const std::vector<std::uint32_t> &lengths)
+{
+    Table table;
+    table.title = std::string("Figure 8: Livermore ") + name +
+                  " execution cycles, " + std::to_string(cores) + " cores";
     for (const auto n : lengths) {
         workloads::LivermoreParams params;
         params.n = n;
         params.passes = 1;
-        auto run = [&](ConfigKind kind) {
-            return workloads::runLivermoreOn(
-                       loop,
-                       machines.acquire(
-                           core::MachineConfig::make(kind, cores)),
-                       params)
-                .cycles;
-        };
-        const auto base = run(ConfigKind::Baseline);
-        const auto plus = run(ConfigKind::BaselinePlus);
-        const auto not_ = run(ConfigKind::WiSyncNoT);
-        const auto full = run(ConfigKind::WiSync);
-        fig.row({std::to_string(n), harness::fmtCycles(base),
-                 harness::fmtCycles(plus), harness::fmtCycles(not_),
+        Row row{n, {}};
+        for (std::size_t k = 0; k < kKinds.size(); ++k) {
+            row.idx[k] = sweep.add(
+                core::MachineConfig::make(kKinds[k], cores),
+                [loop, params](core::Machine &m) {
+                    return workloads::runLivermoreOn(loop, m, params);
+                });
+        }
+        table.rows.push_back(row);
+    }
+    return table;
+}
+
+void
+print(const Table &table,
+      const std::vector<workloads::KernelResult> &results)
+{
+    harness::TextTable fig(table.title);
+    fig.header({"VecLen", "Baseline", "Baseline+", "WiSyncNoT", "WiSync",
+                "Base/WiSync"});
+    for (const auto &row : table.rows) {
+        const auto base = results[row.idx[0]].cycles;
+        const auto full = results[row.idx[3]].cycles;
+        fig.row({std::to_string(row.n), harness::fmtCycles(base),
+                 harness::fmtCycles(results[row.idx[1]].cycles),
+                 harness::fmtCycles(results[row.idx[2]].cycles),
                  harness::fmtCycles(full),
                  harness::fmt(static_cast<double>(base) /
                                   static_cast<double>(full),
@@ -81,14 +113,20 @@ main()
         break;
     }
 
-    harness::SweepHarness machines;
+    harness::ParallelSweep sweep;
+    std::vector<Table> tables;
     for (const auto cores : corecounts) {
-        sweep(machines, workloads::LivermoreLoop::Iccg, "loop 2 (ICCG)",
-              cores, len23);
-        sweep(machines, workloads::LivermoreLoop::InnerProduct,
-              "loop 3 (inner product)", cores, len23);
-        sweep(machines, workloads::LivermoreLoop::LinearRecurrence,
-              "loop 6 (linear recurrence)", cores, len6);
+        tables.push_back(declare(sweep, workloads::LivermoreLoop::Iccg,
+                                 "loop 2 (ICCG)", cores, len23));
+        tables.push_back(declare(sweep,
+                                 workloads::LivermoreLoop::InnerProduct,
+                                 "loop 3 (inner product)", cores, len23));
+        tables.push_back(
+            declare(sweep, workloads::LivermoreLoop::LinearRecurrence,
+                    "loop 6 (linear recurrence)", cores, len6));
     }
+    const auto results = sweep.run();
+    for (const auto &table : tables)
+        print(table, results);
     return 0;
 }

@@ -6,47 +6,80 @@
  * CASes) at 64 and 128 cores. Expected shape (paper): near parity at
  * 8-16K+ instructions, with WiSync pulling ~an order of magnitude
  * ahead as the critical section shrinks and contention rises.
+ *
+ * The whole (cores x kernel x CS size x kind) grid runs through one
+ * ParallelSweep; tables are printed from the merged results.
  */
 
+#include <algorithm>
+#include <array>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
-#include "harness/sweep.hh"
 #include "workloads/cas_kernels.hh"
 
 using namespace wisync;
 
 namespace {
 
-void
-sweep(harness::SweepHarness &machines, workloads::CasKernel kernel,
-      const char *name, std::uint32_t cores,
-      const std::vector<std::uint32_t> &cs_sizes)
+using core::ConfigKind;
+
+struct Row
 {
-    using core::ConfigKind;
-    harness::TextTable fig(std::string("Figure 9: ") + name +
-                           " CAS throughput per 1000 cycles, " +
-                           std::to_string(cores) + " cores");
-    fig.header({"CS instr", "Baseline", "WiSync", "WiSync/Base"});
+    std::uint32_t cs;
+    std::size_t baseIdx;
+    std::size_t wisIdx;
+};
+
+struct Table
+{
+    std::string title;
+    std::vector<Row> rows;
+};
+
+Table
+declare(harness::ParallelSweep &sweep, workloads::CasKernel kernel,
+        const char *name, std::uint32_t cores,
+        const std::vector<std::uint32_t> &cs_sizes)
+{
+    Table table;
+    table.title = std::string("Figure 9: ") + name +
+                  " CAS throughput per 1000 cycles, " +
+                  std::to_string(cores) + " cores";
     for (const auto cs : cs_sizes) {
         workloads::CasKernelParams params;
         params.criticalSectionInstr = cs;
         params.duration = 200'000 + static_cast<sim::Cycle>(cs) * 16;
-        auto run = [&](ConfigKind kind) {
-            return workloads::runCasKernelOn(
-                kernel,
-                machines.acquire(core::MachineConfig::make(kind, cores)),
-                params);
+        auto add = [&](ConfigKind kind) {
+            return sweep.add(core::MachineConfig::make(kind, cores),
+                             [kernel, params](core::Machine &m) {
+                                 return workloads::runCasKernelOn(kernel, m,
+                                                                  params);
+                             });
         };
-        const auto base = run(ConfigKind::Baseline);
-        const auto wis = run(ConfigKind::WiSync);
-        fig.row({std::to_string(cs),
+        table.rows.push_back(Row{cs, add(ConfigKind::Baseline),
+                                 add(ConfigKind::WiSync)});
+    }
+    return table;
+}
+
+void
+print(const Table &table,
+      const std::vector<workloads::KernelResult> &results)
+{
+    harness::TextTable fig(table.title);
+    fig.header({"CS instr", "Baseline", "WiSync", "WiSync/Base"});
+    for (const auto &row : table.rows) {
+        const auto &base = results[row.baseIdx];
+        const auto &wis = results[row.wisIdx];
+        fig.row({std::to_string(row.cs),
                  harness::fmt(base.opsPerKiloCycle(), 2),
                  harness::fmt(wis.opsPerKiloCycle(), 2),
                  harness::fmt(wis.opsPerKiloCycle() /
-                                  std::max(0.001,
-                                           base.opsPerKiloCycle()),
+                                  std::max(0.001, base.opsPerKiloCycle()),
                               1) +
                      "x"});
     }
@@ -74,14 +107,18 @@ main()
         break;
     }
 
-    harness::SweepHarness machines;
+    harness::ParallelSweep sweep;
+    std::vector<Table> tables;
     for (const auto cores : corecounts) {
-        sweep(machines, workloads::CasKernel::Fifo, "FIFO", cores,
-              cs_sizes);
-        sweep(machines, workloads::CasKernel::Lifo, "LIFO", cores,
-              cs_sizes);
-        sweep(machines, workloads::CasKernel::Add, "ADD", cores,
-              cs_sizes);
+        tables.push_back(declare(sweep, workloads::CasKernel::Fifo, "FIFO",
+                                 cores, cs_sizes));
+        tables.push_back(declare(sweep, workloads::CasKernel::Lifo, "LIFO",
+                                 cores, cs_sizes));
+        tables.push_back(declare(sweep, workloads::CasKernel::Add, "ADD",
+                                 cores, cs_sizes));
     }
+    const auto results = sweep.run();
+    for (const auto &table : tables)
+        print(table, results);
     return 0;
 }

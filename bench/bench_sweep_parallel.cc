@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Same-process A/B of the parallel sweep driver: one TightLoop figure
+ * grid, timed serially (1 worker) and at the environment's worker
+ * count (WISYNC_SWEEP_THREADS, default hardware concurrency), with
+ * the merged results compared for equality. Emits a single JSON
+ * object for bench/run_bench.sh to merge into BENCH_sweep.json;
+ * bench/check_bench.py gates sweep_parallel_speedup when more than
+ * one worker was actually available (the ratio is same-process and
+ * wall-clock — the parallel leg's whole point is wall time).
+ *
+ * The serial leg runs first and both legs share one process, so
+ * allocator warm-up favours the parallel leg equally on both runs.
+ */
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "harness/parallel_sweep.hh"
+#include "workloads/tight_loop.hh"
+
+using namespace wisync;
+
+int
+main()
+{
+    using core::ConfigKind;
+
+    // The Fig. 7 grid at a fixed bench scale — deliberately *not*
+    // scaled down by WISYNC_QUICK: the gated ratio needs a stable
+    // measurement (~0.2 s serial; a quick-mode ~30 ms grid would put
+    // runner noise inside the gate margin). At this scale the worst
+    // single point is ~23% of serial time, so the parallel leg's
+    // straggler bound (~4x) sits well above the 1.5x gate.
+    const std::vector<std::uint32_t> cores = {16, 32, 64};
+    workloads::TightLoopParams params;
+    params.iterations = 40;
+
+    harness::ParallelSweep sweep;
+    for (const auto n : cores) {
+        for (const auto kind :
+             {ConfigKind::Baseline, ConfigKind::BaselinePlus,
+              ConfigKind::WiSyncNoT, ConfigKind::WiSync}) {
+            sweep.add(core::MachineConfig::make(kind, n),
+                      [params](core::Machine &m) {
+                          return workloads::runTightLoopOn(m, params);
+                      });
+        }
+    }
+
+    using clock = std::chrono::steady_clock;
+    auto seconds = [](clock::duration d) {
+        return std::chrono::duration<double>(d).count();
+    };
+
+    // Untimed warm-up pass: both timed legs run with hot allocator,
+    // frame-pool and page state, so the ratio measures parallelism
+    // only (a cold serial leg inflates it by the warm-up cost).
+    (void)sweep.run(1);
+
+    const auto t0 = clock::now();
+    const auto serial = sweep.run(1);
+    const auto t1 = clock::now();
+    const unsigned threads = harness::ParallelSweep::threads();
+    const auto parallel = sweep.run(threads);
+    const auto t2 = clock::now();
+
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+        identical =
+            serial[i].cycles == parallel[i].cycles &&
+            serial[i].completed == parallel[i].completed &&
+            serial[i].operations == parallel[i].operations &&
+            std::bit_cast<std::uint64_t>(
+                serial[i].dataChannelUtilisation) ==
+                std::bit_cast<std::uint64_t>(
+                    parallel[i].dataChannelUtilisation) &&
+            serial[i].collisions == parallel[i].collisions;
+    }
+
+    const double serial_s = seconds(t1 - t0);
+    const double parallel_s = seconds(t2 - t1);
+    std::printf("{\"grid\": \"tightloop\", \"points\": %zu, "
+                "\"threads\": %u, \"serial_seconds\": %.3f, "
+                "\"parallel_seconds\": %.3f, "
+                "\"sweep_parallel_speedup\": %.2f, "
+                "\"results_identical\": %s}\n",
+                sweep.size(), threads, serial_s, parallel_s,
+                parallel_s > 0 ? serial_s / parallel_s : 0.0,
+                identical ? "true" : "false");
+    return identical ? 0 : 1;
+}

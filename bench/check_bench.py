@@ -7,7 +7,14 @@ gate on, so every rule below is either a same-process A/B ratio
 runner, so machine speed cancels) or a deterministic counter emitted by
 the benchmark itself.
 
-Usage: bench/check_bench.py [BENCH_kernel.json]
+With --sweep FILE the parallel-sweep A/B recorded in BENCH_sweep.json
+is gated too: the same-process N-thread vs 1-thread wall-clock ratio
+on the TightLoop grid must reach 1.5x. The gate only applies when the
+run actually had more than one worker (a single-core runner records
+threads == 1 and is skipped) — and the merged results must have been
+identical, which bench_sweep_parallel verifies itself.
+
+Usage: bench/check_bench.py [BENCH_kernel.json] [--sweep BENCH_sweep.json]
 Exit status 0 = all gates pass.
 """
 
@@ -25,7 +32,17 @@ def load(path):
 
 
 def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernel.json"
+    args = sys.argv[1:]
+    sweep_path = None
+    if "--sweep" in args:
+        i = args.index("--sweep")
+        if i + 1 >= len(args):
+            print("usage: check_bench.py [BENCH_kernel.json] "
+                  "[--sweep BENCH_sweep.json]", file=sys.stderr)
+            return 2
+        sweep_path = args[i + 1]
+        del args[i:i + 2]
+    path = args[0] if args else "BENCH_kernel.json"
     bench = load(path)
     failures = []
     checks = []
@@ -81,6 +98,31 @@ def main():
                  "steady-state frames must come from the free lists")
     counter_gate("BM_CoroutineChain", "pool_fallback_allocs", "<=", 0,
                  "model coroutine frames must fit the pooled classes")
+
+    if sweep_path is not None:
+        with open(sweep_path) as f:
+            sweep = json.load(f)
+        par = sweep.get("parallel")
+        if par is None:
+            failures.append(f"missing 'parallel' record in {sweep_path}")
+        else:
+            if not par.get("results_identical", False):
+                failures.append(
+                    "FAIL parallel sweep results differ from serial — "
+                    "determinism contract broken")
+            threads = par.get("threads", 1)
+            speedup = par.get("sweep_parallel_speedup", 0.0)
+            if threads >= 2:
+                line = (f"sweep_parallel_speedup = {speedup} at "
+                        f"{threads} threads (gate: >= 1.5) — N workers "
+                        "must beat the serial sweep")
+                checks.append(line)
+                if speedup < 1.5:
+                    failures.append(f"FAIL {line}")
+            else:
+                checks.append(
+                    f"sweep_parallel_speedup = {speedup} — gate skipped "
+                    "(single worker available)")
 
     for line in checks:
         print(" ", line)

@@ -98,12 +98,22 @@ if [[ $SWEEP -eq 1 ]]; then
         fi
         ROWS+="$b $fresh $reuse $base"$'\n'
     done
+    # Same-process 1-thread vs N-thread wall-clock A/B of the parallel
+    # driver on the TightLoop grid (results verified identical inside
+    # the binary; nonzero exit = determinism violation).
+    PAR_EXE="$BUILD_DIR/bench/bench_sweep_parallel"
+    require_exe "$PAR_EXE"
+    echo "== bench_sweep_parallel (1 thread vs N threads)"
+    PARALLEL_JSON=$("$PAR_EXE")
+    echo "   $PARALLEL_JSON"
     ROWFILE=$(mktemp)
     trap 'rm -f "$ROWFILE"' EXIT
     printf '%s' "$ROWS" >"$ROWFILE"
-    python3 - "$SWEEP_OUT" "$MODE" "$ROWFILE" "$BASELINE_NAME" <<'EOF'
+    python3 - "$SWEEP_OUT" "$MODE" "$ROWFILE" "$BASELINE_NAME" \
+        "$PARALLEL_JSON" <<'EOF'
 import json, sys
 out, mode, name = sys.argv[1], sys.argv[2], sys.argv[4]
+parallel = json.loads(sys.argv[5])
 rows = []
 for line in open(sys.argv[3]):
     parts = line.split()
@@ -126,11 +136,19 @@ doc = {
     "method": "best-of-3 CPU (user) seconds per full sweep, same "
               "session; fresh = WISYNC_NO_REUSE=1 (one Machine build "
               "per sweep point), reuse = SweepHarness + Machine::reset",
+    "parallel_method": "same-process wall-clock seconds of one "
+                       "TightLoop grid via ParallelSweep at 1 worker "
+                       "vs WISYNC_SWEEP_THREADS workers, merged "
+                       "results verified identical",
+    "parallel": parallel,
     "benches": rows,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=1)
 print(f"wrote {out}")
+print(f"  parallel sweep: {parallel['serial_seconds']}s serial vs "
+      f"{parallel['parallel_seconds']}s at {parallel['threads']} "
+      f"threads ({parallel['sweep_parallel_speedup']}x)")
 for r in rows:
     extra = ""
     k = f"speedup_{name}_over_reuse"

@@ -1,0 +1,160 @@
+#include "harness/parallel_sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "harness/sweep.hh"
+#include "sim/logging.hh"
+
+namespace wisync::harness {
+
+namespace {
+
+/**
+ * One worker's job queue. A plain mutex per queue is plenty: jobs are
+ * whole simulations (milliseconds to seconds), so queue operations are
+ * nowhere near contended enough to justify a lock-free deque.
+ */
+struct WorkerQueue
+{
+    std::mutex mutex;
+    std::deque<std::size_t> jobs;
+
+    /** Owner takes from the front (preserves block order = reuse locality). */
+    std::optional<std::size_t>
+    popOwn()
+    {
+        std::lock_guard<std::mutex> g(mutex);
+        if (jobs.empty())
+            return std::nullopt;
+        const std::size_t i = jobs.front();
+        jobs.pop_front();
+        return i;
+    }
+
+    /** Thieves take from the back (the owner's coldest work). */
+    std::optional<std::size_t>
+    steal()
+    {
+        std::lock_guard<std::mutex> g(mutex);
+        if (jobs.empty())
+            return std::nullopt;
+        const std::size_t i = jobs.back();
+        jobs.pop_back();
+        return i;
+    }
+};
+
+} // namespace
+
+std::size_t
+ParallelSweep::add(core::MachineConfig config,
+                   std::function<workloads::KernelResult(core::Machine &)>
+                       body)
+{
+    points_.push_back(SweepPoint{std::move(config), std::move(body)});
+    return points_.size() - 1;
+}
+
+unsigned
+ParallelSweep::threads()
+{
+    static const unsigned n = [] {
+        if (const char *v = std::getenv("WISYNC_SWEEP_THREADS");
+            v != nullptr && *v != '\0') {
+            const long parsed = std::strtol(v, nullptr, 10);
+            if (parsed > 0)
+                return static_cast<unsigned>(parsed);
+        }
+        return std::max(1u, std::thread::hardware_concurrency());
+    }();
+    return n;
+}
+
+std::vector<workloads::KernelResult>
+ParallelSweep::run()
+{
+    return run(threads());
+}
+
+std::vector<workloads::KernelResult>
+ParallelSweep::run(unsigned threads)
+{
+    std::vector<workloads::KernelResult> results(points_.size());
+    if (points_.empty())
+        return results;
+
+    const unsigned nworkers = static_cast<unsigned>(std::min<std::size_t>(
+        std::max(1u, threads), points_.size()));
+
+    if (nworkers == 1) {
+        // The serial path: one harness on the calling thread, grid
+        // order — exactly the pre-parallel benches.
+        SweepHarness machines;
+        for (std::size_t i = 0; i < points_.size(); ++i)
+            results[i] = points_[i].body(machines.acquire(points_[i].config));
+        return results;
+    }
+
+    // Block-distribute the grid: contiguous ranges keep neighbouring
+    // points (usually the same structural shape) on one worker, so the
+    // per-worker machine caches hit about as often as the serial run's.
+    std::vector<WorkerQueue> queues(nworkers);
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        const std::size_t w = i * nworkers / points_.size();
+        queues[w].jobs.push_back(i);
+    }
+
+    // No point ever enqueues more work, so a worker may exit as soon
+    // as every queue reads empty: any still-running point is already
+    // owned by the worker executing it.
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::atomic<bool> failed{false};
+    auto worker = [&](unsigned self) {
+        // Worker-private machine cache: machines are built, reset, run
+        // and destroyed on this thread only (the frame pool and the
+        // scheduler's chunk cache are thread-local).
+        SweepHarness machines;
+        while (!failed.load(std::memory_order_relaxed)) {
+            std::optional<std::size_t> job = queues[self].popOwn();
+            for (unsigned v = 1; !job && v < nworkers; ++v)
+                job = queues[(self + v) % nworkers].steal();
+            if (!job)
+                return;
+            try {
+                results[*job] =
+                    points_[*job].body(machines.acquire(points_[*job].config));
+            } catch (...) {
+                // Record the first error and stop every worker before
+                // its next point — a long grid should not simulate to
+                // completion only to discard the results.
+                std::lock_guard<std::mutex> g(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(nworkers - 1);
+    for (unsigned w = 1; w < nworkers; ++w)
+        pool.emplace_back(worker, w);
+    worker(0);
+    for (auto &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+} // namespace wisync::harness

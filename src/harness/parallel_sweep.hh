@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-threaded sweep driver for figure regeneration.
+ *
+ * Every figure is a grid of *independent* simulations: (ConfigKind x
+ * core count x workload parameters) points whose only shared state is
+ * the table printed at the end. ParallelSweep lets a bench declare
+ * that grid up front and fans it out over N host threads:
+ *
+ *   - each worker owns a private SweepHarness (machine cache), so
+ *     Machine reuse via reset() keeps working per worker; the frame
+ *     pool and scheduler chunk caches are already thread-local;
+ *   - points are block-distributed over per-worker job queues and
+ *     idle workers steal from the tail of a victim's queue, so a grid
+ *     of wildly uneven point costs (256-core points next to 16-core
+ *     ones) still load-balances;
+ *   - results are merged by point index, so the returned vector is in
+ *     add() order regardless of completion order.
+ *
+ * Determinism contract: each point's simulation depends only on its
+ * MachineConfig (fresh build and reset reuse are observationally
+ * identical — tests/test_machine_reset.cc), so the merged results are
+ * bit-identical for every thread count, worker assignment and
+ * completion order. tests/test_parallel_sweep.cc locks this down,
+ * including a forced straggler inversion.
+ *
+ * Thread count: WISYNC_SWEEP_THREADS, default = hardware concurrency;
+ * 1 reproduces the serial path exactly (one SweepHarness on the
+ * calling thread, no workers spawned).
+ */
+
+#ifndef WISYNC_HARNESS_PARALLEL_SWEEP_HH
+#define WISYNC_HARNESS_PARALLEL_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "workloads/kernel_result.hh"
+
+namespace wisync::core {
+class Machine;
+}
+
+namespace wisync::harness {
+
+/**
+ * One grid point: the machine to prepare (built fresh or served by
+ * reset from the worker's cache) and the workload to run on it.
+ */
+struct SweepPoint
+{
+    core::MachineConfig config;
+    std::function<workloads::KernelResult(core::Machine &)> body;
+};
+
+/** A declarative sweep grid plus the work-stealing driver over it. */
+class ParallelSweep
+{
+  public:
+    ParallelSweep() = default;
+
+    /**
+     * Append a point; @return its index — also its position in the
+     * vector run() returns. @p body runs on a worker thread; anything
+     * it captures must stay valid until run() returns and must not be
+     * mutated by other points' bodies.
+     */
+    std::size_t add(core::MachineConfig config,
+                    std::function<workloads::KernelResult(core::Machine &)>
+                        body);
+
+    std::size_t size() const { return points_.size(); }
+
+    /**
+     * Run every point on @p threads workers (clamped to the grid
+     * size) and return the results in add() order. The grid is left
+     * intact, so the same sweep can be re-run — tests use that for
+     * cross-thread-count comparisons.
+     */
+    std::vector<workloads::KernelResult> run(unsigned threads);
+
+    /** run(threads()) — the environment-selected width. */
+    std::vector<workloads::KernelResult> run();
+
+    /** WISYNC_SWEEP_THREADS, default hardware concurrency (min 1). */
+    static unsigned threads();
+
+  private:
+    std::vector<SweepPoint> points_;
+};
+
+} // namespace wisync::harness
+
+#endif // WISYNC_HARNESS_PARALLEL_SWEEP_HH

@@ -1,0 +1,174 @@
+#include "mem/dir_table.hh"
+
+#include "sim/logging.hh"
+
+namespace wisync::mem {
+
+namespace {
+
+/** Initial slot count per bank; a power of two (masked probing). */
+constexpr std::size_t kInitialSlots = 64;
+
+/**
+ * Occupancy ceiling, in tenths. Beyond it probe chains degrade, so an
+ * insert that would cross it rehashes first: doubling when live
+ * entries alone are the pressure, same-size (tombstone purge) when
+ * deletions are.
+ */
+constexpr std::size_t kMaxLoadTenths = 7;
+
+} // namespace
+
+DirTable::DirTable(sim::Engine &engine, std::uint32_t sharer_words)
+    : engine_(engine), sharerWords_(sharer_words), slots_(kInitialSlots)
+{}
+
+DirEntry *
+DirTable::tombstone()
+{
+    // A non-null sentinel that can never alias a pooled entry.
+    static DirEntry *const tomb =
+        reinterpret_cast<DirEntry *>(std::uintptr_t{1});
+    return tomb;
+}
+
+std::size_t
+DirTable::hashOf(sim::Addr line)
+{
+    // splitmix64 finalizer: line addresses differ only in a few middle
+    // bits (low bits are the line offset, high bits the region), so
+    // identity hashing would cluster badly under linear probing.
+    std::uint64_t x = line;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+}
+
+std::size_t
+DirTable::probe(sim::Addr line) const
+{
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hashOf(line) & mask;
+    std::size_t first_tomb = slots_.size(); // "none seen"
+    for (;;) {
+        const Slot &s = slots_[i];
+        if (s.entry == nullptr)
+            return first_tomb < slots_.size() ? first_tomb : i;
+        if (s.entry == tombstone()) {
+            if (first_tomb == slots_.size())
+                first_tomb = i;
+        } else if (s.key == line) {
+            return i;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+DirEntry *
+DirTable::acquireEntry()
+{
+    DirEntry *e;
+    if (!free_.empty()) {
+        e = free_.back();
+        free_.pop_back();
+        ++stats_.recycled;
+    } else {
+        pool_.push_back(std::make_unique<DirEntry>(engine_));
+        e = pool_.back().get();
+        ++stats_.allocated;
+    }
+    // Scrub on acquisition (not on release): assign() reuses the
+    // bitmap's capacity, so a recycled entry allocates nothing.
+    e->owner = sim::kNoNode;
+    e->inL2 = false;
+    e->sharers.assign(sharerWords_, 0);
+    e->busy.reset();
+    return e;
+}
+
+DirEntry &
+DirTable::operator[](sim::Addr line)
+{
+    std::size_t i = probe(line);
+    if (slots_[i].entry != nullptr && slots_[i].entry != tombstone())
+        return *slots_[i].entry;
+
+    // Inserting: keep occupancy (live + tombstones) under the ceiling.
+    if ((size_ + tombstones_ + 1) * 10 > slots_.size() * kMaxLoadTenths) {
+        // Live entries past half capacity: double. Otherwise the
+        // pressure is tombstones — purge them at the same size.
+        const bool grow = (size_ + 1) * 2 > slots_.size();
+        rehash(grow ? slots_.size() * 2 : slots_.size());
+        i = probe(line);
+    }
+
+    Slot &s = slots_[i];
+    if (s.entry == tombstone())
+        --tombstones_;
+    s.key = line;
+    s.entry = acquireEntry();
+    ++size_;
+    return *s.entry;
+}
+
+DirEntry *
+DirTable::find(sim::Addr line)
+{
+    const std::size_t i = probe(line);
+    Slot &s = slots_[i];
+    if (s.entry == nullptr || s.entry == tombstone())
+        return nullptr;
+    return s.entry;
+}
+
+bool
+DirTable::erase(sim::Addr line)
+{
+    const std::size_t i = probe(line);
+    Slot &s = slots_[i];
+    if (s.entry == nullptr || s.entry == tombstone())
+        return false;
+    free_.push_back(s.entry);
+    s.entry = tombstone();
+    --size_;
+    ++tombstones_;
+    return true;
+}
+
+void
+DirTable::reset()
+{
+    for (Slot &s : slots_) {
+        if (s.entry != nullptr && s.entry != tombstone())
+            free_.push_back(s.entry);
+        s.entry = nullptr;
+    }
+    size_ = 0;
+    tombstones_ = 0;
+}
+
+void
+DirTable::rehash(std::size_t new_count)
+{
+    WISYNC_ASSERT((new_count & (new_count - 1)) == 0,
+                  "DirTable slot count must stay a power of two");
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.assign(new_count, Slot{});
+    tombstones_ = 0;
+    ++stats_.rehashes;
+    const std::size_t mask = new_count - 1;
+    for (const Slot &s : old) {
+        if (s.entry == nullptr || s.entry == tombstone())
+            continue;
+        std::size_t i = hashOf(s.key) & mask;
+        while (slots_[i].entry != nullptr)
+            i = (i + 1) & mask;
+        slots_[i] = s;
+    }
+}
+
+} // namespace wisync::mem

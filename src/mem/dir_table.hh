@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Open-addressed, entry-pooling coherence directory.
+ *
+ * The per-bank directory used to be an
+ * unordered_map<Addr, unique_ptr<DirEntry>>: one heap allocation per
+ * touched line, all freed again on Machine::reset. For sweep loops
+ * that reset the same machine thousands of times, that alloc/free
+ * churn is pure overhead — the set of touched lines is nearly
+ * identical across sweep points.
+ *
+ * DirTable replaces it with
+ *   - a linear-probing hash table of (line -> DirEntry*) slots, and
+ *   - a pool of DirEntry objects with stable addresses that are
+ *     *recycled* (pushed onto a free list) on reset() instead of
+ *     destroyed, so the next run re-acquires warm entries — including
+ *     their sharer-bitmap capacity — without touching the allocator.
+ *
+ * Entry pointers are stable for the life of the table: coroutines
+ * legitimately hold DirEntry& across awaits while later insertions
+ * rehash the slot array underneath them.
+ *
+ * erase() uses tombstones (the standard open-addressing deletion
+ * scheme); a rehash triggered by occupancy — live entries for growth,
+ * live+tombstones for same-size cleanup — keeps probe chains short at
+ * high load factor. The current protocol never erases mid-run, but
+ * sparse-directory eviction (a ROADMAP direction) will.
+ */
+
+#ifndef WISYNC_MEM_DIR_TABLE_HH
+#define WISYNC_MEM_DIR_TABLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coro/primitives.hh"
+#include "sim/types.hh"
+
+namespace wisync::mem {
+
+/** Directory entry: MOESI owner/sharers plus the MSHR mutex. */
+struct DirEntry
+{
+    explicit DirEntry(sim::Engine &eng) : busy(eng) {}
+    sim::NodeId owner = sim::kNoNode;
+    std::vector<std::uint64_t> sharers; // bitmap
+    bool inL2 = false;
+    coro::SimMutex busy;
+};
+
+/** One bank's directory: pooled entries behind an open-addressed map. */
+class DirTable
+{
+  public:
+    /** Allocation/recycling counters (monotonic over the table's life). */
+    struct Stats
+    {
+        std::uint64_t allocated = 0; ///< entries constructed (pool growth)
+        std::uint64_t recycled = 0;  ///< entries served from the free list
+        std::uint64_t rehashes = 0;  ///< slot-array rebuilds (any cause)
+    };
+
+    /**
+     * @p sharer_words is the bitmap length every entry carries
+     * ((numNodes + 63) / 64); @p engine owns the entries' MSHR mutexes.
+     */
+    DirTable(sim::Engine &engine, std::uint32_t sharer_words);
+
+    DirTable(const DirTable &) = delete;
+    DirTable &operator=(const DirTable &) = delete;
+    DirTable(DirTable &&) = default;
+
+    /**
+     * The entry for @p line, created (from the free list when possible)
+     * if absent. The reference is stable until the table is destroyed —
+     * reset() recycles the object but later acquisitions of any line
+     * may hand it out again.
+     */
+    DirEntry &operator[](sim::Addr line);
+
+    /** The entry for @p line, or nullptr. */
+    DirEntry *find(sim::Addr line);
+
+    /**
+     * Recycle @p line's entry (tombstoning its slot). True if present.
+     * Only legal while no coroutine still references the entry.
+     */
+    bool erase(sim::Addr line);
+
+    /**
+     * Return every entry to the free list and clear the map, keeping
+     * the slot array and all entry capacity for the next run. Only
+     * legal after the engine destroyed any frames parked on the
+     * entries' mutexes (Machine::reset does this first).
+     */
+    void reset();
+
+    std::size_t size() const { return size_; }
+    std::size_t tombstones() const { return tombstones_; }
+    std::size_t slotCount() const { return slots_.size(); }
+    /** Entries sitting in the free list right now. */
+    std::size_t freeCount() const { return free_.size(); }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Slot
+    {
+        sim::Addr key = 0;
+        DirEntry *entry = nullptr; ///< null = empty, kTombstone = deleted
+    };
+
+    static DirEntry *tombstone();
+    static std::size_t hashOf(sim::Addr line);
+
+    /** Probe for @p line; @return its slot, or the insertion slot. */
+    std::size_t probe(sim::Addr line) const;
+
+    /** Rebuild the slot array with @p new_count slots (drops tombstones). */
+    void rehash(std::size_t new_count);
+
+    /** A scrubbed entry ready for first use on a new line. */
+    DirEntry *acquireEntry();
+
+    sim::Engine &engine_;
+    std::uint32_t sharerWords_;
+    std::vector<Slot> slots_;
+    /** Every entry ever built: stable storage behind the slot array. */
+    std::vector<std::unique_ptr<DirEntry>> pool_;
+    std::vector<DirEntry *> free_;
+    std::size_t size_ = 0;
+    std::size_t tombstones_ = 0;
+    Stats stats_;
+};
+
+} // namespace wisync::mem
+
+#endif // WISYNC_MEM_DIR_TABLE_HH

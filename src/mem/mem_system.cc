@@ -25,9 +25,10 @@ MemSystem::MemSystem(sim::Engine &engine, noc::Mesh &mesh, Memory &memory,
 {
     l1_.reserve(numNodes_);
     banks_.reserve(numNodes_);
+    const std::uint32_t sharer_words = (numNodes_ + 63) / 64;
     for (std::uint32_t n = 0; n < numNodes_; ++n) {
         l1_.emplace_back(cfg_.l1SizeBytes, cfg_.l1Assoc, cfg_.lineBytes);
-        banks_.emplace_back(engine_, cfg_);
+        banks_.emplace_back(engine_, cfg_, sharer_words);
     }
     for (std::uint32_t c = 0; c < cfg_.numMemCtrls; ++c)
         dramCtrls_.push_back(
@@ -50,7 +51,7 @@ MemSystem::reset(const MemConfig &cfg)
         l1.reset();
     for (auto &bank : banks_) {
         bank.tags.reset();
-        bank.dir.clear();
+        bank.dir.reset(); // recycles entries instead of freeing them
     }
     for (auto &ctrl : dramCtrls_)
         ctrl->reset();
@@ -58,16 +59,22 @@ MemSystem::reset(const MemConfig &cfg)
     stats_.reset();
 }
 
-MemSystem::DirEntry &
+DirEntry &
 MemSystem::dirEntry(sim::Addr line)
 {
-    Bank &bank = banks_[homeOf(line)];
-    auto &slot = bank.dir[line];
-    if (!slot) {
-        slot = std::make_unique<DirEntry>(engine_);
-        slot->sharers.assign((numNodes_ + 63) / 64, 0);
+    return banks_[homeOf(line)].dir[line];
+}
+
+DirTable::Stats
+MemSystem::dirPoolStats() const
+{
+    DirTable::Stats total;
+    for (const auto &bank : banks_) {
+        total.allocated += bank.dir.stats().allocated;
+        total.recycled += bank.dir.stats().recycled;
+        total.rehashes += bank.dir.stats().rehashes;
     }
-    return *slot;
+    return total;
 }
 
 bool

@@ -39,6 +39,7 @@
 #include "coro/primitives.hh"
 #include "coro/task.hh"
 #include "mem/cache.hh"
+#include "mem/dir_table.hh"
 #include "mem/memory.hh"
 #include "noc/mesh.hh"
 #include "sim/engine.hh"
@@ -161,26 +162,23 @@ class MemSystem
      */
     void reset(const MemConfig &cfg);
 
-  private:
-    /** Directory entry: MOESI owner/sharers plus the MSHR mutex. */
-    struct DirEntry
-    {
-        explicit DirEntry(sim::Engine &eng) : busy(eng) {}
-        sim::NodeId owner = sim::kNoNode;
-        std::vector<std::uint64_t> sharers; // bitmap
-        bool inL2 = false;
-        coro::SimMutex busy;
-    };
+    /**
+     * Aggregate directory-pool counters over all banks, for tests and
+     * bench counters: with reset-recycling, steady-state sweeps should
+     * serve (nearly) every entry from the free lists.
+     */
+    DirTable::Stats dirPoolStats() const;
 
+  private:
     struct Bank
     {
-        Bank(sim::Engine &eng, const MemConfig &cfg)
-            : tags(cfg.l2BankSizeBytes, cfg.l2Assoc, cfg.lineBytes)
-        {
-            (void)eng;
-        }
+        Bank(sim::Engine &eng, const MemConfig &cfg,
+             std::uint32_t sharer_words)
+            : tags(cfg.l2BankSizeBytes, cfg.l2Assoc, cfg.lineBytes),
+              dir(eng, sharer_words)
+        {}
         CacheArray tags;
-        std::unordered_map<sim::Addr, std::unique_ptr<DirEntry>> dir;
+        DirTable dir;
     };
 
     DirEntry &dirEntry(sim::Addr line);

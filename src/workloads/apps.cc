@@ -173,12 +173,7 @@ runAppOn(const AppProfile &profile, core::Machine &machine)
     result.completed = machine.run(8'000'000'000ull);
     result.cycles = machine.engine().now();
     result.operations = profile.phases;
-    if (machine.bm()) {
-        result.dataChannelUtilisation =
-            machine.bm()->dataChannel().utilisation();
-        result.collisions =
-            machine.bm()->dataChannel().stats().collisions.value();
-    }
+    captureChannelStats(result, machine);
     return result;
 }
 

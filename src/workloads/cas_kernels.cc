@@ -240,12 +240,7 @@ runCasKernelOn(CasKernel kernel, core::Machine &machine,
     result.completed = machine.run(params.duration * 100);
     result.cycles = params.duration;
     result.operations = st.successes;
-    if (machine.bm()) {
-        result.dataChannelUtilisation =
-            machine.bm()->dataChannel().utilisation();
-        result.collisions =
-            machine.bm()->dataChannel().stats().collisions.value();
-    }
+    captureChannelStats(result, machine);
     return result;
 }
 

@@ -1,0 +1,16 @@
+#include "workloads/kernel_result.hh"
+
+#include "core/machine.hh"
+
+namespace wisync::workloads {
+
+void
+captureChannelStats(KernelResult &result, core::Machine &machine)
+{
+    if (bm::BmSystem *bm = machine.bm()) {
+        result.dataChannelUtilisation = bm->dataChannel().utilisation();
+        result.collisions = bm->dataChannel().stats().collisions.value();
+    }
+}
+
+} // namespace wisync::workloads

@@ -10,6 +10,10 @@
 
 #include "sim/types.hh"
 
+namespace wisync::core {
+class Machine;
+}
+
 namespace wisync::workloads {
 
 /** Outcome of one simulated workload run. */
@@ -34,6 +38,14 @@ struct KernelResult
                                  static_cast<double>(cycles);
     }
 };
+
+/**
+ * Fill the wireless-channel columns (utilisation, collisions) from
+ * @p machine's Data channel; a no-op on wired configs, where the
+ * zero-initialized fields are already correct. Every run*On workload
+ * epilogue calls this instead of reading the channel by hand.
+ */
+void captureChannelStats(KernelResult &result, core::Machine &machine);
 
 } // namespace wisync::workloads
 

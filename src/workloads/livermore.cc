@@ -382,12 +382,7 @@ runImplOn(LivermoreLoop loop, core::Machine &machine,
     out.result.completed = machine.run(8'000'000'000ull);
     out.result.cycles = machine.engine().now();
     out.result.operations = params.passes;
-    if (machine.bm()) {
-        out.result.dataChannelUtilisation =
-            machine.bm()->dataChannel().utilisation();
-        out.result.collisions =
-            machine.bm()->dataChannel().stats().collisions.value();
-    }
+    captureChannelStats(out.result, machine);
 
     if (collect) {
         switch (loop) {

@@ -69,12 +69,7 @@ runTightLoopOn(core::Machine &machine, const TightLoopParams &params)
     result.completed = machine.run(params.runLimit);
     result.cycles = machine.engine().now();
     result.operations = params.iterations;
-    if (machine.bm()) {
-        result.dataChannelUtilisation =
-            machine.bm()->dataChannel().utilisation();
-        result.collisions =
-            machine.bm()->dataChannel().stats().collisions.value();
-    }
+    captureChannelStats(result, machine);
     return result;
 }
 

@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <memory>
 #include <vector>
 
 #include "core/machine.hh"
+#include "harness/parallel_sweep.hh"
 #include "sim/rng.hh"
 #include "sync/factory.hh"
+#include "workloads/tight_loop.hh"
 
 namespace {
 
@@ -203,6 +206,60 @@ TEST_P(FuzzAllConfigs, DifferentSeedsDiverge)
     // Same op counts, different interleavings: almost surely
     // different finishing times.
     EXPECT_NE(a.cycles, b.cycles);
+}
+
+/**
+ * Host-parallelism dimension: randomized sweep grids executed through
+ * harness::ParallelSweep at a fuzz-chosen worker count must merge to
+ * exactly the serial run's results. This fuzzes what the golden tests
+ * in test_parallel_sweep.cc pin down: grid shape, machine-shape
+ * mixing (worker caches see arbitrary shape sequences) and worker
+ * count all vary randomly.
+ */
+TEST(FuzzParallelSweep, RandomGridsMatchSerialAtRandomThreadCounts)
+{
+    using wisync::harness::ParallelSweep;
+    using wisync::workloads::TightLoopParams;
+
+    wisync::sim::Rng rng(0x5EEDF00D);
+    constexpr ConfigKind kKinds[] = {ConfigKind::Baseline,
+                                     ConfigKind::BaselinePlus,
+                                     ConfigKind::WiSyncNoT,
+                                     ConfigKind::WiSync};
+    constexpr unsigned kThreadChoices[] = {1, 2, 4};
+
+    for (int iter = 0; iter < 6; ++iter) {
+        ParallelSweep sweep;
+        const int points = 3 + static_cast<int>(rng.below(6));
+        for (int p = 0; p < points; ++p) {
+            auto cfg = MachineConfig::make(
+                kKinds[rng.below(4)],
+                4u << rng.below(3)); // 4, 8 or 16 cores
+            cfg.seed = rng.next();
+            TightLoopParams params;
+            params.iterations = 1 + static_cast<std::uint32_t>(rng.below(3));
+            sweep.add(cfg, [params](Machine &m) {
+                return wisync::workloads::runTightLoopOn(m, params);
+            });
+        }
+
+        const auto serial = sweep.run(1);
+        const unsigned threads = kThreadChoices[rng.below(3)];
+        const auto parallel = sweep.run(threads);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].cycles, parallel[i].cycles)
+                << "iter " << iter << " point " << i << " threads "
+                << threads;
+            EXPECT_EQ(serial[i].completed, parallel[i].completed);
+            EXPECT_EQ(serial[i].operations, parallel[i].operations);
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                          serial[i].dataChannelUtilisation),
+                      std::bit_cast<std::uint64_t>(
+                          parallel[i].dataChannelUtilisation));
+            EXPECT_EQ(serial[i].collisions, parallel[i].collisions);
+        }
+    }
 }
 
 /** Heavier sweep: more threads and ops, both wireless configs. */
