@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Ablation of the MAC protocol (wireless/mac/): BRS vs token vs
+ * fuzzy-token vs adaptive, across contention regimes.
+ *
+ * Two workloads bracket the protocol space on WiSyncNoT (every
+ * synchronization op rides the Data channel, so the MAC is on the
+ * critical path): the barrier-storm TightLoop — all cores broadcast
+ * in bursts, random access thrashes — and the LIFO CAS kernel —
+ * staggered RMW traffic where token rotation latency is pure
+ * overhead. The grid (protocol x workload x core count) runs through
+ * harness::ParallelSweep twice, serially and at the environment's
+ * worker count, and the merged results — including the per-protocol
+ * MAC telemetry — must be bit-identical: the MAC ablation record in
+ * BENCH_sweep.json carries that verdict plus the deterministic
+ * counters bench/check_bench.py gates (token collisions must be
+ * exactly zero, the token must actually rotate, the adaptive
+ * controller must actually switch).
+ *
+ * With --json the bench emits only the machine-readable record (for
+ * bench/run_bench.sh --sweep); by default it prints the ablation
+ * table.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hh"
+#include "harness/report.hh"
+#include "workloads/cas_kernels.hh"
+#include "workloads/tight_loop.hh"
+#include "wireless/mac/mac_kind.hh"
+
+using namespace wisync;
+
+namespace {
+
+struct Point
+{
+    wireless::MacKind mac;
+    const char *workload;
+    std::uint32_t cores;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool json_only =
+        argc > 1 && std::strcmp(argv[1], "--json") == 0;
+    const bool quick = harness::sweepMode() == harness::SweepMode::Quick;
+
+    const std::vector<wireless::MacKind> kinds = {
+        wireless::MacKind::Brs, wireless::MacKind::Token,
+        wireless::MacKind::FuzzyToken, wireless::MacKind::Adaptive};
+    const std::vector<std::uint32_t> core_counts =
+        quick ? std::vector<std::uint32_t>{16}
+              : std::vector<std::uint32_t>{16, 64};
+
+    workloads::TightLoopParams tight;
+    tight.iterations = quick ? 6 : 12;
+    tight.runLimit = 20'000'000;
+    workloads::CasKernelParams cas;
+    cas.criticalSectionInstr = 128;
+    cas.duration = quick ? 40'000 : 120'000;
+
+    harness::ParallelSweep sweep;
+    std::vector<Point> grid;
+    for (const auto mac : kinds) {
+        for (const auto cores : core_counts) {
+            auto cfg = core::MachineConfig::make(
+                core::ConfigKind::WiSyncNoT, cores);
+            cfg.wireless.macKind = mac;
+            grid.push_back({mac, "TightLoop", cores});
+            sweep.add(cfg, [tight](core::Machine &m) {
+                return workloads::runTightLoopOn(m, tight);
+            });
+            grid.push_back({mac, "CAS-LIFO", cores});
+            sweep.add(cfg, [cas](core::Machine &m) {
+                return workloads::runCasKernelOn(workloads::CasKernel::Lifo,
+                                                 m, cas);
+            });
+        }
+    }
+
+    // The determinism leg: serial vs the environment's worker count
+    // must merge to bit-identical results, MAC telemetry included.
+    const auto serial = sweep.run(1);
+    const unsigned threads = harness::ParallelSweep::threads();
+    const auto parallel = sweep.run(threads);
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i)
+        identical = workloads::bitIdentical(serial[i], parallel[i]);
+
+    bool all_completed = true;
+    std::uint64_t brs_collisions = 0, token_collisions = 0;
+    std::uint64_t token_rotations = 0, fuzzy_grabs_points = 0;
+    std::uint64_t adaptive_switches = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto &r = serial[i];
+        all_completed = all_completed && r.completed;
+        switch (grid[i].mac) {
+          case wireless::MacKind::Brs:
+            brs_collisions += r.collisions;
+            break;
+          case wireless::MacKind::Token:
+            token_collisions += r.collisions;
+            token_rotations += r.macTokenRotations;
+            break;
+          case wireless::MacKind::FuzzyToken:
+            fuzzy_grabs_points += r.macTokenRotations > 0 ? 1 : 0;
+            break;
+          case wireless::MacKind::Adaptive:
+            adaptive_switches += r.macModeSwitches;
+            break;
+        }
+    }
+
+    if (json_only) {
+        std::printf(
+            "{\"grid\": \"mac_ablation\", \"points\": %zu, "
+            "\"threads\": %u, \"results_identical\": %s, "
+            "\"all_completed\": %s, \"brs_collisions\": %llu, "
+            "\"token_collisions\": %llu, \"token_rotations\": %llu, "
+            "\"fuzzy_rotating_points\": %llu, "
+            "\"adaptive_mode_switches\": %llu}\n",
+            grid.size(), threads, identical ? "true" : "false",
+            all_completed ? "true" : "false",
+            static_cast<unsigned long long>(brs_collisions),
+            static_cast<unsigned long long>(token_collisions),
+            static_cast<unsigned long long>(token_rotations),
+            static_cast<unsigned long long>(fuzzy_grabs_points),
+            static_cast<unsigned long long>(adaptive_switches));
+        return identical && all_completed ? 0 : 1;
+    }
+
+    harness::TextTable tab("Ablation: MAC protocol x workload "
+                           "(WiSyncNoT)");
+    tab.header({"MAC", "Workload", "Cores", "Cycles", "Ops/kcycle",
+                "Collisions", "Backoff cyc", "Token waits", "Rotations",
+                "Switches"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto &r = serial[i];
+        tab.row({toString(grid[i].mac), grid[i].workload,
+                 std::to_string(grid[i].cores),
+                 r.completed ? std::to_string(r.cycles)
+                             : std::string("run limit"),
+                 harness::fmt(r.opsPerKiloCycle(), 2),
+                 std::to_string(r.collisions),
+                 std::to_string(r.macBackoffCycles),
+                 std::to_string(r.macTokenWaits),
+                 std::to_string(r.macTokenRotations),
+                 std::to_string(r.macModeSwitches)});
+    }
+    tab.print(std::cout);
+    std::cout << (identical ? "serial/parallel results identical\n"
+                            : "DETERMINISM VIOLATION: serial and "
+                              "parallel results differ\n");
+    return identical && all_completed ? 0 : 1;
+}

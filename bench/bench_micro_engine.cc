@@ -15,6 +15,7 @@
 #include "noc/mesh.hh"
 #include "sim/engine.hh"
 #include "wireless/data_channel.hh"
+#include "wireless/mac/brs_mac.hh"
 
 using namespace wisync;
 
@@ -156,7 +157,8 @@ BM_WirelessUncontended(benchmark::State &state)
     for (auto _ : state) {
         sim::Engine eng;
         wireless::DataChannel ch(eng, wireless::WirelessConfig{});
-        wireless::Mac mac(eng, ch, sim::Rng(1));
+        wireless::BrsMac brs(eng, ch, 1);
+        wireless::Mac mac(eng, ch, brs, 0, sim::Rng(1));
         coro::spawnDetached(eng, sendMany(mac, 1000));
         eng.run();
         benchmark::DoNotOptimize(ch.stats().messages.value());

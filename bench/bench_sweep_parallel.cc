@@ -13,12 +13,12 @@
  * allocator warm-up favours the parallel leg equally on both runs.
  */
 
-#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "harness/parallel_sweep.hh"
+#include "workloads/kernel_result.hh"
 #include "workloads/tight_loop.hh"
 
 using namespace wisync;
@@ -68,17 +68,8 @@ main()
     const auto t2 = clock::now();
 
     bool identical = serial.size() == parallel.size();
-    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
-        identical =
-            serial[i].cycles == parallel[i].cycles &&
-            serial[i].completed == parallel[i].completed &&
-            serial[i].operations == parallel[i].operations &&
-            std::bit_cast<std::uint64_t>(
-                serial[i].dataChannelUtilisation) ==
-                std::bit_cast<std::uint64_t>(
-                    parallel[i].dataChannelUtilisation) &&
-            serial[i].collisions == parallel[i].collisions;
-    }
+    for (std::size_t i = 0; identical && i < serial.size(); ++i)
+        identical = workloads::bitIdentical(serial[i], parallel[i]);
 
     const double serial_s = seconds(t1 - t0);
     const double parallel_s = seconds(t2 - t1);

@@ -14,6 +14,14 @@ run actually had more than one worker (a single-core runner records
 threads == 1 and is skipped) — and the merged results must have been
 identical, which bench_sweep_parallel verifies itself.
 
+The MAC-protocol ablation record ("mac_ablation", emitted by
+bench_ablation_mac --json) is gated on its deterministic simulation
+counters, which are identical on every host and thread count:
+serial/parallel result identity, every point completing, exactly zero
+collisions under the token MAC (exclusive grants), a token that
+actually rotates, and an adaptive controller that actually switches
+policy under the barrier storm.
+
 Usage: bench/check_bench.py [BENCH_kernel.json] [--sweep BENCH_sweep.json]
 Exit status 0 = all gates pass.
 """
@@ -123,6 +131,35 @@ def main():
                 checks.append(
                     f"sweep_parallel_speedup = {speedup} — gate skipped "
                     "(single worker available)")
+
+        mac = sweep.get("mac_ablation")
+        if mac is None:
+            failures.append(f"missing 'mac_ablation' record in "
+                            f"{sweep_path}")
+        else:
+            def mac_gate(cond, line):
+                checks.append(line)
+                if not cond:
+                    failures.append(f"FAIL {line}")
+
+            mac_gate(mac.get("results_identical", False),
+                     "mac_ablation results_identical — protocol grid "
+                     "must merge identically at any thread count")
+            mac_gate(mac.get("all_completed", False),
+                     "mac_ablation all_completed — no protocol may "
+                     "livelock a workload")
+            mac_gate(mac.get("token_collisions", -1) == 0,
+                     f"mac_ablation token_collisions = "
+                     f"{mac.get('token_collisions')} (gate: == 0) — "
+                     "exclusive token grants cannot collide")
+            mac_gate(mac.get("token_rotations", 0) >= 1,
+                     f"mac_ablation token_rotations = "
+                     f"{mac.get('token_rotations')} (gate: >= 1) — "
+                     "the token must actually rotate")
+            mac_gate(mac.get("adaptive_mode_switches", 0) >= 1,
+                     f"mac_ablation adaptive_mode_switches = "
+                     f"{mac.get('adaptive_mode_switches')} (gate: >= 1) "
+                     "— the traffic-aware controller must engage")
 
     for line in checks:
         print(" ", line)

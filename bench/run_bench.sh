@@ -106,14 +106,24 @@ if [[ $SWEEP -eq 1 ]]; then
     echo "== bench_sweep_parallel (1 thread vs N threads)"
     PARALLEL_JSON=$("$PAR_EXE")
     echo "   $PARALLEL_JSON"
+    # MAC-protocol ablation record: serial-vs-parallel identity of the
+    # protocol x workload grid plus the deterministic MAC counters
+    # (token collisions, rotations, adaptive switches) that
+    # check_bench.py gates.
+    MAC_EXE="$BUILD_DIR/bench/bench_ablation_mac"
+    require_exe "$MAC_EXE"
+    echo "== bench_ablation_mac (protocol grid, serial vs N threads)"
+    MAC_JSON=$("$MAC_EXE" --json)
+    echo "   $MAC_JSON"
     ROWFILE=$(mktemp)
     trap 'rm -f "$ROWFILE"' EXIT
     printf '%s' "$ROWS" >"$ROWFILE"
     python3 - "$SWEEP_OUT" "$MODE" "$ROWFILE" "$BASELINE_NAME" \
-        "$PARALLEL_JSON" <<'EOF'
+        "$PARALLEL_JSON" "$MAC_JSON" <<'EOF'
 import json, sys
 out, mode, name = sys.argv[1], sys.argv[2], sys.argv[4]
 parallel = json.loads(sys.argv[5])
+mac = json.loads(sys.argv[6])
 rows = []
 for line in open(sys.argv[3]):
     parts = line.split()
@@ -125,11 +135,15 @@ for line in open(sys.argv[3]):
         "name": bench,
         "fresh_cpu_seconds": round(fresh / 1e3, 3),
         "reuse_cpu_seconds": round(reuse / 1e3, 3),
-        "speedup_fresh_over_reuse": round(fresh / max(1, reuse), 2),
+        # null when either leg finished below timer resolution — a
+        # ratio over an unmeasurable number is noise, not a speedup.
+        "speedup_fresh_over_reuse":
+            round(fresh / reuse, 2) if fresh > 0 and reuse > 0 else None,
     }
     if base >= 0:
         row[f"{name}_cpu_seconds"] = round(base / 1e3, 3)
-        row[f"speedup_{name}_over_reuse"] = round(base / max(1, reuse), 2)
+        row[f"speedup_{name}_over_reuse"] = \
+            round(base / reuse, 2) if base > 0 and reuse > 0 else None
     rows.append(row)
 doc = {
     "sweep_mode": mode,
@@ -141,6 +155,14 @@ doc = {
                        "vs WISYNC_SWEEP_THREADS workers, merged "
                        "results verified identical",
     "parallel": parallel,
+    "mac_ablation_method": "MAC protocol x workload x cores grid "
+                           "(BRS/token/fuzzy-token/adaptive on "
+                           "WiSyncNoT) run serially and at "
+                           "WISYNC_SWEEP_THREADS workers; merged "
+                           "results (incl. MAC telemetry) verified "
+                           "identical; counters are deterministic "
+                           "simulation outputs",
+    "mac_ablation": mac,
     "benches": rows,
 }
 with open(out, "w") as f:
@@ -149,6 +171,10 @@ print(f"wrote {out}")
 print(f"  parallel sweep: {parallel['serial_seconds']}s serial vs "
       f"{parallel['parallel_seconds']}s at {parallel['threads']} "
       f"threads ({parallel['sweep_parallel_speedup']}x)")
+print(f"  mac ablation: {mac['points']} points, identical="
+      f"{mac['results_identical']}, token_collisions="
+      f"{mac['token_collisions']}, adaptive_switches="
+      f"{mac['adaptive_mode_switches']}")
 for r in rows:
     extra = ""
     k = f"speedup_{name}_over_reuse"

@@ -12,10 +12,12 @@ BmSystem::BmSystem(sim::Engine &engine, std::uint32_t num_nodes,
     : engine_(engine), numNodes_(num_nodes), cfg_(cfg),
       store_(engine, num_nodes, cfg.words()), channel_(engine, wcfg)
 {
+    macProtocol_ =
+        wireless::makeMacProtocol(wcfg, engine_, channel_, numNodes_);
     macs_.reserve(numNodes_);
     for (std::uint32_t n = 0; n < numNodes_; ++n)
-        macs_.push_back(std::make_unique<wireless::Mac>(engine_, channel_,
-                                                        rng.fork()));
+        macs_.push_back(std::make_unique<wireless::Mac>(
+            engine_, channel_, *macProtocol_, n, rng.fork()));
     // The Tone channel hardware is always built; whether the config
     // exposes it (WiSync vs WiSyncNoT) is a flag, so reset() can move
     // one machine between kinds without reallocating anything.
@@ -37,9 +39,18 @@ BmSystem::reset(const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
     cfg_ = cfg;
     store_.reset();
     channel_.reset(wcfg);
+    // Retiming may select a different MAC protocol; rebuild only then
+    // (the common same-kind reset stays allocation-free). The RNG fork
+    // order below matches construction either way — protocols never
+    // consume machine randomness.
+    if (macProtocol_->kind() != wcfg.macKind)
+        macProtocol_ =
+            wireless::makeMacProtocol(wcfg, engine_, channel_, numNodes_);
+    else
+        macProtocol_->reset();
     // Same fork order as construction: node 0 first.
     for (auto &mac : macs_)
-        mac->reset(rng.fork());
+        mac->reset(*macProtocol_, rng.fork());
     tone_->reset();
     toneEnabled_ = with_tone;
     pendingRmw_.assign(numNodes_, PendingRmw{});

@@ -44,6 +44,7 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "wireless/data_channel.hh"
+#include "wireless/mac/mac_protocol.hh"
 #include "wireless/tone_channel.hh"
 
 namespace wisync::bm {
@@ -211,6 +212,12 @@ class BmSystem
         return toneEnabled_ ? tone_.get() : nullptr;
     }
     wireless::Mac &mac(sim::NodeId node) { return *macs_[node]; }
+    /** The channel-wide MAC protocol (WirelessConfig::macKind). */
+    wireless::MacProtocol &macProtocol() { return *macProtocol_; }
+    const wireless::MacProtocol &macProtocol() const
+    {
+        return *macProtocol_;
+    }
     const BmStats &stats() const { return stats_; }
     const BmConfig &config() const { return cfg_; }
     bool hasTone() const { return toneEnabled_; }
@@ -253,6 +260,8 @@ class BmSystem
     BmConfig cfg_;
     BmStore store_;
     wireless::DataChannel channel_;
+    /** Channel-wide MAC protocol; rebuilt when reset flips macKind. */
+    std::unique_ptr<wireless::MacProtocol> macProtocol_;
     std::vector<std::unique_ptr<wireless::Mac>> macs_;
     /** Always constructed; gated by toneEnabled_ (WiSyncNoT). */
     std::unique_ptr<wireless::ToneChannel> tone_;

@@ -95,6 +95,12 @@ MachineConfig::describe() const
     out += " cores=" + std::to_string(numCores);
     out += " variant=";
     out += toString(variant);
+    // Mentioned only off the default so pre-MAC-subsystem harness
+    // output stays byte-identical on BRS configs.
+    if (wireless.macKind != wireless::MacKind::Brs) {
+        out += " mac=";
+        out += toString(wireless.macKind);
+    }
     return out;
 }
 

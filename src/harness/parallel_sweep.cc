@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -78,6 +80,16 @@ ParallelSweep::threads()
     return n;
 }
 
+bool
+ParallelSweep::progressEnabled()
+{
+    static const bool on = [] {
+        const char *v = std::getenv("WISYNC_SWEEP_PROGRESS");
+        return v != nullptr && *v != '\0' && *v != '0';
+    }();
+    return on;
+}
+
 std::vector<workloads::KernelResult>
 ParallelSweep::run()
 {
@@ -94,12 +106,33 @@ ParallelSweep::run(unsigned threads)
     const unsigned nworkers = static_cast<unsigned>(std::min<std::size_t>(
         std::max(1u, threads), points_.size()));
 
+    // Completion-order streaming: results land in the merge table the
+    // moment a point finishes; the observer and the progress line see
+    // them then, while the returned vector stays in add() order.
+    const bool progress = progressEnabled();
+    std::mutex emit_mutex;
+    std::size_t emitted = 0;
+    auto emit = [&](std::size_t index) {
+        if (!progress && !onPoint_)
+            return;
+        std::lock_guard<std::mutex> g(emit_mutex);
+        ++emitted;
+        if (onPoint_)
+            onPoint_(index, results[index]);
+        if (progress)
+            std::fprintf(stderr, "[wisync-sweep] %zu/%zu points done "
+                                 "(point %zu)\n",
+                         emitted, points_.size(), index);
+    };
+
     if (nworkers == 1) {
         // The serial path: one harness on the calling thread, grid
         // order — exactly the pre-parallel benches.
         SweepHarness machines;
-        for (std::size_t i = 0; i < points_.size(); ++i)
+        for (std::size_t i = 0; i < points_.size(); ++i) {
             results[i] = points_[i].body(machines.acquire(points_[i].config));
+            emit(i);
+        }
         return results;
     }
 
@@ -112,11 +145,16 @@ ParallelSweep::run(unsigned threads)
         queues[w].jobs.push_back(i);
     }
 
-    // No point ever enqueues more work, so a worker may exit as soon
-    // as every queue reads empty: any still-running point is already
-    // owned by the worker executing it.
+    // No point ever enqueues more work, so once a worker's own queue
+    // and every victim's read empty, all remaining points are already
+    // owned by running workers. Instead of exiting through that scan
+    // (a rescan race on big grids), the idle worker parks on a
+    // condition variable until the whole grid drains or a worker
+    // fails — it sleeps, it does not poll.
     std::exception_ptr first_error;
-    std::mutex error_mutex;
+    std::mutex idle_mutex;
+    std::condition_variable idle_cv;
+    std::size_t remaining = points_.size();
     std::atomic<bool> failed{false};
     auto worker = [&](unsigned self) {
         // Worker-private machine cache: machines are built, reset, run
@@ -127,20 +165,38 @@ ParallelSweep::run(unsigned threads)
             std::optional<std::size_t> job = queues[self].popOwn();
             for (unsigned v = 1; !job && v < nworkers; ++v)
                 job = queues[(self + v) % nworkers].steal();
-            if (!job)
+            if (!job) {
+                std::unique_lock<std::mutex> l(idle_mutex);
+                idle_cv.wait(l, [&] {
+                    return remaining == 0 ||
+                           failed.load(std::memory_order_relaxed);
+                });
                 return;
+            }
             try {
                 results[*job] =
                     points_[*job].body(machines.acquire(points_[*job].config));
+                // Inside the try: an observer that throws must stop
+                // the sweep like a failing body, not terminate the
+                // process from a worker thread.
+                emit(*job);
             } catch (...) {
                 // Record the first error and stop every worker before
                 // its next point — a long grid should not simulate to
                 // completion only to discard the results.
-                std::lock_guard<std::mutex> g(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
+                {
+                    std::lock_guard<std::mutex> g(idle_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                }
+                idle_cv.notify_all();
                 return;
+            }
+            {
+                std::lock_guard<std::mutex> g(idle_mutex);
+                if (--remaining == 0)
+                    idle_cv.notify_all();
             }
         }
     };

@@ -24,6 +24,16 @@
  * completion order. tests/test_parallel_sweep.cc locks this down,
  * including a forced straggler inversion.
  *
+ * Results stream into the merge table as points complete (the merge
+ * is by index, so streaming cannot reorder it): onPointComplete()
+ * registers an observer called from the completing worker, and
+ * WISYNC_SWEEP_PROGRESS=1 emits a stderr line per completed point —
+ * both see completion order, while run()'s return stays in add()
+ * order. A worker whose queue (and every victim's) has drained parks
+ * on a condition variable until the grid finishes instead of exiting
+ * through a scan race — with thousands-of-point grids this keeps idle
+ * workers asleep, not rescanning.
+ *
  * Thread count: WISYNC_SWEEP_THREADS, default = hardware concurrency;
  * 1 reproduces the serial path exactly (one SweepHarness on the
  * calling thread, no workers spawned).
@@ -74,6 +84,24 @@ class ParallelSweep
     std::size_t size() const { return points_.size(); }
 
     /**
+     * Observe each point's result the moment it completes (before
+     * run() returns the merged vector). Called in completion order —
+     * indices arrive out of order on multi-worker runs — from the
+     * completing worker's thread, serialized by an internal mutex.
+     * The callback must not touch the sweep itself.
+     */
+    void
+    onPointComplete(
+        std::function<void(std::size_t index,
+                           const workloads::KernelResult &result)> fn)
+    {
+        onPoint_ = std::move(fn);
+    }
+
+    /** WISYNC_SWEEP_PROGRESS=1: stderr line per completed point. */
+    static bool progressEnabled();
+
+    /**
      * Run every point on @p threads workers (clamped to the grid
      * size) and return the results in add() order. The grid is left
      * intact, so the same sweep can be re-run — tests use that for
@@ -89,6 +117,8 @@ class ParallelSweep
 
   private:
     std::vector<SweepPoint> points_;
+    std::function<void(std::size_t, const workloads::KernelResult &)>
+        onPoint_;
 };
 
 } // namespace wisync::harness

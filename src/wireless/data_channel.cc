@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "wireless/mac/mac_protocol.hh"
 
 namespace wisync::wireless {
 
@@ -105,16 +106,18 @@ DataChannel::arbitrate()
                            [p] { p->done.set(Outcome::Collided); });
 }
 
-Mac::Mac(sim::Engine &engine, DataChannel &channel, sim::Rng rng)
-    : engine_(engine), channel_(channel), rng_(rng), order_(engine)
+Mac::Mac(sim::Engine &engine, DataChannel &channel, MacProtocol &protocol,
+         sim::NodeId node, sim::Rng rng)
+    : engine_(engine), channel_(channel), protocol_(&protocol),
+      node_(node), rng_(rng), order_(engine)
 {}
 
 void
-Mac::reset(sim::Rng rng)
+Mac::reset(MacProtocol &protocol, sim::Rng rng)
 {
+    protocol_ = &protocol;
     rng_ = rng;
     order_.reset();
-    backoffExp_ = 0;
     retries_.reset();
 }
 
@@ -125,25 +128,31 @@ Mac::send(bool bulk, sim::UniqueFunction deliver,
     // A node's broadcasts are strictly ordered (§4.2.1: no subsequent
     // store proceeds until the current one performed).
     co_await order_.lock();
+    const sim::Cycle first_attempt = engine_.now();
     for (;;) {
-        if (abort && (*abort)())
-            break; // cancelled before reaching the channel
-        const auto outcome =
-            co_await channel_.attempt(0, bulk, deliver, abort);
-        if (outcome == DataChannel::Outcome::Aborted)
-            break; // cancelled at the transmit slot (AFB)
-        if (outcome == DataChannel::Outcome::Delivered) {
-            if (backoffExp_ > 0)
-                --backoffExp_;
+        co_await protocol_->acquire(node_);
+        if (abort && (*abort)()) {
+            // Cancelled before reaching the channel. The claim must
+            // still be dropped: a granted token (or a fuzzy-token
+            // contention grant picked up during the last collision)
+            // would otherwise stall every queued sender.
+            protocol_->release(node_, false);
             break;
         }
-        // Collision: exponential backoff over [0, 2^i - 1] (§5.3).
-        retries_.inc();
-        if (backoffExp_ < channel_.config().maxBackoffExp)
-            ++backoffExp_;
-        const std::uint64_t window = (std::uint64_t{1} << backoffExp_) - 1;
-        if (window > 0)
-            co_await coro::delay(engine_, rng_.below(window + 1));
+        const auto outcome =
+            co_await channel_.attempt(node_, bulk, deliver, abort);
+        if (outcome == DataChannel::Outcome::Collided) {
+            // The protocol drops the claim, updates contention state
+            // and performs this node's backoff; then contend again.
+            retries_.inc();
+            co_await protocol_->onCollision(node_, rng_);
+            continue;
+        }
+        protocol_->release(node_,
+                           outcome == DataChannel::Outcome::Delivered);
+        if (outcome == DataChannel::Outcome::Delivered)
+            channel_.noteDelivery(first_attempt);
+        break;
     }
     order_.unlock();
 }

@@ -12,8 +12,10 @@
  * Arbitration matches the paper: a transceiver that becomes ready
  * while the channel is busy waits until the cycle the channel is next
  * expected to be free and transmits then — so bursts of ready senders
- * collide, and the per-node MAC resolves the contention with
- * exponential backoff (§5.3).
+ * collide, and the MAC protocol (wireless/mac/) resolves the
+ * contention: exponential backoff (§5.3 BRS, the paper's scheme and
+ * the default), token passing, a fuzzy-token hybrid, or adaptive
+ * switching, selected by WirelessConfig::macKind.
  */
 
 #ifndef WISYNC_WIRELESS_DATA_CHANNEL_HH
@@ -29,10 +31,13 @@
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "wireless/mac/mac_kind.hh"
 
 namespace wisync::wireless {
 
-/** Wireless timing knobs (Table 1 defaults). */
+class MacProtocol;
+
+/** Wireless timing knobs (Table 1 defaults) + MAC selection. */
 struct WirelessConfig
 {
     /** Cycles to transmit an ordinary 77-bit message. */
@@ -41,8 +46,21 @@ struct WirelessConfig
     std::uint32_t bulkCycles = 15;
     /** Channel-busy cycles consumed by a collision. */
     std::uint32_t collisionCycles = 2;
-    /** Maximum exponential-backoff exponent (window = 2^i - 1). */
+
+    /** Which MAC protocol arbitrates the channel (default: §5.3 BRS). */
+    MacKind macKind = MacKind::Brs;
+    /** BRS: maximum exponential-backoff exponent (window = 2^i - 1). */
     std::uint32_t maxBackoffExp = 10;
+    /** Token/fuzzy: per-ring-hop token pass latency, cycles. */
+    std::uint32_t tokenPassCycles = 1;
+    /** Token: minimum channel reservation per grant, cycles. */
+    std::uint32_t tokenHoldCycles = 0;
+    /** Adaptive: channel events per policy-observation window. */
+    std::uint32_t adaptWindowEvents = 32;
+    /** Adaptive: switch BRS->token at >= this collision percentage. */
+    std::uint32_t adaptHiPct = 25;
+    /** Adaptive: switch token->BRS at <= this token-wait percentage. */
+    std::uint32_t adaptLoPct = 25;
 };
 
 /** Channel-level statistics. */
@@ -97,6 +115,14 @@ class DataChannel
     /** First cycle a new transmission may start. */
     sim::Cycle nextFree() const { return nextFree_; }
 
+    /** Record a successful send that first contended at @p started. */
+    void
+    noteDelivery(sim::Cycle started)
+    {
+        stats_.deliveryLatency.sample(
+            static_cast<double>(engine_.now() - started));
+    }
+
     const DataChannelStats &stats() const { return stats_; }
     const WirelessConfig &config() const { return cfg_; }
 
@@ -139,16 +165,19 @@ class DataChannel
 };
 
 /**
- * Per-node Medium Access Control.
+ * Per-node Medium Access front-end.
  *
- * Serializes the node's broadcasts and implements the exponential
- * backoff of §5.3: window [0, 2^i - 1], i incremented on collision,
- * decremented on success.
+ * Serializes the node's broadcasts (§4.2.1: no subsequent store
+ * proceeds until the current one performed) and drives the channel's
+ * shared MacProtocol through its acquire / release / onCollision
+ * hooks; the protocol decides when this node may contend and how
+ * collisions resolve (wireless/mac/).
  */
 class Mac
 {
   public:
-    Mac(sim::Engine &engine, DataChannel &channel, sim::Rng rng);
+    Mac(sim::Engine &engine, DataChannel &channel, MacProtocol &protocol,
+        sim::NodeId node, sim::Rng rng);
 
     /**
      * Broadcast one message, retrying through collisions until it is
@@ -161,18 +190,22 @@ class Mac
     coro::Task<void> send(bool bulk, sim::UniqueFunction deliver,
                           const std::function<bool()> *abort = nullptr);
 
-    std::uint32_t backoffExp() const { return backoffExp_; }
+    sim::NodeId node() const { return node_; }
     std::uint64_t retries() const { return retries_.value(); }
 
-    /** Fresh backoff state and RNG stream; the order mutex is freed. */
-    void reset(sim::Rng rng);
+    /**
+     * Fresh RNG stream, rebound to @p protocol (which BmSystem::reset
+     * may have rebuilt under a new MacKind); the order mutex is freed.
+     */
+    void reset(MacProtocol &protocol, sim::Rng rng);
 
   private:
     sim::Engine &engine_;
     DataChannel &channel_;
+    MacProtocol *protocol_;
+    sim::NodeId node_;
     sim::Rng rng_;
     coro::SimMutex order_;
-    std::uint32_t backoffExp_ = 0;
     sim::Counter retries_;
 };
 

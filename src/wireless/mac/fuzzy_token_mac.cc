@@ -1,0 +1,118 @@
+#include "wireless/mac/fuzzy_token_mac.hh"
+
+#include "sim/engine.hh"
+#include "wireless/data_channel.hh"
+
+namespace wisync::wireless {
+
+FuzzyTokenMac::FuzzyTokenMac(sim::Engine &engine, DataChannel &channel,
+                             std::uint32_t num_nodes,
+                             MacStats *shared_stats)
+    : MacProtocol(engine, channel, num_nodes, shared_stats),
+      wanting_(num_nodes, false)
+{
+    grantCv_.reserve(num_nodes);
+    for (std::uint32_t n = 0; n < num_nodes; ++n)
+        grantCv_.push_back(std::make_unique<coro::CondVar>(engine_));
+}
+
+void
+FuzzyTokenMac::reset()
+{
+    owner_ = 0;
+    contended_ = false;
+    holder_ = sim::kNoNode;
+    grantPending_ = false;
+    wanting_.assign(numNodes_, false);
+    for (auto &cv : grantCv_)
+        cv->reset();
+    st().reset();
+}
+
+coro::Task<void>
+FuzzyTokenMac::acquire(sim::NodeId node)
+{
+    (void)node;
+    // CSMA leg: contend immediately, token or not. Serialization only
+    // kicks in once a collision proves there is contention.
+    st().acquires.inc();
+    co_return;
+}
+
+void
+FuzzyTokenMac::release(sim::NodeId node, bool delivered)
+{
+    if (delivered && node != owner_) {
+        // The token follows the last successful sender. (A CSMA grab
+        // can move it past a queued node — waiters are protected by
+        // the resolver's holder-served-last scan, not by monotonic
+        // ring distance.)
+        st().fuzzyGrabs.inc();
+        st().tokenRotations.inc(ringDist(owner_, node));
+        owner_ = node;
+    }
+    if (node == holder_) {
+        // The resolver's grantee finished; serve the next collider.
+        holder_ = sim::kNoNode;
+        if (contended_)
+            scheduleGrant();
+    }
+}
+
+coro::Task<void>
+FuzzyTokenMac::onCollision(sim::NodeId node, sim::Rng &rng)
+{
+    (void)rng; // deterministic resolution — the ring is the arbiter
+    st().backoffEvents.inc();
+    // Materialize the token: queue until the resolver grants us the
+    // channel. A failed grantee re-queues like everyone else.
+    if (node == holder_)
+        holder_ = sim::kNoNode;
+    contended_ = true;
+    wanting_[node] = true;
+    if (holder_ == sim::kNoNode)
+        scheduleGrant();
+    st().tokenWaits.inc();
+    const sim::Cycle queued_at = engine_.now();
+    while (wanting_[node])
+        co_await grantCv_[node]->wait();
+    st().tokenWaitCycles.inc(engine_.now() - queued_at);
+}
+
+void
+FuzzyTokenMac::scheduleGrant()
+{
+    if (grantPending_)
+        return;
+    grantPending_ = true;
+    // Granted at the end of the current cycle so every same-slot
+    // collider has registered in wanting_ before the ring is scanned.
+    engine_.scheduleIn(0, [this] { grantNext(); });
+}
+
+void
+FuzzyTokenMac::grantNext()
+{
+    grantPending_ = false;
+    if (holder_ != sim::kNoNode)
+        return;
+    // Nearest queued collider in ring order from the priority holder,
+    // the holder itself last (d == numNodes_ wraps to owner_): a node
+    // streaming back-to-back sends keeps colliding its way into the
+    // queue, and serving it first would starve every other waiter —
+    // served last, the ring guarantees each queued node one grant per
+    // resolution round.
+    for (std::uint32_t d = 1; d <= numNodes_; ++d) {
+        const sim::NodeId cand = (owner_ + d) % numNodes_;
+        if (!wanting_[cand])
+            continue;
+        holder_ = cand;
+        wanting_[cand] = false;
+        st().tokenRotations.inc(d);
+        grantCv_[cand]->notifyAll();
+        return;
+    }
+    contended_ = false; // queue drained: the token evaporates
+}
+
+} // namespace wisync::wireless

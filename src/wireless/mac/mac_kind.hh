@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The MAC protocol selector.
+ *
+ * Kept in its own header (rather than mac_protocol.hh) so that
+ * WirelessConfig — which lives underneath the MAC layer — can carry
+ * the selector without depending on the protocol implementations.
+ */
+
+#ifndef WISYNC_WIRELESS_MAC_MAC_KIND_HH
+#define WISYNC_WIRELESS_MAC_MAC_KIND_HH
+
+namespace wisync::wireless {
+
+/** Which medium-access protocol arbitrates the Data channel. */
+enum class MacKind
+{
+    /** §5.3 Broadcast Reliability Scheme: exponential backoff. */
+    Brs,
+    /** Deterministic round-robin token passing. */
+    Token,
+    /** Token/CSMA hybrid: contend freely, resolve by ring order. */
+    FuzzyToken,
+    /** Traffic-aware BRS <-> token switching per observation window. */
+    Adaptive,
+};
+
+const char *toString(MacKind kind);
+
+} // namespace wisync::wireless
+
+#endif // WISYNC_WIRELESS_MAC_MAC_KIND_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The pluggable medium-access-control interface for the Data channel.
+ *
+ * The DataChannel models the physics (slots, collisions, the
+ * expected-free arbitration of §4.1); a MacProtocol decides *when* a
+ * node may contend and how contention is resolved. One protocol
+ * instance arbitrates the whole channel — per-node front-ends
+ * (wireless::Mac) drive it through four hooks, called in this order
+ * for every broadcast:
+ *
+ *   1. acquire(node)       — block until the node may contend (a token
+ *                            wait, or immediate for random access);
+ *   2. the channel attempt  (owned by Mac, not the protocol);
+ *   3a. release(node, ok)  — the attempt ended (delivered or aborted):
+ *                            drop the claim, pass the token on, update
+ *                            backoff state; or
+ *   3b. onCollision(node)  — the attempt collided: drop the claim,
+ *                            update state and perform this node's
+ *                            backoff wait; the sender then re-enters
+ *                            at acquire().
+ *
+ * Reset contract (matching Machine::reset): reset() returns the
+ * protocol to its post-construction state — no claims, no waiters
+ * (their frames were already destroyed by the engine reset), zero
+ * stats — so a reset machine draws the exact event sequence a fresh
+ * one would.
+ */
+
+#ifndef WISYNC_WIRELESS_MAC_MAC_PROTOCOL_HH
+#define WISYNC_WIRELESS_MAC_MAC_PROTOCOL_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "coro/task.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "wireless/mac/mac_kind.hh"
+
+namespace wisync::sim {
+class Engine;
+class StatSet;
+}
+
+namespace wisync::wireless {
+
+class DataChannel;
+struct WirelessConfig;
+
+/**
+ * Per-protocol contention telemetry. Channel-level facts (collisions,
+ * busy cycles, occupancy) stay on DataChannelStats; these counters
+ * describe how the protocol spent the senders' time resolving them.
+ */
+struct MacStats
+{
+    /** Broadcast attempts admitted to the channel (acquire calls). */
+    sim::Counter acquires;
+    /** Collision backoffs performed. */
+    sim::Counter backoffEvents;
+    /** Cycles senders spent backing off after collisions. */
+    sim::Counter backoffCycles;
+    /** Acquires that had to queue for the token. */
+    sim::Counter tokenWaits;
+    /** Cycles senders spent queued for the token. */
+    sim::Counter tokenWaitCycles;
+    /** Ring hops the token travelled. */
+    sim::Counter tokenRotations;
+    /** BRS <-> token transitions (AdaptiveMac only). */
+    sim::Counter modeSwitches;
+    /**
+     * FuzzyTokenMac deliveries by a node other than the priority
+     * owner — i.e. how often the fuzzy token moved (counts both CSMA
+     * grabs and resolver-ordered service).
+     */
+    sim::Counter fuzzyGrabs;
+
+    /** Zero everything (assignment cannot miss a late-added field). */
+    void reset() { *this = {}; }
+};
+
+/** Channel-wide MAC protocol; see the file comment for the contract. */
+class MacProtocol
+{
+  public:
+    /**
+     * @param shared_stats  When non-null, telemetry lands there
+     *                      instead of a private block — used by
+     *                      composite protocols (AdaptiveMac) so their
+     *                      sub-policies report into one set.
+     */
+    MacProtocol(sim::Engine &engine, DataChannel &channel,
+                std::uint32_t num_nodes, MacStats *shared_stats = nullptr)
+        : engine_(engine), channel_(channel), numNodes_(num_nodes),
+          stats_(shared_stats != nullptr ? shared_stats : &own_)
+    {}
+    virtual ~MacProtocol() = default;
+
+    MacProtocol(const MacProtocol &) = delete;
+    MacProtocol &operator=(const MacProtocol &) = delete;
+
+    virtual MacKind kind() const = 0;
+
+    /** Block until @p node may contend for the channel. */
+    virtual coro::Task<void> acquire(sim::NodeId node) = 0;
+
+    /**
+     * The attempt ended without a collision: @p delivered tells
+     * success from an AFB abort. Drops the node's claim.
+     */
+    virtual void release(sim::NodeId node, bool delivered) = 0;
+
+    /**
+     * The attempt collided: drop the claim, update contention state
+     * and perform this node's backoff wait. @p rng is the node's
+     * private stream (only BRS-style policies draw from it).
+     */
+    virtual coro::Task<void> onCollision(sim::NodeId node,
+                                         sim::Rng &rng) = 0;
+
+    /** Post-construction state, zero stats (Machine::reset contract). */
+    virtual void reset() = 0;
+
+    const MacStats &stats() const { return *stats_; }
+
+    /** Register the telemetry counters as "<prefix>.*" in @p set. */
+    void registerStats(sim::StatSet &set, const std::string &prefix) const;
+
+    std::uint32_t numNodes() const { return numNodes_; }
+
+  protected:
+    MacStats &st() { return *stats_; }
+
+    /** Hops from @p from to @p to in ascending-ring order. */
+    std::uint32_t
+    ringDist(sim::NodeId from, sim::NodeId to) const
+    {
+        return (to + numNodes_ - from) % numNodes_;
+    }
+
+    sim::Engine &engine_;
+    DataChannel &channel_;
+    std::uint32_t numNodes_;
+
+  private:
+    MacStats own_;
+    MacStats *stats_;
+};
+
+/** Build the protocol selected by @p cfg.macKind for @p num_nodes. */
+std::unique_ptr<MacProtocol> makeMacProtocol(const WirelessConfig &cfg,
+                                             sim::Engine &engine,
+                                             DataChannel &channel,
+                                             std::uint32_t num_nodes);
+
+} // namespace wisync::wireless
+
+#endif // WISYNC_WIRELESS_MAC_MAC_PROTOCOL_HH

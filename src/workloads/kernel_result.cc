@@ -1,5 +1,7 @@
 #include "workloads/kernel_result.hh"
 
+#include <bit>
+
 #include "core/machine.hh"
 
 namespace wisync::workloads {
@@ -10,7 +12,26 @@ captureChannelStats(KernelResult &result, core::Machine &machine)
     if (bm::BmSystem *bm = machine.bm()) {
         result.dataChannelUtilisation = bm->dataChannel().utilisation();
         result.collisions = bm->dataChannel().stats().collisions.value();
+        const wireless::MacStats &mac = bm->macProtocol().stats();
+        result.macBackoffCycles = mac.backoffCycles.value();
+        result.macTokenWaits = mac.tokenWaits.value();
+        result.macTokenRotations = mac.tokenRotations.value();
+        result.macModeSwitches = mac.modeSwitches.value();
     }
+}
+
+bool
+bitIdentical(const KernelResult &a, const KernelResult &b)
+{
+    return a.cycles == b.cycles && a.completed == b.completed &&
+           a.operations == b.operations &&
+           std::bit_cast<std::uint64_t>(a.dataChannelUtilisation) ==
+               std::bit_cast<std::uint64_t>(b.dataChannelUtilisation) &&
+           a.collisions == b.collisions &&
+           a.macBackoffCycles == b.macBackoffCycles &&
+           a.macTokenWaits == b.macTokenWaits &&
+           a.macTokenRotations == b.macTokenRotations &&
+           a.macModeSwitches == b.macModeSwitches;
 }
 
 } // namespace wisync::workloads

@@ -30,6 +30,17 @@ struct KernelResult
     /** Wireless collisions observed (0 for wired configs). */
     std::uint64_t collisions = 0;
 
+    // MAC-protocol telemetry (all 0 for wired configs; see
+    // wireless::MacStats for the per-counter semantics).
+    /** Cycles senders spent in collision backoff. */
+    std::uint64_t macBackoffCycles = 0;
+    /** Acquires that queued for the token (token/adaptive MACs). */
+    std::uint64_t macTokenWaits = 0;
+    /** Ring hops the token travelled (token-family MACs). */
+    std::uint64_t macTokenRotations = 0;
+    /** BRS <-> token transitions (adaptive MAC). */
+    std::uint64_t macModeSwitches = 0;
+
     double
     opsPerKiloCycle() const
     {
@@ -40,12 +51,20 @@ struct KernelResult
 };
 
 /**
- * Fill the wireless-channel columns (utilisation, collisions) from
- * @p machine's Data channel; a no-op on wired configs, where the
- * zero-initialized fields are already correct. Every run*On workload
- * epilogue calls this instead of reading the channel by hand.
+ * Fill the wireless-channel columns (utilisation, collisions) and the
+ * MAC-protocol telemetry from @p machine's Data channel and MAC; a
+ * no-op on wired configs, where the zero-initialized fields are
+ * already correct. Every run*On workload epilogue calls this instead
+ * of reading the channel by hand.
  */
 void captureChannelStats(KernelResult &result, core::Machine &machine);
+
+/**
+ * Field-by-field equality, with the utilisation double compared by
+ * bit pattern — the determinism contract the sweep benches and tests
+ * assert between serial and parallel runs.
+ */
+bool bitIdentical(const KernelResult &a, const KernelResult &b);
 
 } // namespace wisync::workloads
 

@@ -12,6 +12,7 @@
 #include "sim/engine.hh"
 #include "sim/rng.hh"
 #include "wireless/data_channel.hh"
+#include "wireless/mac/brs_mac.hh"
 
 namespace {
 
@@ -21,6 +22,7 @@ using wisync::coro::Task;
 using wisync::sim::Cycle;
 using wisync::sim::Engine;
 using wisync::sim::UniqueFunction;
+using wisync::wireless::BrsMac;
 using wisync::wireless::DataChannel;
 using wisync::wireless::Mac;
 using wisync::wireless::WirelessConfig;
@@ -28,16 +30,17 @@ using wisync::wireless::WirelessConfig;
 struct Net
 {
     explicit Net(std::uint32_t nodes)
-        : channel(engine, WirelessConfig{})
+        : channel(engine, WirelessConfig{}), brs(engine, channel, nodes)
     {
         wisync::sim::Rng seeder(1234);
         for (std::uint32_t n = 0; n < nodes; ++n)
-            macs.push_back(
-                std::make_unique<Mac>(engine, channel, seeder.fork()));
+            macs.push_back(std::make_unique<Mac>(engine, channel, brs, n,
+                                                 seeder.fork()));
     }
 
     Engine engine;
     DataChannel channel;
+    BrsMac brs;
     std::vector<std::unique_ptr<Mac>> macs;
 };
 
@@ -173,7 +176,7 @@ TEST(DataChannel, AbortedSendNeverDelivers)
 TEST(DataChannel, BackoffExponentTracksOutcomes)
 {
     Net net(2);
-    EXPECT_EQ(net.macs[0]->backoffExp(), 0u);
+    EXPECT_EQ(net.brs.backoffExp(0), 0u);
     auto sender = [&](int mac) -> Task<void> {
         co_await net.macs[static_cast<std::size_t>(mac)]->send(false, [] {});
     };

@@ -27,6 +27,10 @@ using wisync::core::ThreadCtx;
 using wisync::coro::Task;
 using wisync::sim::Addr;
 using wisync::sim::NodeId;
+using wisync::wireless::MacKind;
+
+constexpr MacKind kMacKinds[] = {MacKind::Brs, MacKind::Token,
+                                 MacKind::FuzzyToken, MacKind::Adaptive};
 
 /** Everything a fuzz thread needs, owned by the driving test frame. */
 struct FuzzEnv
@@ -91,10 +95,12 @@ struct FuzzResult
  */
 FuzzResult
 fuzzRun(ConfigKind kind, std::uint64_t seed, std::uint32_t threads,
-        int ops_per_thread, Machine *reuse = nullptr)
+        int ops_per_thread, Machine *reuse = nullptr,
+        MacKind mac = MacKind::Brs)
 {
     auto cfg = MachineConfig::make(kind, threads);
     cfg.seed = seed;
+    cfg.wireless.macKind = mac;
     std::unique_ptr<Machine> owned;
     if (reuse != nullptr) {
         reuse->reset(cfg);
@@ -209,6 +215,60 @@ TEST_P(FuzzAllConfigs, DifferentSeedsDiverge)
 }
 
 /**
+ * MAC-protocol dimension: the same randomized op mix on the full
+ * WiSync config under every MacKind — invariants hold, repeats are
+ * bit-identical, and a reset-reused machine (including the protocol
+ * rebuild when the kind changes between runs) matches fresh builds.
+ */
+class FuzzMacProtocols : public ::testing::TestWithParam<MacKind>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Macs, FuzzMacProtocols,
+                         ::testing::ValuesIn(kMacKinds));
+
+TEST_P(FuzzMacProtocols, RandomMixPreservesInvariants)
+{
+    const auto r =
+        fuzzRun(ConfigKind::WiSync, 0xBEEF01, 8, 40, nullptr, GetParam());
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.replicasOk);
+    EXPECT_GT(r.counter + r.bmCounter, 0u);
+    EXPECT_LE(r.counter + r.bmCounter, 8u * 40u);
+}
+
+TEST_P(FuzzMacProtocols, DeterministicAcrossRepeats)
+{
+    const auto a =
+        fuzzRun(ConfigKind::WiSync, 4321, 8, 30, nullptr, GetParam());
+    const auto b =
+        fuzzRun(ConfigKind::WiSync, 4321, 8, 30, nullptr, GetParam());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.counter, b.counter);
+    EXPECT_EQ(a.bmCounter, b.bmCounter);
+}
+
+TEST(FuzzMacProtocols, RandomKindFlipsThroughResetMatchFresh)
+{
+    // One persistent machine reset to a random MacKind each round;
+    // every leg must be bit-identical to a fresh machine of that kind.
+    Machine persistent(MachineConfig::make(ConfigKind::WiSyncNoT, 8));
+    wisync::sim::Rng pick(0xFACADE);
+    for (int i = 0; i < 8; ++i) {
+        const MacKind mac = kMacKinds[pick.below(4)];
+        const std::uint64_t seed = 9000 + static_cast<std::uint64_t>(i);
+        const auto fresh =
+            fuzzRun(ConfigKind::WiSyncNoT, seed, 8, 15, nullptr, mac);
+        const auto reused =
+            fuzzRun(ConfigKind::WiSyncNoT, seed, 8, 15, &persistent, mac);
+        ASSERT_TRUE(fresh.completed);
+        EXPECT_EQ(fresh.cycles, reused.cycles) << "round " << i;
+        EXPECT_EQ(fresh.counter, reused.counter) << "round " << i;
+        EXPECT_EQ(fresh.bmCounter, reused.bmCounter) << "round " << i;
+        EXPECT_TRUE(reused.replicasOk);
+    }
+}
+
+/**
  * Host-parallelism dimension: randomized sweep grids executed through
  * harness::ParallelSweep at a fuzz-chosen worker count must merge to
  * exactly the serial run's results. This fuzzes what the golden tests
@@ -236,6 +296,9 @@ TEST(FuzzParallelSweep, RandomGridsMatchSerialAtRandomThreadCounts)
                 kKinds[rng.below(4)],
                 4u << rng.below(3)); // 4, 8 or 16 cores
             cfg.seed = rng.next();
+            // MAC dimension: wired kinds ignore it, wireless kinds
+            // must stay thread-count independent under every protocol.
+            cfg.wireless.macKind = kMacKinds[rng.below(4)];
             TightLoopParams params;
             params.iterations = 1 + static_cast<std::uint32_t>(rng.below(3));
             sweep.add(cfg, [params](Machine &m) {
@@ -248,16 +311,10 @@ TEST(FuzzParallelSweep, RandomGridsMatchSerialAtRandomThreadCounts)
         const auto parallel = sweep.run(threads);
         ASSERT_EQ(serial.size(), parallel.size());
         for (std::size_t i = 0; i < serial.size(); ++i) {
-            EXPECT_EQ(serial[i].cycles, parallel[i].cycles)
+            EXPECT_TRUE(wisync::workloads::bitIdentical(serial[i],
+                                                        parallel[i]))
                 << "iter " << iter << " point " << i << " threads "
                 << threads;
-            EXPECT_EQ(serial[i].completed, parallel[i].completed);
-            EXPECT_EQ(serial[i].operations, parallel[i].operations);
-            EXPECT_EQ(std::bit_cast<std::uint64_t>(
-                          serial[i].dataChannelUtilisation),
-                      std::bit_cast<std::uint64_t>(
-                          parallel[i].dataChannelUtilisation));
-            EXPECT_EQ(serial[i].collisions, parallel[i].collisions);
         }
     }
 }

@@ -43,7 +43,7 @@ std::vector<std::uint64_t>
 fingerprint(const std::vector<KernelResult> &results)
 {
     std::vector<std::uint64_t> out;
-    out.reserve(results.size() * 5);
+    out.reserve(results.size() * 9);
     for (const auto &r : results) {
         out.push_back(r.cycles);
         out.push_back(r.completed ? 1 : 0);
@@ -51,6 +51,10 @@ fingerprint(const std::vector<KernelResult> &results)
         out.push_back(std::bit_cast<std::uint64_t>(
             r.dataChannelUtilisation));
         out.push_back(r.collisions);
+        out.push_back(r.macBackoffCycles);
+        out.push_back(r.macTokenWaits);
+        out.push_back(r.macTokenRotations);
+        out.push_back(r.macModeSwitches);
     }
     return out;
 }
@@ -225,6 +229,88 @@ TEST(ParallelSweep, EmptyGridAndExcessWorkers)
     const auto b = one.run(1);
     ASSERT_EQ(a.size(), 1u);
     EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+/**
+ * Streaming contract: the onPointComplete observer sees every point
+ * exactly once, with the same result the merged vector ends up
+ * holding, on both the serial path and multi-worker runs — and its
+ * presence must not perturb the merged results.
+ */
+TEST(ParallelSweep, StreamsEachPointExactlyOnce)
+{
+    wisync::workloads::TightLoopParams params;
+    params.iterations = 2;
+    auto declare = [&] {
+        ParallelSweep sweep;
+        for (const auto kind :
+             {ConfigKind::Baseline, ConfigKind::WiSyncNoT,
+              ConfigKind::WiSync}) {
+            for (const std::uint32_t cores : {4u, 8u})
+                sweep.add(MachineConfig::make(kind, cores),
+                          [params](Machine &m) {
+                              return wisync::workloads::runTightLoopOn(
+                                  m, params);
+                          });
+        }
+        return sweep;
+    };
+
+    auto plain = declare();
+    const auto reference = plain.run(1);
+
+    for (const unsigned threads : {1u, 3u}) {
+        auto sweep = declare();
+        std::mutex mutex;
+        std::vector<int> seen(reference.size(), 0);
+        std::vector<KernelResult> streamed(reference.size());
+        sweep.onPointComplete(
+            [&](std::size_t index, const KernelResult &r) {
+                std::lock_guard<std::mutex> g(mutex);
+                ASSERT_LT(index, seen.size());
+                ++seen[index];
+                streamed[index] = r;
+            });
+        const auto merged = sweep.run(threads);
+        EXPECT_EQ(fingerprint(merged), fingerprint(reference))
+            << "threads=" << threads;
+        EXPECT_EQ(fingerprint(streamed), fingerprint(merged))
+            << "threads=" << threads;
+        for (std::size_t i = 0; i < seen.size(); ++i)
+            EXPECT_EQ(seen[i], 1) << "point " << i << " threads "
+                                  << threads;
+    }
+}
+
+/**
+ * The idle path: with far more workers than distinct queue blocks,
+ * most workers find nothing (or run dry early) and must park on the
+ * drain condition variable, then exit cleanly when the last point
+ * lands. A straggler keeps one worker busy while the others idle.
+ */
+TEST(ParallelSweep, IdleWorkersParkUntilGridDrains)
+{
+    wisync::workloads::TightLoopParams quick;
+    quick.iterations = 1;
+    wisync::workloads::TightLoopParams slow;
+    slow.iterations = 30;
+
+    ParallelSweep sweep;
+    // Point 0 is the straggler; the rest are tiny, so workers 1..5
+    // drain their queues long before worker 0 finishes and take the
+    // cv wait.
+    sweep.add(MachineConfig::make(ConfigKind::WiSync, 16),
+              [slow](Machine &m) {
+                  return wisync::workloads::runTightLoopOn(m, slow);
+              });
+    for (int i = 0; i < 5; ++i)
+        sweep.add(MachineConfig::make(ConfigKind::Baseline, 4),
+                  [quick](Machine &m) {
+                      return wisync::workloads::runTightLoopOn(m, quick);
+                  });
+    const auto parallel = sweep.run(6);
+    const auto serial = sweep.run(1);
+    EXPECT_EQ(fingerprint(parallel), fingerprint(serial));
 }
 
 TEST(ParallelSweep, AddReturnsDenseIndices)
