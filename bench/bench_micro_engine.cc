@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "coro/frame_pool.hh"
 #include "coro/primitives.hh"
 #include "core/machine.hh"
@@ -16,6 +20,95 @@
 #include "sim/engine.hh"
 #include "wireless/data_channel.hh"
 #include "wireless/mac/brs_mac.hh"
+
+// ---- Heap-allocation counter ------------------------------------------
+//
+// The fast-path benches assert "zero heap allocations on the uncontended
+// path" with a counter, not by eyeball: the global operator new family
+// is replaced with counting wrappers, and each bench samples the count
+// strictly around engine.run() so harness bookkeeping stays outside the
+// measured window.
+
+static std::atomic<std::uint64_t> g_heapAllocs{0};
+
+static void *
+countedAlloc(std::size_t bytes, std::size_t align)
+{
+    g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = nullptr;
+    if (align <= alignof(std::max_align_t))
+        p = std::malloc(bytes);
+    else if (posix_memalign(&p, align, bytes) != 0)
+        p = nullptr;
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t bytes)
+{
+    return countedAlloc(bytes, alignof(std::max_align_t));
+}
+
+void *
+operator new[](std::size_t bytes)
+{
+    return countedAlloc(bytes, alignof(std::max_align_t));
+}
+
+void *
+operator new(std::size_t bytes, std::align_val_t align)
+{
+    return countedAlloc(bytes, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t bytes, std::align_val_t align)
+{
+    return countedAlloc(bytes, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
 
 using namespace wisync;
 
@@ -190,14 +283,87 @@ BM_MeshCornerToCorner(benchmark::State &state)
 }
 BENCHMARK(BM_MeshCornerToCorner);
 
+/**
+ * A/B pair for the uncontended mesh fast path: the same 14-hop
+ * corner-to-corner stream on one persistent (reset-reused) engine+mesh,
+ * once through the frameless reservation chain and once through the
+ * wormhole coroutine (cfg.fastpath = false — exactly the
+ * WISYNC_NO_FASTPATH path). Same process, same machine: the ratio is
+ * the gated speedup, heap allocations inside run() are counted (the
+ * fast leg must be exactly zero in steady state), and the hit fraction
+ * proves the stream really took the fast route.
+ */
+template <bool kFastpath>
 void
-BM_CoherentPingPong(benchmark::State &state)
+meshUncontendedBody(benchmark::State &state)
+{
+    // Leaked on purpose: a static Engine would be destroyed after the
+    // thread-local scheduler chunk cache it returns its pool chunks
+    // to. Persistent bench fixtures therefore never run destructors.
+    static sim::Engine &eng = *new sim::Engine;
+    noc::MeshConfig cfg;
+    cfg.numNodes = 64;
+    cfg.fastpath = kFastpath;
+    static noc::Mesh &mesh = *new noc::Mesh(eng, cfg);
+
+    auto point = [&] {
+        eng.reset();
+        mesh.reset(cfg);
+        coro::spawnDetached(eng, meshMany(mesh, 500));
+    };
+    point();
+    eng.run(); // warm-up: pools, buckets, ring capacity
+
+    std::uint64_t allocs = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t fallbacks = 0;
+    for (auto _ : state) {
+        point();
+        const std::uint64_t before =
+            g_heapAllocs.load(std::memory_order_relaxed);
+        eng.run();
+        allocs += g_heapAllocs.load(std::memory_order_relaxed) - before;
+        hits = mesh.stats().fastpathHits.value();
+        fallbacks = mesh.stats().fastpathFallbacks.value();
+        benchmark::DoNotOptimize(eng.now());
+    }
+    state.SetItemsProcessed(state.iterations() * 500);
+    state.counters["heap_allocs"] = static_cast<double>(allocs);
+    const double attempts = static_cast<double>(hits + fallbacks);
+    state.counters["fastpath_hit_fraction"] =
+        attempts > 0 ? static_cast<double>(hits) / attempts : 0.0;
+}
+
+void
+BM_MeshUncontendedFastPath(benchmark::State &state)
+{
+    meshUncontendedBody<true>(state);
+}
+BENCHMARK(BM_MeshUncontendedFastPath);
+
+void
+BM_MeshUncontendedFallback(benchmark::State &state)
+{
+    meshUncontendedBody<false>(state);
+}
+BENCHMARK(BM_MeshUncontendedFallback);
+
+template <bool kFastpath>
+void
+coherentPingPongBody(benchmark::State &state)
 {
     // Two cores alternately writing one line: the worst-case coherence
-    // pattern driving the Baseline synchronization results.
-    for (auto _ : state) {
-        core::Machine m(
-            core::MachineConfig::make(core::ConfigKind::Baseline, 16));
+    // pattern driving the Baseline synchronization results, on one
+    // persistent reset-reused machine so the per-message simulation
+    // cost is what gets timed. The NoFastpath twin is the same-process
+    // denominator for the fast-path ratio (misses dominate, so the win
+    // here comes from the frameless mesh chain under the coherence
+    // legs). Leaked fixture: see meshUncontendedBody.
+    auto cfg = core::MachineConfig::make(core::ConfigKind::Baseline, 16);
+    cfg.setFastpath(kFastpath);
+    static core::Machine &m = *new core::Machine(cfg);
+    auto point = [&] {
+        m.reset();
         const sim::Addr addr = m.allocMem(64, 64);
         for (int t = 0; t < 2; ++t) {
             m.spawnThread(static_cast<sim::NodeId>(t),
@@ -206,12 +372,30 @@ BM_CoherentPingPong(benchmark::State &state)
                                   co_await ctx.fetchAdd(addr, 1);
                           });
         }
+    };
+    point();
+    m.run(); // warm-up
+    for (auto _ : state) {
+        point();
         m.run();
         benchmark::DoNotOptimize(m.engine().now());
     }
     state.SetItemsProcessed(state.iterations() * 400);
 }
+
+void
+BM_CoherentPingPong(benchmark::State &state)
+{
+    coherentPingPongBody<true>(state);
+}
 BENCHMARK(BM_CoherentPingPong);
+
+void
+BM_CoherentPingPongNoFastpath(benchmark::State &state)
+{
+    coherentPingPongBody<false>(state);
+}
+BENCHMARK(BM_CoherentPingPongNoFastpath);
 
 coro::Task<void>
 touchPoint(core::ThreadCtx &ctx)
@@ -310,23 +494,62 @@ BM_HeapChurn(benchmark::State &state)
 }
 BENCHMARK(BM_HeapChurn);
 
+template <bool kFastpath>
 void
-BM_BmBroadcastStore(benchmark::State &state)
+bmBroadcastStoreBody(benchmark::State &state)
 {
-    for (auto _ : state) {
-        core::Machine m(
-            core::MachineConfig::make(core::ConfigKind::WiSync, 64));
+    // The per-broadcast cost in isolation: one persistent reset-reused
+    // machine, 500 uncontended single-sender broadcasts per iteration.
+    // With the fast path on, every send must take the frameless Mac
+    // route and run() must never touch the allocator (counted, and
+    // gated by check_bench.py). Leaked fixture: see meshUncontendedBody.
+    auto cfg = core::MachineConfig::make(core::ConfigKind::WiSync, 64);
+    cfg.setFastpath(kFastpath);
+    static core::Machine &m = *new core::Machine(cfg);
+    auto point = [&] {
+        m.reset();
         m.bm()->storeArray().setTag(0, 1);
         m.spawnThread(0, [](core::ThreadCtx &ctx) -> coro::Task<void> {
             for (int i = 0; i < 500; ++i)
                 co_await ctx.bmStore(0, static_cast<std::uint64_t>(i));
         });
+    };
+    point();
+    m.run(); // warm-up
+    std::uint64_t allocs = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t fallbacks = 0;
+    for (auto _ : state) {
+        point();
+        const std::uint64_t before =
+            g_heapAllocs.load(std::memory_order_relaxed);
         m.run();
+        allocs += g_heapAllocs.load(std::memory_order_relaxed) - before;
+        hits = m.bm()->dataChannel().stats().fastpathHits.value();
+        fallbacks =
+            m.bm()->dataChannel().stats().fastpathFallbacks.value();
         benchmark::DoNotOptimize(m.engine().now());
     }
     state.SetItemsProcessed(state.iterations() * 500);
+    state.counters["heap_allocs"] = static_cast<double>(allocs);
+    const double attempts = static_cast<double>(hits + fallbacks);
+    state.counters["fastpath_hit_fraction"] =
+        attempts > 0 ? static_cast<double>(hits) / attempts : 0.0;
+}
+
+void
+BM_BmBroadcastStore(benchmark::State &state)
+{
+    bmBroadcastStoreBody<true>(state);
 }
 BENCHMARK(BM_BmBroadcastStore);
+
+void
+BM_BmBroadcastStoreNoFastpath(benchmark::State &state)
+{
+    bmBroadcastStoreBody<false>(state);
+}
+BENCHMARK(BM_BmBroadcastStoreNoFastpath);
 
 } // namespace
 

@@ -39,14 +39,19 @@ main()
     params.iterations = 40;
 
     harness::ParallelSweep sweep;
+    harness::ParallelSweep sweepNoFastpath;
     for (const auto n : cores) {
         for (const auto kind :
              {ConfigKind::Baseline, ConfigKind::BaselinePlus,
               ConfigKind::WiSyncNoT, ConfigKind::WiSync}) {
-            sweep.add(core::MachineConfig::make(kind, n),
-                      [params](core::Machine &m) {
-                          return workloads::runTightLoopOn(m, params);
-                      });
+            auto cfg = core::MachineConfig::make(kind, n);
+            sweep.add(cfg, [params](core::Machine &m) {
+                return workloads::runTightLoopOn(m, params);
+            });
+            cfg.setFastpath(false);
+            sweepNoFastpath.add(cfg, [params](core::Machine &m) {
+                return workloads::runTightLoopOn(m, params);
+            });
         }
     }
 
@@ -71,15 +76,28 @@ main()
     for (std::size_t i = 0; identical && i < serial.size(); ++i)
         identical = workloads::bitIdentical(serial[i], parallel[i]);
 
+    // Untimed third leg: the same grid with every uncontended fast
+    // path disabled (the WISYNC_NO_FASTPATH configuration) must
+    // produce bit-identical KernelResults — the fast paths are a
+    // host-time optimization and may never move a simulated cycle.
+    // bitIdentical() excludes the fastpath route counters by design.
+    const auto noFastpath = sweepNoFastpath.run(1);
+    bool fastpath_identical = serial.size() == noFastpath.size();
+    for (std::size_t i = 0; fastpath_identical && i < serial.size(); ++i)
+        fastpath_identical =
+            workloads::bitIdentical(serial[i], noFastpath[i]);
+
     const double serial_s = seconds(t1 - t0);
     const double parallel_s = seconds(t2 - t1);
     std::printf("{\"grid\": \"tightloop\", \"points\": %zu, "
                 "\"threads\": %u, \"serial_seconds\": %.3f, "
                 "\"parallel_seconds\": %.3f, "
                 "\"sweep_parallel_speedup\": %.2f, "
-                "\"results_identical\": %s}\n",
+                "\"results_identical\": %s, "
+                "\"fastpath_identical\": %s}\n",
                 sweep.size(), threads, serial_s, parallel_s,
                 parallel_s > 0 ? serial_s / parallel_s : 0.0,
-                identical ? "true" : "false");
-    return identical ? 0 : 1;
+                identical ? "true" : "false",
+                fastpath_identical ? "true" : "false");
+    return identical && fastpath_identical ? 0 : 1;
 }

@@ -12,7 +12,11 @@ is gated too: the same-process N-thread vs 1-thread wall-clock ratio
 on the TightLoop grid must reach 1.5x. The gate only applies when the
 run actually had more than one worker (a single-core runner records
 threads == 1 and is skipped) — and the merged results must have been
-identical, which bench_sweep_parallel verifies itself.
+identical, which bench_sweep_parallel verifies itself. The same record
+carries fastpath_identical: the grid re-run with every uncontended
+fast path disabled (WISYNC_NO_FASTPATH) must produce bit-identical
+KernelResults, because the fast paths are a host-time optimization
+that may never move a simulated cycle.
 
 The MAC-protocol ablation record ("mac_ablation", emitted by
 bench_ablation_mac --json) is gated on its deterministic simulation
@@ -90,6 +94,27 @@ def main():
     ratio_gate("BM_MachineResetReuse", "BM_MachineBuildFresh", 1.15,
                "Machine::reset must beat full reconstruction")
 
+    # Uncontended fast paths: the frameless mesh chain must clearly
+    # beat the wormhole coroutine on the same machine in the same
+    # process, actually serve the whole stream (hit fraction), and
+    # never touch the allocator (counted around engine.run() with the
+    # replaced operator new). The BM broadcast and coherence ping-pong
+    # twins gate against regression of the end-to-end message paths.
+    ratio_gate("BM_MeshUncontendedFastPath", "BM_MeshUncontendedFallback",
+               1.3, "frameless mesh chain must beat the wormhole path")
+    counter_gate("BM_MeshUncontendedFastPath", "fastpath_hit_fraction",
+                 ">=", 0.9, "uncontended stream must take the fast path")
+    counter_gate("BM_MeshUncontendedFastPath", "heap_allocs", "<=", 0,
+                 "uncontended mesh transfers must not allocate")
+    ratio_gate("BM_BmBroadcastStore", "BM_BmBroadcastStoreNoFastpath",
+               1.05, "frameless broadcast path must beat the send loop")
+    counter_gate("BM_BmBroadcastStore", "fastpath_hit_fraction", ">=",
+                 0.9, "single-sender broadcasts must take the fast path")
+    counter_gate("BM_BmBroadcastStore", "heap_allocs", "<=", 0,
+                 "uncontended broadcasts must not allocate")
+    ratio_gate("BM_CoherentPingPong", "BM_CoherentPingPongNoFastpath",
+               0.97, "fast paths must never slow the contended case")
+
     # Frame pool: pooled alloc/free must stay competitive with malloc
     # (it is normally faster; 0.7 absorbs runner noise).
     ratio_gate("BM_FramePoolChurn", "BM_HeapChurn", 0.7,
@@ -118,6 +143,10 @@ def main():
                 failures.append(
                     "FAIL parallel sweep results differ from serial — "
                     "determinism contract broken")
+            if not par.get("fastpath_identical", False):
+                failures.append(
+                    "FAIL fastpath-on vs fastpath-off KernelResults "
+                    "differ — the fast paths changed simulated cycles")
             threads = par.get("threads", 1)
             speedup = par.get("sweep_parallel_speedup", 0.0)
             if threads >= 2:

@@ -117,31 +117,31 @@ ThreadCtx::compute(std::uint64_t instructions)
     co_await coro::delay(machine_.engine(), cycles);
 }
 
-coro::Task<std::uint64_t>
+mem::MemSystem::Access<std::uint64_t>
 ThreadCtx::load(sim::Addr addr)
 {
     return machine_.mem().load(node_, addr);
 }
 
-coro::Task<void>
+mem::MemSystem::Access<void>
 ThreadCtx::store(sim::Addr addr, std::uint64_t value)
 {
     return machine_.mem().store(node_, addr, value);
 }
 
-coro::Task<std::uint64_t>
+mem::MemSystem::Access<std::uint64_t>
 ThreadCtx::fetchAdd(sim::Addr addr, std::uint64_t d)
 {
     return machine_.mem().fetchAdd(node_, addr, d);
 }
 
-coro::Task<std::uint64_t>
+mem::MemSystem::Access<std::uint64_t>
 ThreadCtx::swap(sim::Addr addr, std::uint64_t v)
 {
     return machine_.mem().swap(node_, addr, v);
 }
 
-coro::Task<mem::CasResult>
+mem::MemSystem::Access<mem::CasResult>
 ThreadCtx::cas(sim::Addr addr, std::uint64_t expected, std::uint64_t desired)
 {
     return machine_.mem().cas(node_, addr, expected, desired);

@@ -52,13 +52,19 @@ class ThreadCtx
     /** Execute @p instructions of straight-line code. */
     coro::Task<void> compute(std::uint64_t instructions);
 
-    // Regular (cacheable) memory ops.
-    coro::Task<std::uint64_t> load(sim::Addr addr);
-    coro::Task<void> store(sim::Addr addr, std::uint64_t value);
-    coro::Task<std::uint64_t> fetchAdd(sim::Addr addr, std::uint64_t d);
-    coro::Task<std::uint64_t> swap(sim::Addr addr, std::uint64_t v);
-    coro::Task<mem::CasResult> cas(sim::Addr addr, std::uint64_t expected,
-                                   std::uint64_t desired);
+    // Regular (cacheable) memory ops. These forward the MemSystem
+    // Access awaitables (frameless L1-hit fast path) unchanged; they
+    // are awaited exactly like the Tasks they used to be.
+    mem::MemSystem::Access<std::uint64_t> load(sim::Addr addr);
+    mem::MemSystem::Access<void> store(sim::Addr addr,
+                                       std::uint64_t value);
+    mem::MemSystem::Access<std::uint64_t> fetchAdd(sim::Addr addr,
+                                                   std::uint64_t d);
+    mem::MemSystem::Access<std::uint64_t> swap(sim::Addr addr,
+                                               std::uint64_t v);
+    mem::MemSystem::Access<mem::CasResult> cas(sim::Addr addr,
+                                               std::uint64_t expected,
+                                               std::uint64_t desired);
     coro::Task<std::uint64_t> spinUntil(sim::Addr addr,
                                         std::function<bool(std::uint64_t)>
                                             pred);

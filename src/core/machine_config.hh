@@ -69,6 +69,21 @@ struct MachineConfig
                               Variant variant = Variant::Default);
 
     /**
+     * Toggle the uncontended fast paths on all three subsystem layers
+     * (mesh routes, L1 hits, wireless broadcasts) together. Behavioral
+     * and shape-compatible: a reset may flip it freely; simulated
+     * cycles are identical either way (the env kill switch
+     * WISYNC_NO_FASTPATH=1 sets the same flags at config build time).
+     */
+    void
+    setFastpath(bool on)
+    {
+        mesh.fastpath = on;
+        mem.fastpath = on;
+        wireless.fastpath = on;
+    }
+
+    /**
      * True when a Machine built from this config can be reused for
      * @p other via Machine::reset: the same structural geometry (core
      * count, cache/BM capacities, controller counts). The kind,

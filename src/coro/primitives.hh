@@ -28,6 +28,7 @@
 
 #include "coro/task.hh"
 #include "sim/engine.hh"
+#include "sim/inline_vec.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -100,6 +101,16 @@ yield(sim::Engine &engine)
  *
  * Models any hardware resource that serializes transactions: a
  * directory entry busy-bit, a cache bank port, a MAC transmit slot.
+ *
+ * Besides the classic lock()/unlock() protocol, a holder can take the
+ * mutex as a *timed reservation* (tryReserve): the resource is busy
+ * until a known future cycle, but no release event is scheduled — the
+ * reservation simply stops mattering once the cycle is reached. Only
+ * when a contender actually shows up while the reservation is live is
+ * the release event materialized (at exactly the cycle an eager
+ * scheduleUnlock would have fired, preserving FIFO grant order and
+ * grant cycles bit-for-bit). This is what lets an uncontended mesh
+ * transfer hold a whole route for the cost of zero engine events.
  */
 class SimMutex
 {
@@ -114,6 +125,7 @@ class SimMutex
         bool
         await_ready()
         {
+            mutex_.pollExpiry();
             if (!mutex_.locked_) {
                 mutex_.locked_ = true;
                 return true;
@@ -125,6 +137,7 @@ class SimMutex
         await_suspend(std::coroutine_handle<> h)
         {
             mutex_.waiters_.push_back(h);
+            mutex_.materializeRelease();
         }
 
         void await_resume() const noexcept {}
@@ -136,10 +149,60 @@ class SimMutex
     /** co_await lock(); ... unlock(); */
     LockAwaiter lock() { return LockAwaiter(*this); }
 
+    /** Acquire without waiting; true on success. */
+    bool
+    tryLock()
+    {
+        pollExpiry();
+        if (locked_)
+            return false;
+        locked_ = true;
+        return true;
+    }
+
+    /**
+     * True when a lock()/tryLock() at the current point of execution
+     * would succeed immediately. Unlike tryLock this has no side
+     * effects — introspection for tests and tooling.
+     */
+    bool
+    available() const
+    {
+        return !locked_ || reservationElapsed();
+    }
+
+    /**
+     * Try to acquire as a timed reservation releasing itself at
+     * @p until (absolute cycle, > now); false if held. No release
+     * event is scheduled unless a contender arrives before the
+     * release would run — but the release's place in the global
+     * insertion order IS claimed now (Engine::reserveSeq), so whether
+     * or not it ever materializes, every other event keeps the exact
+     * (cycle, seq) position an eager lock()+scheduleUnlock(until-now)
+     * would have given it. Timing is therefore bit-identical to the
+     * eager protocol; the uncontended case just never pays the event.
+     */
+    bool
+    tryReserve(sim::Cycle until)
+    {
+        pollExpiry();
+        if (locked_)
+            return false;
+        WISYNC_ASSERT(until > engine_.now(), "reservation must end later");
+        locked_ = true;
+        reservedUntil_ = until;
+        reservedSeq_ = engine_.reserveSeq();
+        return true;
+    }
+
+    /** End of the current timed reservation (0 = plain lock / free). */
+    sim::Cycle lockedUntil() const { return reservedUntil_; }
+
     void
     unlock()
     {
         WISYNC_ASSERT(locked_, "unlock of unlocked SimMutex");
+        reservedUntil_ = 0;
         if (waiters_.empty()) {
             locked_ = false;
             return;
@@ -169,18 +232,74 @@ class SimMutex
     /**
      * Drop all state (unlocked, no waiters). Only valid while no
      * coroutine that could legally resume still waits — i.e. after the
-     * engine destroyed the frames parked here (Machine::reset).
+     * engine destroyed the frames parked here (Machine::reset), which
+     * also discards any materialized release event.
      */
     void
     reset()
     {
         locked_ = false;
+        reservedUntil_ = 0;
+        releaseQueued_ = false;
         waiters_.clear();
     }
 
   private:
+    /**
+     * An expired, uncontested reservation is equivalent to released:
+     * nobody queued during its window, so no release event exists and
+     * the mutex silently becomes free. "Expired" honours the virtual
+     * release's reserved position in the execution order: at the
+     * release cycle itself the reservation only counts as gone once
+     * the engine is past the reserved seq — before that point an
+     * eager unlock event would not have run yet, and an attempt must
+     * queue exactly as it would have then. (If someone did queue, the
+     * materialized event performs the FIFO handoff instead, and this
+     * poll must not bypass the queue — hence the releaseQueued_ and
+     * waiters_ guards.)
+     */
+    /** The reservation's virtual release is behind the current point
+     *  of execution, and nobody queued to materialize it for real. */
+    bool
+    reservationElapsed() const
+    {
+        if (reservedUntil_ == 0 || releaseQueued_ || !waiters_.empty())
+            return false;
+        const sim::Cycle now = engine_.now();
+        return now > reservedUntil_ ||
+               (now == reservedUntil_ &&
+                engine_.currentSeq() > reservedSeq_);
+    }
+
+    void
+    pollExpiry()
+    {
+        if (locked_ && reservationElapsed()) {
+            locked_ = false;
+            reservedUntil_ = 0;
+        }
+    }
+
+    /** First contender during a live reservation: materialize the
+     *  release under the reserved seq — the exact (cycle, seq) slot an
+     *  eager scheduleUnlock would occupy. */
+    void
+    materializeRelease()
+    {
+        if (reservedUntil_ == 0 || releaseQueued_)
+            return;
+        releaseQueued_ = true;
+        engine_.scheduleReserved(reservedUntil_, reservedSeq_, [this] {
+            releaseQueued_ = false;
+            unlock(); // clears reservedUntil_, hands off FIFO
+        });
+    }
+
     sim::Engine &engine_;
     bool locked_ = false;
+    bool releaseQueued_ = false;
+    sim::Cycle reservedUntil_ = 0;
+    std::uint64_t reservedSeq_ = 0;
     std::deque<std::coroutine_handle<>> waiters_;
 };
 
@@ -326,8 +445,10 @@ class CondVar
     {
         if (waiters_.empty())
             return;
-        std::vector<std::coroutine_handle<>> woken;
-        woken.swap(waiters_);
+        // Move the list aside so waiters that immediately re-wait land
+        // in a fresh round; the inline buffer keeps the common few-
+        // waiter case allocation-free.
+        auto woken = std::move(waiters_);
         for (auto h : woken)
             engine_.resumeHandle(0, h);
     }
@@ -339,7 +460,7 @@ class CondVar
 
   private:
     sim::Engine &engine_;
-    std::vector<std::coroutine_handle<>> waiters_;
+    sim::InlineVec<std::coroutine_handle<>, 4> waiters_;
 };
 
 /**
@@ -366,6 +487,9 @@ class Future
         waiters_.clear();
     }
 
+    Future(const Future &) = delete;
+    Future &operator=(const Future &) = delete;
+
     class Awaiter
     {
       public:
@@ -390,7 +514,7 @@ class Future
     sim::Engine &engine_;
     bool ready_ = false;
     T value_{};
-    std::vector<std::coroutine_handle<>> waiters_;
+    sim::InlineVec<std::coroutine_handle<>, 2> waiters_;
 };
 
 /**
@@ -564,13 +688,44 @@ spawnNow(sim::Engine &engine, Fn fn, Args... args)
 }
 
 /**
+ * As spawnDetached, but the root starts executing immediately, inside
+ * the caller's engine event, instead of being queued through the ready
+ * ring. This is how a non-coroutine fast-path callback falls back into
+ * coroutine machinery without perturbing event order: the spawned task
+ * runs to its first real suspension exactly where an inline co_await
+ * would have, and @p on_done fires (still inside the completing event)
+ * when it finishes. Only call from model code already executing under
+ * engine.run().
+ */
+template <typename Done>
+    requires std::invocable<Done>
+void
+spawnInline(sim::Engine &engine, Task<void> task, Done on_done)
+{
+    auto runner = [](sim::Engine *eng, std::uint32_t slot, Task<void> t,
+                     Done done) -> detail::Detached {
+        co_await t;
+        done();
+        eng->releaseRoot(slot);
+    };
+    const std::uint32_t slot = engine.reserveRoot();
+    auto h =
+        runner(&engine, slot, std::move(task), std::move(on_done)).handle;
+    engine.bindRoot(slot, h);
+    h.resume();
+}
+
+/**
  * Run @p tasks concurrently; complete when the last one finishes.
  *
  * Models parallel hardware legs (e.g. invalidations fanned out to all
- * sharers) where completion time is the max over the legs.
+ * sharers) where completion time is the max over the legs. Accepts any
+ * container of Task<void> by value (std::vector, sim::InlineVec) so
+ * hot paths can fan out without a heap-allocated task list.
  */
+template <typename TaskList = std::vector<Task<void>>>
 inline Task<void>
-whenAll(sim::Engine &engine, std::vector<Task<void>> tasks)
+whenAll(sim::Engine &engine, TaskList tasks)
 {
     if (tasks.empty())
         co_return;

@@ -92,10 +92,10 @@ MemSystem::sharerSet(DirEntry &e, sim::NodeId n, bool v)
         e.sharers[n / 64] &= ~(std::uint64_t{1} << (n % 64));
 }
 
-std::vector<sim::NodeId>
+MemSystem::NodeVec
 MemSystem::sharerList(const DirEntry &e, sim::NodeId exclude) const
 {
-    std::vector<sim::NodeId> out;
+    NodeVec out;
     for (sim::NodeId n = 0; n < numNodes_; ++n)
         if (n != exclude && sharerTest(e, n))
             out.push_back(n);
@@ -182,7 +182,7 @@ MemSystem::recallTask(sim::NodeId home, sim::Addr line)
     // invLeg flow with requestor == home.
     DirEntry &e = dirEntry(line);
     co_await e.busy.lock();
-    std::vector<coro::Task<void>> legs;
+    sim::InlineVec<coro::Task<void>, 4> legs;
     if (e.owner != sim::kNoNode)
         legs.push_back(invLeg(home, e.owner, home, line));
     for (const auto s : sharerList(e, numNodes_ /* exclude nobody */))
@@ -241,12 +241,14 @@ MemSystem::probeLeg(sim::NodeId home, sim::NodeId owner,
 }
 
 coro::Task<void>
-MemSystem::treeInvLeg(sim::NodeId home, std::vector<sim::NodeId> targets,
+MemSystem::treeInvLeg(sim::NodeId home, const NodeVec &targets,
                       sim::NodeId requestor, sim::Addr line)
 {
-    co_await mesh_.multicast(home, targets, cfg_.ctrlBits);
+    co_await mesh_.multicast(
+        home, std::span<const sim::NodeId>(targets.data(), targets.size()),
+        cfg_.ctrlBits);
     co_await coro::delay(engine_, cfg_.l1RtCycles);
-    std::vector<coro::Task<void>> acks;
+    sim::InlineVec<coro::Task<void>, 8> acks;
     acks.reserve(targets.size());
     for (const auto s : targets) {
         invalidateL1(s, line);
@@ -368,7 +370,7 @@ MemSystem::fetchLine(sim::NodeId node, sim::Addr line, bool exclusive,
     }
 
     // ---- GetX / upgrade ----
-    std::vector<coro::Task<void>> legs;
+    sim::InlineVec<coro::Task<void>, 4> legs;
     bool need_data = !own_readable;
 
     const sim::NodeId owner = e.owner;
@@ -406,8 +408,199 @@ MemSystem::fetchLine(sim::NodeId node, sim::Addr line, bool exclusive,
     e.busy.unlock();
 }
 
-coro::Task<std::uint64_t>
+// ---- Fast-path plumbing -----------------------------------------------
+//
+// The factories below hand out either the frameless fast-mode Access
+// (stats that the coroutine would charge before its first suspension
+// are charged here instead — same event, same cycle) or the classic
+// coroutine wrapped in slow mode. finishAccess runs at the L1
+// round-trip instant: a hit commits and resumes the caller with no
+// coroutine involved; a miss starts the ordinary transaction inline so
+// the event stream matches the nested-coroutine path bit-for-bit.
+
+MemSystem::Access<std::uint64_t>
 MemSystem::load(sim::NodeId node, sim::Addr addr)
+{
+    if (!cfg_.fastpath || cfg_.l1RtCycles == 0)
+        return Access<std::uint64_t>(loadTask(node, addr));
+    stats_.loads.inc();
+    return Access<std::uint64_t>(*this, OpKind::Load, node, addr, 0, 0);
+}
+
+MemSystem::Access<void>
+MemSystem::store(sim::NodeId node, sim::Addr addr, std::uint64_t value)
+{
+    if (!cfg_.fastpath || cfg_.l1RtCycles == 0)
+        return Access<void>(storeTask(node, addr, value));
+    stats_.stores.inc();
+    return Access<void>(*this, OpKind::Store, node, addr, value, 0);
+}
+
+MemSystem::Access<std::uint64_t>
+MemSystem::fetchAdd(sim::NodeId node, sim::Addr addr, std::uint64_t delta)
+{
+    if (!cfg_.fastpath || cfg_.l1RtCycles == 0)
+        return Access<std::uint64_t>(fetchAddTask(node, addr, delta));
+    stats_.rmws.inc();
+    return Access<std::uint64_t>(*this, OpKind::FetchAdd, node, addr,
+                                 delta, 0);
+}
+
+MemSystem::Access<std::uint64_t>
+MemSystem::swap(sim::NodeId node, sim::Addr addr, std::uint64_t value)
+{
+    if (!cfg_.fastpath || cfg_.l1RtCycles == 0)
+        return Access<std::uint64_t>(swapTask(node, addr, value));
+    stats_.rmws.inc();
+    return Access<std::uint64_t>(*this, OpKind::Swap, node, addr, value,
+                                 0);
+}
+
+MemSystem::Access<std::uint64_t>
+MemSystem::testAndSet(sim::NodeId node, sim::Addr addr)
+{
+    return swap(node, addr, 1);
+}
+
+MemSystem::Access<CasResult>
+MemSystem::cas(sim::NodeId node, sim::Addr addr, std::uint64_t expected,
+               std::uint64_t desired)
+{
+    if (!cfg_.fastpath || cfg_.l1RtCycles == 0)
+        return Access<CasResult>(casTask(node, addr, expected, desired));
+    stats_.rmws.inc();
+    return Access<CasResult>(*this, OpKind::Cas, node, addr, expected,
+                             desired);
+}
+
+void
+MemSystem::finishAccess(AccessBase &op)
+{
+    const sim::Addr line = l1_[op.node_].lineOf(op.addr_);
+    const sim::Addr w = wordOf(op.addr_);
+    CacheLine *cl = l1_[op.node_].lookup(line);
+    switch (op.kind_) {
+      case OpKind::Load:
+        if (cl != nullptr && canRead(cl->state)) {
+            stats_.l1Hits.inc();
+            stats_.fastpathHits.inc();
+            op.out_ = memory_.read64(w);
+            op.caller_.resume();
+            return;
+        }
+        stats_.l1Misses.inc();
+        break;
+      case OpKind::Store:
+        if (cl != nullptr && canWrite(cl->state)) {
+            stats_.l1Hits.inc();
+            stats_.fastpathHits.inc();
+            cl->state = CohState::Modified;
+            memory_.write64(w, op.arg0_);
+            op.caller_.resume();
+            return;
+        }
+        if (CacheLine *pk = l1_[op.node_].peek(line);
+            pk != nullptr && canRead(pk->state))
+            stats_.upgrades.inc();
+        else
+            stats_.l1Misses.inc();
+        break;
+      case OpKind::FetchAdd:
+        if (cl != nullptr && canWrite(cl->state)) {
+            stats_.l1Hits.inc();
+            stats_.fastpathHits.inc();
+            cl->state = CohState::Modified;
+            op.out_ = memory_.read64(w);
+            memory_.write64(w, op.out_ + op.arg0_);
+            op.caller_.resume();
+            return;
+        }
+        break;
+      case OpKind::Swap:
+        if (cl != nullptr && canWrite(cl->state)) {
+            stats_.l1Hits.inc();
+            stats_.fastpathHits.inc();
+            cl->state = CohState::Modified;
+            op.out_ = memory_.read64(w);
+            memory_.write64(w, op.arg0_);
+            op.caller_.resume();
+            return;
+        }
+        break;
+      case OpKind::Cas:
+        if (cl != nullptr && canWrite(cl->state)) {
+            stats_.l1Hits.inc();
+            stats_.fastpathHits.inc();
+            cl->state = CohState::Modified;
+            op.out_ = memory_.read64(w);
+            op.flag_ = op.out_ == op.arg0_;
+            if (op.flag_)
+                memory_.write64(w, op.arg1_);
+            op.caller_.resume();
+            return;
+        }
+        break;
+    }
+    // Miss/upgrade: run the classic transaction, started inline so its
+    // first message goes out in this very event (as the coroutine
+    // path's would), completing back into the suspended caller.
+    stats_.fastpathFallbacks.inc();
+    op.t0_ = engine_.now();
+    struct MissDone
+    {
+        AccessBase *op;
+        void
+        operator()() const
+        {
+            MemSystem &ms = *op->ms_;
+            if (op->kind_ == OpKind::Load || op->kind_ == OpKind::Store)
+                ms.stats_.missLatency.sample(
+                    static_cast<double>(ms.engine_.now() - op->t0_));
+            op->caller_.resume();
+        }
+    };
+    coro::spawnInline(engine_, accessMissTask(op), MissDone{&op});
+}
+
+coro::Task<void>
+MemSystem::accessMissTask(AccessBase &op)
+{
+    const sim::Addr line = l1_[op.node_].lineOf(op.addr_);
+    const sim::Addr w = wordOf(op.addr_);
+    switch (op.kind_) {
+      case OpKind::Load:
+        co_await fetchLine(op.node_, line, false,
+                           [&] { op.out_ = memory_.read64(w); });
+        break;
+      case OpKind::Store:
+        co_await fetchLine(op.node_, line, true,
+                           [&] { memory_.write64(w, op.arg0_); });
+        break;
+      case OpKind::FetchAdd:
+        co_await fetchLine(op.node_, line, true, [&] {
+            op.out_ = memory_.read64(w);
+            memory_.write64(w, op.out_ + op.arg0_);
+        });
+        break;
+      case OpKind::Swap:
+        co_await fetchLine(op.node_, line, true, [&] {
+            op.out_ = memory_.read64(w);
+            memory_.write64(w, op.arg0_);
+        });
+        break;
+      case OpKind::Cas:
+        co_await fetchLine(op.node_, line, true, [&] {
+            op.out_ = memory_.read64(w);
+            op.flag_ = op.out_ == op.arg0_;
+            if (op.flag_)
+                memory_.write64(w, op.arg1_);
+        });
+        break;
+    }
+}
+
+coro::Task<std::uint64_t>
+MemSystem::loadTask(sim::NodeId node, sim::Addr addr)
 {
     stats_.loads.inc();
     const sim::Addr line = l1_[node].lineOf(addr);
@@ -426,7 +619,8 @@ MemSystem::load(sim::NodeId node, sim::Addr addr)
 }
 
 coro::Task<void>
-MemSystem::store(sim::NodeId node, sim::Addr addr, std::uint64_t value)
+MemSystem::storeTask(sim::NodeId node, sim::Addr addr,
+                     std::uint64_t value)
 {
     stats_.stores.inc();
     const sim::Addr line = l1_[node].lineOf(addr);
@@ -448,7 +642,8 @@ MemSystem::store(sim::NodeId node, sim::Addr addr, std::uint64_t value)
 }
 
 coro::Task<std::uint64_t>
-MemSystem::fetchAdd(sim::NodeId node, sim::Addr addr, std::uint64_t delta)
+MemSystem::fetchAddTask(sim::NodeId node, sim::Addr addr,
+                        std::uint64_t delta)
 {
     stats_.rmws.inc();
     const sim::Addr line = l1_[node].lineOf(addr);
@@ -470,7 +665,8 @@ MemSystem::fetchAdd(sim::NodeId node, sim::Addr addr, std::uint64_t delta)
 }
 
 coro::Task<std::uint64_t>
-MemSystem::swap(sim::NodeId node, sim::Addr addr, std::uint64_t value)
+MemSystem::swapTask(sim::NodeId node, sim::Addr addr,
+                    std::uint64_t value)
 {
     stats_.rmws.inc();
     const sim::Addr line = l1_[node].lineOf(addr);
@@ -489,17 +685,11 @@ MemSystem::swap(sim::NodeId node, sim::Addr addr, std::uint64_t value)
         memory_.write64(w, value);
     });
     co_return old;
-}
-
-coro::Task<std::uint64_t>
-MemSystem::testAndSet(sim::NodeId node, sim::Addr addr)
-{
-    return swap(node, addr, 1);
 }
 
 coro::Task<CasResult>
-MemSystem::cas(sim::NodeId node, sim::Addr addr, std::uint64_t expected,
-               std::uint64_t desired)
+MemSystem::casTask(sim::NodeId node, sim::Addr addr,
+                   std::uint64_t expected, std::uint64_t desired)
 {
     stats_.rmws.inc();
     const sim::Addr line = l1_[node].lineOf(addr);

@@ -30,11 +30,11 @@
 #ifndef WISYNC_MEM_MEM_SYSTEM_HH
 #define WISYNC_MEM_MEM_SYSTEM_HH
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
-#include <vector>
 
 #include "coro/primitives.hh"
 #include "coro/task.hh"
@@ -43,6 +43,7 @@
 #include "mem/memory.hh"
 #include "noc/mesh.hh"
 #include "sim/engine.hh"
+#include "sim/env.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -65,6 +66,8 @@ struct MemConfig
     std::uint32_t ctrlBits = 80;
     /** Data message: 64 B line + header, bits. */
     std::uint32_t dataBits = 64 * 8 + 80;
+    /** Frameless L1-hit fast path (host-time only; cycle-exact). */
+    bool fastpath = sim::fastpathDefault();
 };
 
 /** Result of a compare-and-swap. */
@@ -88,6 +91,11 @@ struct MemStats
     sim::Counter dramFetches;
     sim::Counter l2Recalls;
     sim::Accumulator missLatency;
+    /** Accesses served frameless on the L1-hit fast path. */
+    sim::Counter fastpathHits;
+    /** Fast-path accesses that missed and fell into the coroutine
+     *  transaction (only counted while the fast path is enabled). */
+    sim::Counter fastpathFallbacks;
 
     /** Zero everything (assignment cannot miss a late-added field). */
     void reset() { *this = {}; }
@@ -96,8 +104,20 @@ struct MemStats
 /**
  * The coherent hierarchy for one simulated chip.
  *
- * Core-facing API: every operation is a coroutine resolving when the
+ * Core-facing API: every operation is an awaitable resolving when the
  * access commits. All value semantics are 64-bit words.
+ *
+ * With MemConfig::fastpath (default on, kill switch
+ * WISYNC_NO_FASTPATH=1) the five word operations return a frameless
+ * Access awaitable: the L1 round trip is one plain callback event —
+ * scheduled at the instant, and firing at the cycle, the coroutine's
+ * delay awaiter would — and an L1 hit commits and resumes the caller
+ * right there, with no coroutine frame at all. A miss falls into the
+ * ordinary fetchLine transaction *inside that same event* (the
+ * transaction coroutine starts inline and its completion resumes the
+ * caller inline, exactly where the nested-coroutine path would), so
+ * the event order — and therefore every simulated cycle — is
+ * bit-identical with the fast path on or off.
  */
 class MemSystem
 {
@@ -105,27 +125,128 @@ class MemSystem
     MemSystem(sim::Engine &engine, noc::Mesh &mesh, Memory &memory,
               std::uint32_t num_nodes, const MemConfig &cfg);
 
+    /** Destination/sharer list type shared with the mesh layer. */
+    using NodeVec = noc::Mesh::NodeVec;
+
+    /** The five word-access operations (see Access below). */
+    enum class OpKind : std::uint8_t
+    {
+        Load,
+        Store,
+        FetchAdd,
+        Swap,
+        Cas,
+    };
+
+    /** Type-independent state of one in-flight fast-path access. */
+    class AccessBase
+    {
+      protected:
+        AccessBase() = default;
+        AccessBase(MemSystem &ms, OpKind kind, sim::NodeId node,
+                   sim::Addr addr, std::uint64_t arg0, std::uint64_t arg1)
+            : ms_(&ms), node_(node), addr_(addr), arg0_(arg0),
+              arg1_(arg1), kind_(kind)
+        {}
+
+        friend class MemSystem;
+
+        MemSystem *ms_ = nullptr;
+        sim::NodeId node_ = 0;
+        sim::Addr addr_ = 0;
+        std::uint64_t arg0_ = 0; ///< store value / delta / CAS expected
+        std::uint64_t arg1_ = 0; ///< CAS desired
+        OpKind kind_ = OpKind::Load;
+        std::coroutine_handle<> caller_;
+        sim::Cycle t0_ = 0;      ///< miss start, for missLatency
+        std::uint64_t out_ = 0;  ///< loaded / previous value
+        bool flag_ = false;      ///< CAS comparison outcome
+    };
+
+    /**
+     * Awaitable returned by the word operations.
+     *
+     * Fast mode carries the operation inline (no coroutine frame);
+     * slow mode (fast path disabled) wraps the classic Task coroutine
+     * and delegates to it via symmetric transfer, byte-for-byte the
+     * old behavior. Must be awaited exactly once, in the statement
+     * that created it (the standard `co_await mem.load(...)` shape).
+     */
+    template <typename T>
+    class [[nodiscard]] Access : public AccessBase
+    {
+      public:
+        explicit Access(coro::Task<T> task) : task_(std::move(task)) {}
+        Access(MemSystem &ms, OpKind kind, sim::NodeId node,
+               sim::Addr addr, std::uint64_t arg0, std::uint64_t arg1)
+            : AccessBase(ms, kind, node, addr, arg0, arg1)
+        {}
+
+        bool
+        await_ready() const noexcept
+        {
+            return task_.valid() && task_.done();
+        }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> h)
+        {
+            if (task_.valid()) {
+                auto th = task_.raw();
+                th.promise().continuation = h;
+                return th; // start the task, as co_await task would
+            }
+            caller_ = h;
+            // The L1 round trip: one callback event, scheduled here —
+            // the same instant the coroutine's delay awaiter would
+            // claim its sequence number.
+            ms_->engine_.scheduleIn(ms_->cfg_.l1RtCycles, FireFn{this});
+            return std::noop_coroutine();
+        }
+
+        T
+        await_resume()
+        {
+            if (task_.valid())
+                return task_.raw().promise().result();
+            if constexpr (std::is_same_v<T, CasResult>)
+                return CasResult{out_, flag_};
+            else if constexpr (!std::is_void_v<T>)
+                return out_;
+        }
+
+      private:
+        /** 8-byte POD callback: always in the event slot's SBO. */
+        struct FireFn
+        {
+            AccessBase *op;
+            void operator()() const { op->ms_->finishAccess(*op); }
+        };
+
+        coro::Task<T> task_;
+    };
+
     /** Coherent 64-bit load. */
-    coro::Task<std::uint64_t> load(sim::NodeId node, sim::Addr addr);
+    Access<std::uint64_t> load(sim::NodeId node, sim::Addr addr);
 
     /** Coherent 64-bit store (completes when M state is held). */
-    coro::Task<void> store(sim::NodeId node, sim::Addr addr,
-                           std::uint64_t value);
+    Access<void> store(sim::NodeId node, sim::Addr addr,
+                       std::uint64_t value);
 
     /** Atomic fetch-and-add; returns the previous value. */
-    coro::Task<std::uint64_t> fetchAdd(sim::NodeId node, sim::Addr addr,
-                                       std::uint64_t delta);
+    Access<std::uint64_t> fetchAdd(sim::NodeId node, sim::Addr addr,
+                                   std::uint64_t delta);
 
     /** Atomic swap; returns the previous value. */
-    coro::Task<std::uint64_t> swap(sim::NodeId node, sim::Addr addr,
-                                   std::uint64_t value);
+    Access<std::uint64_t> swap(sim::NodeId node, sim::Addr addr,
+                               std::uint64_t value);
 
     /** Atomic test-and-set (sets to 1); returns the previous value. */
-    coro::Task<std::uint64_t> testAndSet(sim::NodeId node, sim::Addr addr);
+    Access<std::uint64_t> testAndSet(sim::NodeId node, sim::Addr addr);
 
     /** Atomic compare-and-swap. */
-    coro::Task<CasResult> cas(sim::NodeId node, sim::Addr addr,
-                              std::uint64_t expected, std::uint64_t desired);
+    Access<CasResult> cas(sim::NodeId node, sim::Addr addr,
+                          std::uint64_t expected, std::uint64_t desired);
 
     /**
      * Event-driven spin: loads @p addr, returns once pred(value) holds;
@@ -183,10 +304,31 @@ class MemSystem
 
     DirEntry &dirEntry(sim::Addr line);
 
+    /** The classic coroutine bodies behind the Access facade (the
+     *  kill-switch / non-fastpath path, byte-identical to pre-fastpath
+     *  behavior). */
+    coro::Task<std::uint64_t> loadTask(sim::NodeId node, sim::Addr addr);
+    coro::Task<void> storeTask(sim::NodeId node, sim::Addr addr,
+                               std::uint64_t value);
+    coro::Task<std::uint64_t> fetchAddTask(sim::NodeId node,
+                                           sim::Addr addr,
+                                           std::uint64_t delta);
+    coro::Task<std::uint64_t> swapTask(sim::NodeId node, sim::Addr addr,
+                                       std::uint64_t value);
+    coro::Task<CasResult> casTask(sim::NodeId node, sim::Addr addr,
+                                  std::uint64_t expected,
+                                  std::uint64_t desired);
+
+    /** Fast-path L1 round-trip completion: commit a hit frameless or
+     *  fall into the coroutine transaction inside the same event. */
+    void finishAccess(AccessBase &op);
+
+    /** The miss/upgrade continuation of a fast-path access. */
+    coro::Task<void> accessMissTask(AccessBase &op);
+
     bool sharerTest(const DirEntry &e, sim::NodeId n) const;
     void sharerSet(DirEntry &e, sim::NodeId n, bool v);
-    std::vector<sim::NodeId> sharerList(const DirEntry &e,
-                                        sim::NodeId exclude) const;
+    NodeVec sharerList(const DirEntry &e, sim::NodeId exclude) const;
 
     /** Per-(node,line) invalidation events for spinUntil. */
     coro::VersionedEvent &watch(sim::NodeId node, sim::Addr line);
@@ -216,9 +358,12 @@ class MemSystem
                               sim::NodeId requestor, sim::Addr line,
                               bool with_data);
 
-    /** Baseline+ invalidation: tree multicast, then parallel acks. */
-    coro::Task<void> treeInvLeg(sim::NodeId home,
-                                std::vector<sim::NodeId> targets,
+    /**
+     * Baseline+ invalidation: tree multicast, then parallel acks.
+     * @p targets is borrowed — it lives in the caller's suspended
+     * frame for the whole leg (fetchLine awaits all legs).
+     */
+    coro::Task<void> treeInvLeg(sim::NodeId home, const NodeVec &targets,
                                 sim::NodeId requestor, sim::Addr line);
 
     /** Data leg from the home bank (after optional DRAM fill). */

@@ -75,29 +75,122 @@ Mesh::linkId(sim::NodeId a, sim::NodeId b) const
     WISYNC_PANIC("linkId of non-adjacent nodes %u -> %u", a, b);
 }
 
-std::vector<std::size_t>
+Mesh::LinkVec
 Mesh::route(sim::NodeId src, sim::NodeId dst) const
 {
-    std::vector<std::size_t> path;
+    LinkVec path;
     sim::NodeId cur = src;
     // X first, then Y (dimension-order routing).
     while (xOf(cur) != xOf(dst)) {
         const sim::NodeId next =
             nodeAt(xOf(cur) + (xOf(dst) > xOf(cur) ? 1 : -1), yOf(cur));
-        path.push_back(linkId(cur, next));
+        path.push_back(static_cast<std::uint32_t>(linkId(cur, next)));
         cur = next;
     }
     while (yOf(cur) != yOf(dst)) {
         const sim::NodeId next =
             nodeAt(xOf(cur), yOf(cur) + (yOf(dst) > yOf(cur) ? 1 : -1));
-        path.push_back(linkId(cur, next));
+        path.push_back(static_cast<std::uint32_t>(linkId(cur, next)));
         cur = next;
     }
     return path;
 }
 
+/**
+ * Frameless head-flit driver for the uncontended case.
+ *
+ * Awaited by send(); lives in send()'s (pooled) frame across the
+ * single suspension. Each step runs at the cycle the wormhole
+ * coroutine's head would reach that router — and, crucially, is
+ * *scheduled* at the same instant the coroutine's per-hop delay would
+ * be, so every insertion-sequence number the outside world can race
+ * against is unchanged. A free link is taken as a timed reservation
+ * (no release event unless a contender queues); a held link converts
+ * the remaining route to the wormhole coroutine inside the same event,
+ * putting the head into the link's FIFO exactly where the slow path
+ * would have.
+ */
+class Mesh::FastTransfer
+{
+  public:
+    FastTransfer(Mesh &mesh, sim::NodeId src, sim::NodeId dst,
+                 std::uint32_t flits)
+        : mesh_(mesh), cur_(src), dst_(dst), flits_(flits)
+    {}
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        caller_ = h;
+        // The head enters the first link inline, in the co_await's own
+        // event — where transferAlong's first lock() would run.
+        step();
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    /** POD callback wrappers: 8 bytes, always in the event's SBO. */
+    struct StepFn
+    {
+        FastTransfer *t;
+        void operator()() const { t->step(); }
+    };
+    struct FinishFn
+    {
+        FastTransfer *t;
+        void operator()() const { t->finish(); }
+    };
+
+    void
+    step()
+    {
+        const sim::NodeId next = mesh_.nextHop(cur_, dst_);
+        coro::SimMutex &link = *mesh_.links_[mesh_.linkId(cur_, next)];
+        // The link is busy until the tail flit crosses it (the same
+        // window transferAlong's scheduleUnlock(flits) would hold).
+        if (!link.tryReserve(mesh_.engine_.now() + flits_)) {
+            // Held: the rest of the route goes through the wormhole
+            // coroutine, whose first lock attempt enqueues here — in
+            // this very event — exactly as the slow path's would.
+            mesh_.stats_.fastpathFallbacks.inc();
+            coro::spawnInline(
+                mesh_.engine_,
+                mesh_.transferAlong(mesh_.route(cur_, dst_), flits_),
+                [this] { caller_.resume(); });
+            return;
+        }
+        cur_ = next;
+        if (cur_ == dst_)
+            mesh_.engine_.scheduleIn(mesh_.cfg_.hopCycles, FinishFn{this});
+        else
+            mesh_.engine_.scheduleIn(mesh_.cfg_.hopCycles, StepFn{this});
+    }
+
+    void
+    finish()
+    {
+        // Head arrived; the tail is flits-1 cycles behind. Single-flit
+        // messages resume the sender inside this event, matching the
+        // slow path's zero-cycle delay awaiter.
+        mesh_.stats_.fastpathHits.inc();
+        if (flits_ > 1)
+            mesh_.engine_.resumeHandle(flits_ - 1, caller_);
+        else
+            caller_.resume();
+    }
+
+    Mesh &mesh_;
+    sim::NodeId cur_;
+    sim::NodeId dst_;
+    std::uint32_t flits_;
+    std::coroutine_handle<> caller_;
+};
+
 coro::Task<void>
-Mesh::transferAlong(std::vector<std::size_t> path, std::uint32_t flits)
+Mesh::transferAlong(LinkVec path, std::uint32_t flits)
 {
     for (const auto link : path) {
         co_await links_[link]->lock();
@@ -123,6 +216,12 @@ Mesh::send(sim::NodeId src, sim::NodeId dst, std::uint32_t bits)
     if (src == dst) {
         // Local turnaround through the node's port.
         co_await coro::delay(engine_, 1);
+    } else if (cfg_.fastpath && cfg_.hopCycles > 0) {
+        // hopCycles == 0 must stay on the wormhole path: its delay(0)
+        // awaiters complete inline, locking the whole route in one
+        // event, whereas the step chain would round-trip each hop
+        // through the ready ring — a different same-cycle grant order.
+        co_await FastTransfer(*this, src, dst, flits);
     } else {
         co_await transferAlong(route(src, dst), flits);
     }
@@ -136,10 +235,9 @@ Mesh::tailDelay(std::uint32_t flits)
 }
 
 coro::Task<void>
-Mesh::treeDeliver(sim::NodeId cur, std::vector<sim::NodeId> dsts,
-                  std::uint32_t flits)
+Mesh::treeDeliver(sim::NodeId cur, NodeVec dsts, std::uint32_t flits)
 {
-    std::vector<sim::NodeId> east, west, north, south;
+    NodeVec east, west, north, south;
     bool here = false;
     for (const auto d : dsts) {
         if (d == cur) {
@@ -155,8 +253,8 @@ Mesh::treeDeliver(sim::NodeId cur, std::vector<sim::NodeId> dsts,
         }
     }
 
-    std::vector<coro::Task<void>> branches;
-    auto descend = [&](std::vector<sim::NodeId> group) -> coro::Task<void> {
+    sim::InlineVec<coro::Task<void>, 4> branches;
+    auto descend = [&](NodeVec group) -> coro::Task<void> {
         const sim::NodeId next =
             xOf(group.front()) > xOf(cur)   ? nodeAt(xOf(cur) + 1, yOf(cur))
             : xOf(group.front()) < xOf(cur) ? nodeAt(xOf(cur) - 1, yOf(cur))
@@ -187,7 +285,7 @@ Mesh::treeDeliver(sim::NodeId cur, std::vector<sim::NodeId> dsts,
 }
 
 coro::Task<void>
-Mesh::multicast(sim::NodeId src, std::vector<sim::NodeId> dsts,
+Mesh::multicast(sim::NodeId src, std::span<const sim::NodeId> dsts,
                 std::uint32_t bits)
 {
     if (dsts.empty())
@@ -198,13 +296,17 @@ Mesh::multicast(sim::NodeId src, std::vector<sim::NodeId> dsts,
     if (cfg_.treeMulticast) {
         stats_.messages.inc();
         stats_.flits.inc(flits);
-        co_await treeDeliver(src, std::move(dsts), flits);
+        NodeVec targets;
+        targets.reserve(dsts.size());
+        for (const auto d : dsts)
+            targets.push_back(d);
+        co_await treeDeliver(src, std::move(targets), flits);
         co_return;
     }
 
     // Serial replication at the source: one unicast per destination,
     // injected one per cycle through the node's port.
-    std::vector<coro::Task<void>> sends;
+    sim::InlineVec<coro::Task<void>, 8> sends;
     sends.reserve(dsts.size());
     auto one = [this, src, bits](sim::NodeId dst) -> coro::Task<void> {
         co_await inject_[src]->lock();

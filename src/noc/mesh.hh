@@ -17,19 +17,37 @@
  *  - tree:    a single message is replicated at fan-out routers
  *    (`Baseline+`'s "virtual tree-based broadcast ... with flit
  *    replication at the router crossbars", Krishna et al. [22]).
+ *
+ * Uncontended fast path (MeshConfig::fastpath, default on, kill switch
+ * WISYNC_NO_FASTPATH=1): send() drives the head flit down the route
+ * with a frameless step chain — one plain callback event per hop, at
+ * exactly the cycles (and scheduling instants) the wormhole
+ * coroutine's per-hop awaits would occupy — taking each link as a
+ * timed SimMutex reservation instead of lock()+scheduleUnlock. An
+ * uncontended unicast therefore costs hops+2 events, no coroutine
+ * frame beyond send() itself and zero heap allocations (no route
+ * vector, no release events: a reservation's release is materialized
+ * lazily, at the identical cycle, only if a contender queues on the
+ * link). The moment any link is found held, the remaining route falls
+ * back to the wormhole coroutine inside the same engine event, so the
+ * blocked head enqueues FIFO exactly where the slow path's would —
+ * contention semantics, and therefore timing, are bit-for-bit
+ * unchanged.
  */
 
 #ifndef WISYNC_NOC_MESH_HH
 #define WISYNC_NOC_MESH_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "coro/primitives.hh"
 #include "coro/task.hh"
 #include "sim/engine.hh"
+#include "sim/env.hh"
+#include "sim/inline_vec.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -45,6 +63,8 @@ struct MeshConfig
     std::uint32_t linkBits = 128;
     /** Replicate flits at fan-out routers for multicast (Baseline+). */
     bool treeMulticast = false;
+    /** Uncontended-route fast path (host-time only; cycle-exact). */
+    bool fastpath = sim::fastpathDefault();
 };
 
 /** Aggregated network statistics. */
@@ -54,6 +74,11 @@ struct MeshStats
     sim::Counter flits;
     sim::Counter multicasts;
     sim::Accumulator latency;
+    /** Unicasts whose whole route was driven by the frameless chain. */
+    sim::Counter fastpathHits;
+    /** Unicasts that hit a held link and converted to the wormhole
+     *  coroutine (only counted while the fast path is enabled). */
+    sim::Counter fastpathFallbacks;
 
     /** Zero everything (assignment cannot miss a late-added field). */
     void reset() { *this = {}; }
@@ -68,6 +93,11 @@ struct MeshStats
 class Mesh
 {
   public:
+    /** XY routes fit inline up to a 17-wide grid (2*(width-1) hops). */
+    using LinkVec = sim::InlineVec<std::uint32_t, 32>;
+    /** Destination lists fit inline up to the Table 1 64-node chip. */
+    using NodeVec = sim::InlineVec<sim::NodeId, 64>;
+
     Mesh(sim::Engine &engine, const MeshConfig &cfg);
 
     /** Grid side length (smallest square holding numNodes). */
@@ -86,9 +116,11 @@ class Mesh
     /**
      * Deliver @p bits to every destination; resolves when the last
      * destination has the message. Mode depends on cfg.treeMulticast.
+     * @p dsts is a view — the backing storage must outlive the await
+     * (it always lives in the caller's suspended frame).
      */
     coro::Task<void> multicast(sim::NodeId src,
-                               std::vector<sim::NodeId> dsts,
+                               std::span<const sim::NodeId> dsts,
                                std::uint32_t bits);
 
     /** Zero-load latency of a unicast, for calibration tests. */
@@ -101,9 +133,10 @@ class Mesh
     /**
      * Return to post-construction state, optionally retiming: frees
      * all links/ports and zeroes stats. @p cfg may change timing knobs
-     * (hopCycles, linkBits, treeMulticast) but must keep numNodes.
-     * Callers (Machine::reset) must have destroyed in-flight transfer
-     * coroutines first — link mutexes are cleared, not handed off.
+     * (hopCycles, linkBits, treeMulticast, fastpath) but must keep
+     * numNodes. Callers (Machine::reset) must have destroyed in-flight
+     * transfer coroutines first — link mutexes are cleared, not handed
+     * off.
      */
     void reset(const MeshConfig &cfg);
 
@@ -120,18 +153,29 @@ class Mesh
     /** Directional link id from node @p a to adjacent node @p b. */
     std::size_t linkId(sim::NodeId a, sim::NodeId b) const;
 
-    /** XY route as a list of directional link ids. */
-    std::vector<std::size_t> route(sim::NodeId src, sim::NodeId dst) const;
+    /** Next node on the XY route from @p cur toward @p dst. */
+    sim::NodeId
+    nextHop(sim::NodeId cur, sim::NodeId dst) const
+    {
+        if (xOf(cur) != xOf(dst))
+            return nodeAt(xOf(cur) + (xOf(dst) > xOf(cur) ? 1 : -1),
+                          yOf(cur));
+        return nodeAt(xOf(cur), yOf(cur) + (yOf(dst) > yOf(cur) ? 1 : -1));
+    }
 
-    coro::Task<void> transferAlong(std::vector<std::size_t> path,
-                                   std::uint32_t flits);
+    /** XY route as a list of directional link ids. */
+    LinkVec route(sim::NodeId src, sim::NodeId dst) const;
+
+    /** Frameless uncontended-transfer driver (awaiter; see mesh.cc). */
+    class FastTransfer;
+
+    coro::Task<void> transferAlong(LinkVec path, std::uint32_t flits);
 
     /** Tail-flit arrival delay (flits-1 cycles). */
     coro::Task<void> tailDelay(std::uint32_t flits);
 
     /** Recursive XY-tree delivery used in tree-multicast mode. */
-    coro::Task<void> treeDeliver(sim::NodeId cur,
-                                 std::vector<sim::NodeId> dsts,
+    coro::Task<void> treeDeliver(sim::NodeId cur, NodeVec dsts,
                                  std::uint32_t flits);
 
     sim::Engine &engine_;

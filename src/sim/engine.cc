@@ -170,9 +170,38 @@ Engine::reset()
     far_.clear();
     now_ = 0;
     nextSeq_ = 0;
+    currentSeq_ = 0;
     eventsExecuted_ = 0;
     stopped_ = false;
     tierStats_ = TierStats{};
+}
+
+void
+Engine::scheduleReserved(Cycle when, std::uint64_t seq, UniqueFunction fn)
+{
+    assert(when >= now_ && "cannot schedule a reserved event in the past");
+    Slot s{std::move(fn), nullptr, 0};
+    s.seq = seq;
+    if (when > now_) {
+        // A later cycle: normal placement. The level-0 bucket list may
+        // now be seq-unordered; stageCurrentCycle()'s sort restores
+        // global insertion order before execution.
+        place(when, std::move(s), /*cascade=*/false);
+        return;
+    }
+    // Same cycle: the slot's reserved seq is ahead of the event being
+    // executed (callers materialize from inside an event that checked
+    // currentSeq() < seq), so it belongs in the undrained tail of the
+    // staged bucket. Ready-ring events all carry seqs assigned this
+    // cycle — necessarily above any reserved-at-an-earlier-cycle seq —
+    // so this situation can only arise mid-stage.
+    assert(curBucket_ != nullptr && seq > currentSeq_ &&
+           "same-cycle reserved event outside the staged drain");
+    auto it = curBucket_->begin() +
+              static_cast<std::ptrdiff_t>(curIdx_);
+    while (it != curBucket_->end() && it->seq < seq)
+        ++it;
+    curBucket_->insert(it, std::move(s));
 }
 
 unsigned
@@ -346,10 +375,13 @@ Engine::run(Cycle limit)
         // staged).
         if (curBucket_ != nullptr) {
             while (curIdx_ < curBucket_->size()) {
-                Slot &s = (*curBucket_)[curIdx_++];
+                // Move the slot out before invoking: the callback may
+                // splice a same-cycle reserved event into the bucket
+                // (scheduleReserved), relocating the storage.
+                Slot s = std::move((*curBucket_)[curIdx_++]);
                 ++eventsExecuted_;
+                currentSeq_ = s.seq;
                 s.invoke();
-                s.fn = UniqueFunction(); // destroy payload promptly
                 if (stopped_)
                     return pendingEvents() == 0;
             }
@@ -360,6 +392,7 @@ Engine::run(Cycle limit)
         while (!ready_.empty()) {
             Slot s = ready_.pop();
             ++eventsExecuted_;
+            currentSeq_ = s.seq;
             s.invoke();
             if (stopped_)
                 return pendingEvents() == 0;

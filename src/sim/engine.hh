@@ -125,6 +125,40 @@ class Engine
         scheduleSlot(now_ + delta, Slot{UniqueFunction{}, h.address(), 0});
     }
 
+    // ---- Reserved-sequence (deferred) events -------------------------
+    //
+    // A component that *may* need an event at a known future cycle can
+    // claim its place in the deterministic execution order now and
+    // only pay for the event if it turns out to be needed: reserveSeq()
+    // consumes the next insertion-sequence number without scheduling
+    // anything, and scheduleReserved() later files a callback under
+    // that saved number. Execution order is exactly as if the event
+    // had been scheduled eagerly at reservation time — the (cycle,
+    // seq) contract is indifferent to *when* the slot was filed — so
+    // optimizations like SimMutex's lazily-materialized releases are
+    // bit-exact, including the order in which same-cycle events run.
+
+    /** Claim the next insertion-sequence number without an event. */
+    std::uint64_t reserveSeq() { return nextSeq_++; }
+
+    /**
+     * Insertion-sequence number of the event currently executing.
+     * Meaningful only inside a callback/resume invoked by run(); used
+     * to decide whether a reserved-seq event logically "already ran"
+     * within the current cycle.
+     */
+    std::uint64_t currentSeq() const { return currentSeq_; }
+
+    /**
+     * File @p fn at absolute cycle @p when under the previously
+     * reserved @p seq. @p when must be >= now(); when == now() is only
+     * legal while the current cycle's staged bucket is still draining
+     * and @p seq is still ahead of currentSeq() (the materialize-on-
+     * demand pattern guarantees both).
+     */
+    void scheduleReserved(Cycle when, std::uint64_t seq,
+                          UniqueFunction fn);
+
     /**
      * Run until the event queue drains or @p limit is reached.
      *
@@ -434,10 +468,13 @@ class Engine
     void cascadeWheelBucket(Wheel &w, unsigned idx);
 
     // Tier 1: same-cycle ring + a cursor over the level-0 bucket being
-    // executed in place. In-place execution is safe: a callback can
-    // never insert into the bucket under the cursor (same-cycle events
-    // go to the ring; the same index in the next block is outside the
-    // level-0 window), so the vector cannot reallocate mid-drain.
+    // executed in place. Ordinary scheduling can never insert into the
+    // bucket under the cursor (same-cycle events go to the ring; the
+    // same index in the next block is outside the level-0 window); the
+    // one exception is scheduleReserved() materializing a same-cycle
+    // deferred event, which splices into the undrained tail — the
+    // drain loop moves each slot out before invoking it, so the splice
+    // is safe.
     ReadyRing ready_;
     std::vector<Slot> *curBucket_ = nullptr;
     std::size_t curIdx_ = 0;
@@ -471,6 +508,7 @@ class Engine
 
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t currentSeq_ = 0;
     std::uint64_t eventsExecuted_ = 0;
     bool stopped_ = false;
     TierStats tierStats_;

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Small vector with inline capacity.
+ *
+ * The per-message hot paths (mesh routes, multicast destination lists,
+ * directory sharer lists, parallel transaction legs) build short,
+ * bounded sequences thousands of times per simulated kernel; a
+ * std::vector pays a heap allocation for each. InlineVec stores up to
+ * N elements in the object itself — which usually lives in a pooled
+ * coroutine frame — and only touches the allocator when a sequence
+ * outgrows the inline buffer (large meshes, chip-wide invalidation
+ * storms), so the common case is allocation-free while correctness is
+ * unbounded.
+ *
+ * Deliberately minimal: grow-only capacity, no copy (the model moves
+ * ownership or passes views), clear() keeps the spilled buffer so a
+ * reused vector stays warm. Supports move-only element types (Task
+ * handles) as well as trivial ones (link ids, node ids).
+ */
+
+#ifndef WISYNC_SIM_INLINE_VEC_HH
+#define WISYNC_SIM_INLINE_VEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wisync::sim {
+
+template <typename T, std::size_t N>
+class InlineVec
+{
+    static_assert(N > 0, "inline capacity must be nonzero");
+    static_assert(std::is_nothrow_move_constructible_v<T>,
+                  "growth relocates by move; it must not throw");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    InlineVec() = default;
+
+    InlineVec(InlineVec &&other) noexcept { moveFrom(other); }
+
+    InlineVec &
+    operator=(InlineVec &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            releaseHeap();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineVec(const InlineVec &) = delete;
+    InlineVec &operator=(const InlineVec &) = delete;
+
+    ~InlineVec()
+    {
+        destroyAll();
+        releaseHeap();
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return cap_; }
+    /** True while no element has spilled out of the inline buffer. */
+    bool inlineStorage() const { return data_ == inlinePtr(); }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    T &front() { return data_[0]; }
+    const T &front() const { return data_[0]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    void
+    push_back(T v)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        ::new (static_cast<void *>(data_ + size_)) T(std::move(v));
+        ++size_;
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        T *slot = ::new (static_cast<void *>(data_ + size_))
+            T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    void
+    pop_back()
+    {
+        --size_;
+        data_[size_].~T();
+    }
+
+    void
+    reserve(std::size_t want)
+    {
+        if (want > cap_)
+            grow(want);
+    }
+
+    /** Drop all elements; inline or spilled capacity is retained. */
+    void
+    clear()
+    {
+        destroyAll();
+        size_ = 0;
+    }
+
+  private:
+    T *inlinePtr() { return std::launder(reinterpret_cast<T *>(inline_)); }
+    const T *
+    inlinePtr() const
+    {
+        return std::launder(reinterpret_cast<const T *>(inline_));
+    }
+
+    void
+    grow(std::size_t want)
+    {
+        const std::size_t cap = want < 2 * cap_ ? 2 * cap_ : want;
+        T *heap = static_cast<T *>(
+            ::operator new(cap * sizeof(T), std::align_val_t{alignof(T)}));
+        for (std::size_t i = 0; i < size_; ++i) {
+            ::new (static_cast<void *>(heap + i)) T(std::move(data_[i]));
+            data_[i].~T();
+        }
+        releaseHeap();
+        data_ = heap;
+        cap_ = cap;
+    }
+
+    void
+    destroyAll()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            data_[i].~T();
+    }
+
+    void
+    releaseHeap()
+    {
+        if (data_ != inlinePtr())
+            ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+
+    /** Steal @p other's contents; *this must be empty/unowned. */
+    void
+    moveFrom(InlineVec &other) noexcept
+    {
+        if (!other.inlineStorage()) {
+            // Steal the spilled buffer wholesale.
+            data_ = std::exchange(other.data_, other.inlinePtr());
+            cap_ = std::exchange(other.cap_, N);
+            size_ = std::exchange(other.size_, 0);
+            return;
+        }
+        data_ = inlinePtr();
+        cap_ = N;
+        size_ = other.size_;
+        for (std::size_t i = 0; i < size_; ++i) {
+            ::new (static_cast<void *>(data_ + i))
+                T(std::move(other.data_[i]));
+            other.data_[i].~T();
+        }
+        other.size_ = 0;
+    }
+
+    alignas(T) std::byte inline_[N * sizeof(T)];
+    T *data_ = inlinePtr();
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+};
+
+} // namespace wisync::sim
+
+#endif // WISYNC_SIM_INLINE_VEC_HH

@@ -1,6 +1,7 @@
 #include "sim/logging.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace wisync::sim::detail {
 

@@ -11,7 +11,6 @@
 #define WISYNC_SIM_LOGGING_HH
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <utility>
 

@@ -14,7 +14,6 @@
 #include <map>
 #include <ostream>
 #include <string>
-#include <vector>
 
 #include "sim/types.hh"
 

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <vector>
 
 #include "sync/primitives.hh"
 

@@ -26,6 +26,34 @@ DataChannel::reset(const WirelessConfig &cfg)
     stats_.reset();
 }
 
+namespace {
+
+/** Route an outcome to whichever completion sink the Pending carries. */
+void
+complete(DataChannel::Pending *p, DataChannel::Outcome outcome)
+{
+    if (p->done != nullptr)
+        p->done->set(outcome);
+    else
+        p->fast->complete(outcome);
+}
+
+} // namespace
+
+void
+DataChannel::joinSlot(Pending &p)
+{
+    WISYNC_ASSERT(engine_.now() >= nextFree_,
+                  "joinSlot while the channel is busy");
+    if (openSlot_ != engine_.now()) {
+        openSlot_ = engine_.now();
+        slotAttempts_.clear();
+        // Arbitrate after every same-cycle attempt has registered.
+        engine_.scheduleIn(0, [this] { arbitrate(); });
+    }
+    slotAttempts_.push_back(&p);
+}
+
 coro::Task<DataChannel::Outcome>
 DataChannel::attempt(sim::NodeId src, bool bulk, sim::UniqueFunction &deliver,
                      const std::function<bool()> *abort)
@@ -36,46 +64,43 @@ DataChannel::attempt(sim::NodeId src, bool bulk, sim::UniqueFunction &deliver,
     while (engine_.now() < nextFree_)
         co_await coro::delay(engine_, nextFree_ - engine_.now());
 
-    Pending pending(engine_);
+    coro::Future<Outcome> done(engine_);
+    Pending pending;
     pending.bulk = bulk;
     pending.deliver = &deliver;
     pending.abort = abort;
-
-    if (openSlot_ != engine_.now()) {
-        openSlot_ = engine_.now();
-        slotAttempts_.clear();
-        // Arbitrate after every same-cycle attempt has registered.
-        engine_.scheduleIn(0, [this] { arbitrate(); });
-    }
-    slotAttempts_.push_back(&pending);
-    co_return co_await pending.done;
+    pending.done = &done;
+    joinSlot(pending);
+    co_return co_await done;
 }
 
 void
 DataChannel::arbitrate()
 {
-    std::vector<Pending *> attempts = std::move(slotAttempts_);
-    slotAttempts_.clear();
+    // Double-buffer the attempt list (both vectors keep their
+    // capacity) and compact the abort survivors in place, so steady-
+    // state arbitration is allocation-free.
+    arbScratch_.clear();
+    arbScratch_.swap(slotAttempts_);
     openSlot_ = sim::kCycleMax;
-    if (attempts.empty())
+    if (arbScratch_.empty())
         return;
 
     // AFB semantics: a transmission whose abort predicate holds when
     // the write is attempted never reaches the air.
-    std::vector<Pending *> live;
-    live.reserve(attempts.size());
-    for (Pending *p : attempts) {
+    std::size_t live = 0;
+    for (Pending *p : arbScratch_) {
         if (p->abort && (*p->abort)())
-            p->done.set(Outcome::Aborted);
+            complete(p, Outcome::Aborted);
         else
-            live.push_back(p);
+            arbScratch_[live++] = p;
     }
-    attempts = std::move(live);
-    if (attempts.empty())
+    arbScratch_.resize(live);
+    if (arbScratch_.empty())
         return;
 
-    if (attempts.size() == 1) {
-        Pending *p = attempts.front();
+    if (arbScratch_.size() == 1) {
+        Pending *p = arbScratch_.front();
         const std::uint32_t dur =
             p->bulk ? cfg_.bulkCycles : cfg_.dataCycles;
         nextFree_ = engine_.now() + dur;
@@ -88,7 +113,7 @@ DataChannel::arbitrate()
         engine_.scheduleIn(dur, [p] {
             if (*p->deliver)
                 (*p->deliver)();
-            p->done.set(Outcome::Delivered);
+            complete(p, Outcome::Delivered);
         });
         return;
     }
@@ -101,9 +126,9 @@ DataChannel::arbitrate()
     nextFree_ = engine_.now() + cfg_.collisionCycles;
     stats_.collisions.inc();
     stats_.busyCycles.inc(cfg_.collisionCycles);
-    for (Pending *p : attempts)
+    for (Pending *p : arbScratch_)
         engine_.scheduleIn(cfg_.collisionCycles,
-                           [p] { p->done.set(Outcome::Collided); });
+                           [p] { complete(p, Outcome::Collided); });
 }
 
 Mac::Mac(sim::Engine &engine, DataChannel &channel, MacProtocol &protocol,
@@ -122,13 +147,10 @@ Mac::reset(MacProtocol &protocol, sim::Rng rng)
 }
 
 coro::Task<void>
-Mac::send(bool bulk, sim::UniqueFunction deliver,
-          const std::function<bool()> *abort)
+Mac::sendLoop(bool bulk, sim::UniqueFunction &deliver,
+              const std::function<bool()> *abort,
+              sim::Cycle first_attempt)
 {
-    // A node's broadcasts are strictly ordered (§4.2.1: no subsequent
-    // store proceeds until the current one performed).
-    co_await order_.lock();
-    const sim::Cycle first_attempt = engine_.now();
     for (;;) {
         co_await protocol_->acquire(node_);
         if (abort && (*abort)()) {
@@ -154,6 +176,60 @@ Mac::send(bool bulk, sim::UniqueFunction deliver,
             channel_.noteDelivery(first_attempt);
         break;
     }
+}
+
+coro::Task<void>
+Mac::send(bool bulk, sim::UniqueFunction deliver,
+          const std::function<bool()> *abort)
+{
+    // Uncontended fast path: the node has no broadcast in flight, the
+    // channel is joinable this cycle and the MAC protocol can grant
+    // without waiting — skip the acquire/attempt coroutine frames and
+    // the outcome future; the slot protocol itself (registration,
+    // arbitration event, collision detection) is shared with the slow
+    // path, so mixed fast/slow slots arbitrate exactly as before.
+    if (channel_.config().fastpath) {
+        if (engine_.now() >= channel_.nextFree() && order_.tryLock()) {
+            if (!protocol_->tryAcquire(node_)) {
+                order_.unlock();
+            } else {
+                channel_.noteFastpathHit();
+                const sim::Cycle first_attempt = engine_.now();
+                if (abort && (*abort)()) {
+                    // AFB abort before reaching the channel: drop the
+                    // claim, zero suspensions — as the slow path's
+                    // inline acquire/abort-check sequence would.
+                    protocol_->release(node_, false);
+                    order_.unlock();
+                    co_return;
+                }
+                DataChannel::FastAttempt fa(channel_, bulk, &deliver,
+                                            abort);
+                const auto outcome = co_await fa;
+                if (outcome != DataChannel::Outcome::Collided) {
+                    protocol_->release(
+                        node_,
+                        outcome == DataChannel::Outcome::Delivered);
+                    if (outcome == DataChannel::Outcome::Delivered)
+                        channel_.noteDelivery(first_attempt);
+                    order_.unlock();
+                    co_return;
+                }
+                // Collided: back off and fall into the generic retry
+                // loop, order_ still held.
+                retries_.inc();
+                co_await protocol_->onCollision(node_, rng_);
+                co_await sendLoop(bulk, deliver, abort, first_attempt);
+                order_.unlock();
+                co_return;
+            }
+        }
+        channel_.noteFastpathFallback();
+    }
+    // A node's broadcasts are strictly ordered (§4.2.1: no subsequent
+    // store proceeds until the current one performed).
+    co_await order_.lock();
+    co_await sendLoop(bulk, deliver, abort, engine_.now());
     order_.unlock();
 }
 

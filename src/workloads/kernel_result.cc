@@ -9,9 +9,19 @@ namespace wisync::workloads {
 void
 captureChannelStats(KernelResult &result, core::Machine &machine)
 {
+    const auto &mesh = machine.mesh().stats();
+    const auto &mem = machine.mem().stats();
+    result.fastpathHits =
+        mesh.fastpathHits.value() + mem.fastpathHits.value();
+    result.fastpathFallbacks =
+        mesh.fastpathFallbacks.value() + mem.fastpathFallbacks.value();
     if (bm::BmSystem *bm = machine.bm()) {
         result.dataChannelUtilisation = bm->dataChannel().utilisation();
         result.collisions = bm->dataChannel().stats().collisions.value();
+        result.fastpathHits +=
+            bm->dataChannel().stats().fastpathHits.value();
+        result.fastpathFallbacks +=
+            bm->dataChannel().stats().fastpathFallbacks.value();
         const wireless::MacStats &mac = bm->macProtocol().stats();
         result.macBackoffCycles = mac.backoffCycles.value();
         result.macTokenWaits = mac.tokenWaits.value();

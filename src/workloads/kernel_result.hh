@@ -41,6 +41,17 @@ struct KernelResult
     /** BRS <-> token transitions (adaptive MAC). */
     std::uint64_t macModeSwitches = 0;
 
+    // Host-side fast-path telemetry, aggregated over the mesh, memory
+    // and wireless layers. Deliberately NOT part of bitIdentical():
+    // the fast paths are cycle-exact but these counters describe which
+    // host-time route served each message, which legitimately differs
+    // between a fastpath-on and a (WISYNC_NO_FASTPATH=1) fastpath-off
+    // run of the *same* simulation.
+    /** Messages/accesses served by an uncontended fast path. */
+    std::uint64_t fastpathHits = 0;
+    /** Fast-path attempts that fell back to the coroutine path. */
+    std::uint64_t fastpathFallbacks = 0;
+
     double
     opsPerKiloCycle() const
     {
@@ -51,18 +62,22 @@ struct KernelResult
 };
 
 /**
- * Fill the wireless-channel columns (utilisation, collisions) and the
- * MAC-protocol telemetry from @p machine's Data channel and MAC; a
- * no-op on wired configs, where the zero-initialized fields are
- * already correct. Every run*On workload epilogue calls this instead
- * of reading the channel by hand.
+ * Fill the wireless-channel columns (utilisation, collisions), the
+ * MAC-protocol telemetry and the fast-path counters from @p machine.
+ * The wireless columns are a no-op on wired configs, where the
+ * zero-initialized fields are already correct; the fast-path counters
+ * aggregate mesh + memory (+ wireless) on every config. Every run*On
+ * workload epilogue calls this instead of reading the channel by hand.
  */
 void captureChannelStats(KernelResult &result, core::Machine &machine);
 
 /**
  * Field-by-field equality, with the utilisation double compared by
  * bit pattern — the determinism contract the sweep benches and tests
- * assert between serial and parallel runs.
+ * assert between serial and parallel runs. The fastpath* counters are
+ * host-route telemetry, not simulated observables, and are excluded
+ * (see their declaration) — which is also what lets the fastpath-on
+ * vs -off identity gate use this same predicate.
  */
 bool bitIdentical(const KernelResult &a, const KernelResult &b);
 

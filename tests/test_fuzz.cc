@@ -96,11 +96,12 @@ struct FuzzResult
 FuzzResult
 fuzzRun(ConfigKind kind, std::uint64_t seed, std::uint32_t threads,
         int ops_per_thread, Machine *reuse = nullptr,
-        MacKind mac = MacKind::Brs)
+        MacKind mac = MacKind::Brs, bool fastpath = true)
 {
     auto cfg = MachineConfig::make(kind, threads);
     cfg.seed = seed;
     cfg.wireless.macKind = mac;
+    cfg.setFastpath(fastpath);
     std::unique_ptr<Machine> owned;
     if (reuse != nullptr) {
         reuse->reset(cfg);
@@ -203,6 +204,46 @@ TEST_P(FuzzAllConfigs, FreshVsResetAlternationStaysEquivalent)
     // The deterministic pick stream exercises both paths.
     EXPECT_GT(reused_runs, 0);
     EXPECT_LT(reused_runs, 8);
+}
+
+TEST_P(FuzzAllConfigs, FastpathToggleTriIdentity)
+{
+    // Random WISYNC_NO_FASTPATH-style toggles through one persistent
+    // reset machine: every round runs (1) fresh with fast paths on,
+    // (2) the persistent machine reset to a randomly chosen fastpath
+    // setting, (3) fresh with fast paths off — and all three must be
+    // bit-identical in every simulated observable (the fast paths are
+    // host-time only; a config flip is an ordinary behavioral reset).
+    const auto kind = GetParam();
+    Machine persistent(MachineConfig::make(kind, 8));
+    wisync::sim::Rng pick(0xFA57FA57);
+    int toggled_off = 0;
+    for (int i = 0; i < 6; ++i) {
+        const std::uint64_t seed = 7000 + static_cast<std::uint64_t>(i);
+        const auto fresh_on =
+            fuzzRun(kind, seed, 8, 15, nullptr, MacKind::Brs, true);
+        // Random toggle, but force one of each setting in the first
+        // two rounds so the assertion below is seed-proof.
+        const bool reused_fastpath =
+            i == 0 ? true : (i == 1 ? false : pick.chance(0.5));
+        toggled_off += reused_fastpath ? 0 : 1;
+        const auto reused = fuzzRun(kind, seed, 8, 15, &persistent,
+                                    MacKind::Brs, reused_fastpath);
+        const auto fresh_off =
+            fuzzRun(kind, seed, 8, 15, nullptr, MacKind::Brs, false);
+        ASSERT_TRUE(fresh_on.completed);
+        EXPECT_EQ(fresh_on.cycles, reused.cycles) << "round " << i;
+        EXPECT_EQ(fresh_on.cycles, fresh_off.cycles) << "round " << i;
+        EXPECT_EQ(fresh_on.counter, reused.counter) << "round " << i;
+        EXPECT_EQ(fresh_on.counter, fresh_off.counter) << "round " << i;
+        EXPECT_EQ(fresh_on.bmCounter, reused.bmCounter) << "round " << i;
+        EXPECT_EQ(fresh_on.bmCounter, fresh_off.bmCounter)
+            << "round " << i;
+        EXPECT_TRUE(reused.replicasOk);
+    }
+    // The deterministic pick stream exercises both settings.
+    EXPECT_GT(toggled_off, 0);
+    EXPECT_LT(toggled_off, 6);
 }
 
 TEST_P(FuzzAllConfigs, DifferentSeedsDiverge)
