@@ -17,11 +17,22 @@
  * exactly zero, the token must actually rotate, the adaptive
  * controller must actually switch).
  *
+ * A second grid exercises the lossy-channel model: every protocol
+ * runs the TightLoop storm at lossPct = 10 (plus an SNR-derived
+ * point), serially and in parallel, and the record gains the
+ * reliability gates — loss0_identical (a lossPct = 0 config with
+ * non-default ack/retry knobs must be bit-identical to the ideal
+ * grid: the reliability layer may not move a cycle until a packet is
+ * actually lost) and all_delivered_or_reported (every lossy point
+ * completes, and every drop is accounted for by a retransmission or
+ * a typed give-up — no silent loss, no hang).
+ *
  * With --json the bench emits only the machine-readable record (for
  * bench/run_bench.sh --sweep); by default it prints the ablation
  * table.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -96,6 +107,94 @@ main(int argc, char **argv)
     for (std::size_t i = 0; identical && i < serial.size(); ++i)
         identical = workloads::bitIdentical(serial[i], parallel[i]);
 
+    // ---- Lossy-channel grid ---------------------------------------
+    // Per protocol: the TightLoop storm at lossPct = 10, one
+    // SNR-derived point (berFromSnr at a transmit power low enough to
+    // leave the far links marginal), and a lossPct = 0 twin with
+    // non-default ack/retry knobs that must be bit-identical to the
+    // ideal grid's point — the reliability layer may not perturb a
+    // run until a packet is actually lost.
+    struct LossPoint
+    {
+        wireless::MacKind mac;
+        const char *channel;
+        /** Ideal-grid index this point must match (or SIZE_MAX). */
+        std::size_t twin_of;
+    };
+    harness::ParallelSweep loss_sweep;
+    std::vector<LossPoint> loss_grid;
+    const std::uint32_t loss_cores = 16;
+    for (const auto mac : kinds) {
+        // Index of the ideal (mac, TightLoop, 16) point in `grid`.
+        std::size_t ideal = 0;
+        while (grid[ideal].mac != mac ||
+               std::strcmp(grid[ideal].workload, "TightLoop") != 0 ||
+               grid[ideal].cores != loss_cores)
+            ++ideal;
+
+        auto lossy = core::MachineConfig::make(core::ConfigKind::WiSyncNoT,
+                                               loss_cores);
+        lossy.wireless.macKind = mac;
+        lossy.wireless.lossPct = 10.0;
+        loss_grid.push_back({mac, "loss=10%", SIZE_MAX});
+        loss_sweep.add(lossy, [tight](core::Machine &m) {
+            return workloads::runTightLoopOn(m, tight);
+        });
+
+        auto snr = core::MachineConfig::make(core::ConfigKind::WiSyncNoT,
+                                             loss_cores);
+        snr.wireless.macKind = mac;
+        snr.wireless.berFromSnr = true;
+        // 0 dBm leaves the corner transmitters' farthest links
+        // marginal (broadcast PER up to ~9%) while central nodes stay
+        // clean — the heterogeneous regime the SNR model is for.
+        snr.wireless.txPowerDbm = 0.0;
+        loss_grid.push_back({mac, "snr", SIZE_MAX});
+        loss_sweep.add(snr, [tight](core::Machine &m) {
+            return workloads::runTightLoopOn(m, tight);
+        });
+
+        auto twin = core::MachineConfig::make(core::ConfigKind::WiSyncNoT,
+                                              loss_cores);
+        twin.wireless.macKind = mac;
+        twin.wireless.ackTimeoutCycles = 9;
+        twin.wireless.maxRetries = 3;
+        twin.wireless.retryBackoffMaxExp = 2;
+        loss_grid.push_back({mac, "loss=0", ideal});
+        loss_sweep.add(twin, [tight](core::Machine &m) {
+            return workloads::runTightLoopOn(m, tight);
+        });
+    }
+    const auto loss_serial = loss_sweep.run(1);
+    const auto loss_parallel = loss_sweep.run(threads);
+    for (std::size_t i = 0; identical && i < loss_serial.size(); ++i)
+        identical =
+            workloads::bitIdentical(loss_serial[i], loss_parallel[i]);
+
+    bool loss0_identical = true;
+    bool all_delivered_or_reported = true;
+    std::uint64_t lossy_drops = 0, lossy_retransmits = 0,
+                  lossy_giveups = 0;
+    for (std::size_t i = 0; i < loss_grid.size(); ++i) {
+        const auto &r = loss_serial[i];
+        if (loss_grid[i].twin_of != SIZE_MAX) {
+            loss0_identical =
+                loss0_identical &&
+                workloads::bitIdentical(r, serial[loss_grid[i].twin_of]);
+            continue;
+        }
+        // Lossy points: the kernel must terminate, and every drop
+        // must be answered by a retransmission or a typed give-up.
+        all_delivered_or_reported =
+            all_delivered_or_reported && r.completed &&
+            (r.wirelessDrops == 0 ||
+             r.macRetransmits + r.macGiveups > 0) &&
+            r.macAckTimeouts == r.macRetransmits + r.macGiveups;
+        lossy_drops += r.wirelessDrops;
+        lossy_retransmits += r.macRetransmits;
+        lossy_giveups += r.macGiveups;
+    }
+
     bool all_completed = true;
     std::uint64_t brs_collisions = 0, token_collisions = 0;
     std::uint64_t token_rotations = 0, fuzzy_grabs_points = 0;
@@ -120,6 +219,9 @@ main(int argc, char **argv)
         }
     }
 
+    const bool ok = identical && all_completed && loss0_identical &&
+                    all_delivered_or_reported;
+
     if (json_only) {
         std::printf(
             "{\"grid\": \"mac_ablation\", \"points\": %zu, "
@@ -127,15 +229,24 @@ main(int argc, char **argv)
             "\"all_completed\": %s, \"brs_collisions\": %llu, "
             "\"token_collisions\": %llu, \"token_rotations\": %llu, "
             "\"fuzzy_rotating_points\": %llu, "
-            "\"adaptive_mode_switches\": %llu}\n",
+            "\"adaptive_mode_switches\": %llu, "
+            "\"lossy_points\": %zu, \"loss0_identical\": %s, "
+            "\"all_delivered_or_reported\": %s, "
+            "\"lossy_drops\": %llu, \"lossy_retransmits\": %llu, "
+            "\"lossy_giveups\": %llu}\n",
             grid.size(), threads, identical ? "true" : "false",
             all_completed ? "true" : "false",
             static_cast<unsigned long long>(brs_collisions),
             static_cast<unsigned long long>(token_collisions),
             static_cast<unsigned long long>(token_rotations),
             static_cast<unsigned long long>(fuzzy_grabs_points),
-            static_cast<unsigned long long>(adaptive_switches));
-        return identical && all_completed ? 0 : 1;
+            static_cast<unsigned long long>(adaptive_switches),
+            loss_grid.size(), loss0_identical ? "true" : "false",
+            all_delivered_or_reported ? "true" : "false",
+            static_cast<unsigned long long>(lossy_drops),
+            static_cast<unsigned long long>(lossy_retransmits),
+            static_cast<unsigned long long>(lossy_giveups));
+        return ok ? 0 : 1;
     }
 
     harness::TextTable tab("Ablation: MAC protocol x workload "
@@ -160,5 +271,28 @@ main(int argc, char **argv)
     std::cout << (identical ? "serial/parallel results identical\n"
                             : "DETERMINISM VIOLATION: serial and "
                               "parallel results differ\n");
-    return identical && all_completed ? 0 : 1;
+
+    harness::TextTable loss_tab("Lossy channel: MAC protocol x channel "
+                                "(WiSyncNoT TightLoop, 16 cores)");
+    loss_tab.header({"MAC", "Channel", "Cycles", "Drops", "Timeouts",
+                     "Rexmit", "Giveups"});
+    for (std::size_t i = 0; i < loss_grid.size(); ++i) {
+        const auto &r = loss_serial[i];
+        loss_tab.row({toString(loss_grid[i].mac), loss_grid[i].channel,
+                      r.completed ? std::to_string(r.cycles)
+                                  : std::string("run limit"),
+                      std::to_string(r.wirelessDrops),
+                      std::to_string(r.macAckTimeouts),
+                      std::to_string(r.macRetransmits),
+                      std::to_string(r.macGiveups)});
+    }
+    loss_tab.print(std::cout);
+    std::cout << (loss0_identical
+                      ? "loss0 identical to ideal channel\n"
+                      : "DETERMINISM VIOLATION: lossPct=0 differs from "
+                        "the ideal channel\n");
+    std::cout << (all_delivered_or_reported
+                      ? "all lossy sends delivered or reported\n"
+                      : "RELIABILITY VIOLATION: drops unaccounted for\n");
+    return ok ? 0 : 1;
 }

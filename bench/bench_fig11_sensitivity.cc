@@ -12,6 +12,13 @@
  *
  * The (variant x app x kind) grid — the largest figure grid — runs
  * through ParallelSweep; geomeans are folded from the merged results.
+ *
+ * A second, appended table sweeps the lossPct axis (the lossy-channel
+ * model + ack/retry reliability layer) over the sync-intensive apps:
+ * geomean slowdown vs the ideal channel plus the reliability
+ * telemetry. Its lossPct = 0 row must be bit-identical to the main
+ * grid's Default-variant cells — the loss layer, compiled in but
+ * disabled, may not move a single simulated cycle (exit 1 if it does).
  */
 
 #include <array>
@@ -22,6 +29,7 @@
 #include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
 #include "workloads/apps.hh"
+#include "workloads/kernel_result.hh"
 
 using namespace wisync;
 
@@ -95,5 +103,89 @@ main()
                  harness::fmt(harness::geomean(sp_full))});
     }
     fig.print(std::cout);
-    return 0;
+
+    // ---- Loss sensitivity: the lossPct axis ------------------------
+    // Sync-intensive apps on the wireless kinds only (Baseline has no
+    // channel to lose packets on); Default variant.
+    const std::vector<double> loss_levels =
+        harness::sweepMode() == harness::SweepMode::Quick
+            ? std::vector<double>{0.0, 5.0}
+            : std::vector<double>{0.0, 1.0, 2.0, 5.0, 10.0};
+    const std::vector<std::string> loss_apps = {"streamcluster", "fft",
+                                                "barnes"};
+    const std::array<ConfigKind, 2> loss_kinds = {ConfigKind::WiSyncNoT,
+                                                  ConfigKind::WiSync};
+
+    harness::ParallelSweep loss_sweep;
+    // idx[level][app][kind]
+    std::vector<std::vector<std::array<std::size_t, 2>>> loss_grid(
+        loss_levels.size());
+    for (std::size_t l = 0; l < loss_levels.size(); ++l) {
+        for (const auto &name : loss_apps) {
+            const auto &app = workloads::appByName(name);
+            std::array<std::size_t, 2> cell{};
+            for (std::size_t k = 0; k < loss_kinds.size(); ++k) {
+                auto cfg = core::MachineConfig::make(loss_kinds[k], cores,
+                                                     Variant::Default);
+                cfg.wireless.lossPct = loss_levels[l];
+                cell[k] = loss_sweep.add(cfg, [&app](core::Machine &m) {
+                    return workloads::runAppOn(app, m);
+                });
+            }
+            loss_grid[l].push_back(cell);
+        }
+    }
+    const auto loss_results = loss_sweep.run();
+
+    // The hard invariant: lossPct = 0 with the loss layer compiled in
+    // is byte-identical to the ideal channel of the main grid.
+    bool loss0_identical = true;
+    for (std::size_t a = 0; a < loss_apps.size(); ++a) {
+        // Locate the app's Default-variant cell in the main grid.
+        std::size_t main_a = 0;
+        while (names[main_a] != loss_apps[a])
+            ++main_a;
+        const auto &main_cell = grid[0][main_a];
+        loss0_identical =
+            loss0_identical &&
+            workloads::bitIdentical(results[main_cell.idx[2]],
+                                    loss_results[loss_grid[0][a][0]]) &&
+            workloads::bitIdentical(results[main_cell.idx[3]],
+                                    loss_results[loss_grid[0][a][1]]);
+    }
+
+    harness::TextTable loss_fig(
+        "Loss sensitivity: geomean slowdown vs ideal channel "
+        "(Default variant, " +
+        std::to_string(cores) + " cores)");
+    loss_fig.header({"Loss%", "WiSyncNoT", "WiSync", "Drops", "Rexmit",
+                     "Giveups"});
+    for (std::size_t l = 0; l < loss_levels.size(); ++l) {
+        std::vector<double> slow_not, slow_full;
+        std::uint64_t drops = 0, rexmit = 0, giveups = 0;
+        for (std::size_t a = 0; a < loss_apps.size(); ++a) {
+            const auto &r0n = loss_results[loss_grid[0][a][0]];
+            const auto &r0f = loss_results[loss_grid[0][a][1]];
+            const auto &rn = loss_results[loss_grid[l][a][0]];
+            const auto &rf = loss_results[loss_grid[l][a][1]];
+            slow_not.push_back(static_cast<double>(rn.cycles) /
+                               static_cast<double>(r0n.cycles));
+            slow_full.push_back(static_cast<double>(rf.cycles) /
+                                static_cast<double>(r0f.cycles));
+            drops += rn.wirelessDrops + rf.wirelessDrops;
+            rexmit += rn.macRetransmits + rf.macRetransmits;
+            giveups += rn.macGiveups + rf.macGiveups;
+        }
+        loss_fig.row({harness::fmt(loss_levels[l], 1),
+                      harness::fmt(harness::geomean(slow_not)),
+                      harness::fmt(harness::geomean(slow_full)),
+                      std::to_string(drops), std::to_string(rexmit),
+                      std::to_string(giveups)});
+    }
+    loss_fig.print(std::cout);
+    std::cout << (loss0_identical
+                      ? "loss0 identical to ideal channel\n"
+                      : "DETERMINISM VIOLATION: lossPct=0 differs from "
+                        "the ideal channel\n");
+    return loss0_identical ? 0 : 1;
 }

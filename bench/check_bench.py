@@ -24,7 +24,13 @@ counters, which are identical on every host and thread count:
 serial/parallel result identity, every point completing, exactly zero
 collisions under the token MAC (exclusive grants), a token that
 actually rotates, and an adaptive controller that actually switches
-policy under the barrier storm.
+policy under the barrier storm. The lossy-channel grid in the same
+record adds loss0_identical (the reliability layer, compiled in but
+disabled, may not move a simulated cycle) and
+all_delivered_or_reported (under loss every kernel terminates and
+every drop is answered by a retransmission or a typed give-up — no
+silent loss, no hang), plus a sanity floor on lossy_drops (the loss
+model must actually drop packets at lossPct = 10).
 
 Usage: bench/check_bench.py [BENCH_kernel.json] [--sweep BENCH_sweep.json]
 Exit status 0 = all gates pass.
@@ -189,6 +195,18 @@ def main():
                      f"mac_ablation adaptive_mode_switches = "
                      f"{mac.get('adaptive_mode_switches')} (gate: >= 1) "
                      "— the traffic-aware controller must engage")
+            mac_gate(mac.get("loss0_identical", False),
+                     "mac_ablation loss0_identical — the reliability "
+                     "layer at lossPct=0 may not move a simulated "
+                     "cycle")
+            mac_gate(mac.get("all_delivered_or_reported", False),
+                     "mac_ablation all_delivered_or_reported — lossy "
+                     "kernels must terminate with every drop "
+                     "retransmitted or reported as a give-up")
+            mac_gate(mac.get("lossy_drops", 0) >= 1,
+                     f"mac_ablation lossy_drops = "
+                     f"{mac.get('lossy_drops')} (gate: >= 1) — the "
+                     "loss model must actually drop packets")
 
     for line in checks:
         print(" ", line)

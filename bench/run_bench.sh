@@ -175,6 +175,10 @@ print(f"  mac ablation: {mac['points']} points, identical="
       f"{mac['results_identical']}, token_collisions="
       f"{mac['token_collisions']}, adaptive_switches="
       f"{mac['adaptive_mode_switches']}")
+print(f"  lossy channel: {mac.get('lossy_points', 0)} points, "
+      f"loss0_identical={mac.get('loss0_identical')}, "
+      f"delivered_or_reported={mac.get('all_delivered_or_reported')}, "
+      f"drops={mac.get('lossy_drops')}")
 for r in rows:
     extra = ""
     k = f"speedup_{name}_over_reuse"

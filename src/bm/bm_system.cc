@@ -27,6 +27,7 @@ BmSystem::BmSystem(sim::Engine &engine, std::uint32_t num_nodes,
         [this](sim::BmAddr addr) { store_.toggleAll(addr); });
     toneEnabled_ = with_tone;
     pendingRmw_.resize(numNodes_);
+    configureLoss(wcfg);
 }
 
 void
@@ -55,6 +56,46 @@ BmSystem::reset(const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
     toneEnabled_ = with_tone;
     pendingRmw_.assign(numNodes_, PendingRmw{});
     stats_.reset();
+    configureLoss(wcfg);
+}
+
+void
+BmSystem::configureLoss(const wireless::WirelessConfig &wcfg)
+{
+    if (!wcfg.berFromSnr) {
+        // The channel construction/reset left the drop table empty;
+        // any positive lossPct applies uniformly without a model.
+        rfModel_.reset();
+        return;
+    }
+    wireless::RfChannelConfig rc;
+    rc.txPowerDbm = wcfg.txPowerDbm;
+    rfModel_ =
+        std::make_unique<wireless::RfChannelModel>(numNodes_, rc);
+    refreshDropTable();
+}
+
+void
+BmSystem::refreshDropTable()
+{
+    std::vector<double> data(numNodes_);
+    std::vector<double> bulk(numNodes_);
+    for (std::uint32_t n = 0; n < numNodes_; ++n) {
+        data[n] =
+            rfModel_->broadcastErrorRate(n, wireless::kDataFrameBits);
+        bulk[n] =
+            rfModel_->broadcastErrorRate(n, wireless::kBulkFrameBits);
+    }
+    channel_.setDropTable(std::move(data), std::move(bulk));
+}
+
+void
+BmSystem::overrideLinkPathLoss(sim::NodeId tx, sim::NodeId rx, double db)
+{
+    WISYNC_ASSERT(rfModel_ != nullptr,
+                  "overrideLinkPathLoss requires berFromSnr");
+    rfModel_->overridePathLoss(tx, rx, db);
+    refreshDropTable();
 }
 
 void
@@ -98,10 +139,17 @@ BmSystem::store(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
 {
     checkPid(addr, pid);
     stats_.stores.inc();
-    co_await macs_[node]->send(false, [this, node, addr, value] {
-        const std::uint64_t v = value;
-        deliverStore(node, addr, &v, 1);
-    });
+    // A store has no abort path: if the reliability layer gives up,
+    // the controller re-issues the whole send (fresh retry budget) —
+    // WCB simply sets later. No replica changed in between, so the
+    // chip-wide write order is unaffected.
+    while (co_await macs_[node]->send(false,
+                                      [this, node, addr, value] {
+                                          const std::uint64_t v = value;
+                                          deliverStore(node, addr, &v, 1);
+                                      }) ==
+           wireless::SendOutcome::GaveUp)
+        stats_.sendReissues.inc();
     // Local BM write + WCB after the broadcast succeeds (§4.2.1).
     co_await coro::delay(engine_, cfg_.bmRtCycles);
 }
@@ -125,9 +173,12 @@ BmSystem::bulkStore(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
     checkPid(addr, pid, 4);
     stats_.stores.inc();
     stats_.bulkStores.inc();
-    co_await macs_[node]->send(true, [this, node, addr, values] {
-        deliverStore(node, addr, values.data(), 4);
-    });
+    while (co_await macs_[node]->send(
+               true,
+               [this, node, addr, values] {
+                   deliverStore(node, addr, values.data(), 4);
+               }) == wireless::SendOutcome::GaveUp)
+        stats_.sendReissues.inc();
     co_await coro::delay(engine_, cfg_.bmRtCycles);
 }
 
@@ -147,14 +198,18 @@ BmSystem::fetchAdd(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
     co_await coro::delay(engine_, cfg_.rmwModifyCycles); // pipeline modify
     const std::uint64_t desired = old + delta;
     const std::function<bool()> abort = [&p] { return p.afb; };
-    co_await macs_[node]->send(
+    const auto sent = co_await macs_[node]->send(
         false,
         [this, node, addr, desired] {
             const std::uint64_t v = desired;
             deliverStore(node, addr, &v, 1);
         },
         &abort);
-    const bool failed = p.afb;
+    // A reliability-layer give-up rides the AFB contract: the write
+    // never occurred, the instruction completes, software retries
+    // (Fig. 4(a)) — identical observable semantics, no new hang path.
+    const bool failed =
+        p.afb || sent == wireless::SendOutcome::GaveUp;
     p.active = false;
     if (failed) {
         stats_.afbFailures.inc();
@@ -178,14 +233,16 @@ BmSystem::testAndSet(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
     const std::uint64_t old = store_.read(node, addr);
     co_await coro::delay(engine_, cfg_.rmwModifyCycles);
     const std::function<bool()> abort = [&p] { return p.afb; };
-    co_await macs_[node]->send(
+    const auto sent = co_await macs_[node]->send(
         false,
         [this, node, addr] {
             const std::uint64_t v = 1;
             deliverStore(node, addr, &v, 1);
         },
         &abort);
-    const bool failed = p.afb;
+    // Give-up -> AFB, as in fetchAdd.
+    const bool failed =
+        p.afb || sent == wireless::SendOutcome::GaveUp;
     p.active = false;
     if (failed) {
         stats_.afbFailures.inc();
@@ -216,14 +273,16 @@ BmSystem::cas(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
         co_return BmCasResult{old, false, false};
     }
     const std::function<bool()> abort = [&p] { return p.afb; };
-    co_await macs_[node]->send(
+    const auto sent = co_await macs_[node]->send(
         false,
         [this, node, addr, desired] {
             const std::uint64_t v = desired;
             deliverStore(node, addr, &v, 1);
         },
         &abort);
-    const bool failed = p.afb;
+    // Give-up -> AFB, as in fetchAdd.
+    const bool failed =
+        p.afb || sent == wireless::SendOutcome::GaveUp;
     p.active = false;
     if (failed) {
         stats_.afbFailures.inc();
@@ -290,8 +349,14 @@ BmSystem::announceTask(sim::NodeId node, sim::BmAddr addr,
     const std::function<bool()> abort = [this, addr, epoch] {
         return tone_->isActive(addr) || tone_->epochOf(addr) != epoch;
     };
-    co_await macs_[node]->send(
-        false, [this, addr] { tone_->activate(addr); }, &abort);
+    // Never a lost wakeup: an announcement the reliability layer gave
+    // up on is re-issued until it is either delivered or genuinely
+    // redundant (the abort predicate fires because another node's
+    // announcement activated the barrier, or the epoch moved on).
+    while (co_await macs_[node]->send(
+               false, [this, addr] { tone_->activate(addr); },
+               &abort) == wireless::SendOutcome::GaveUp)
+        stats_.sendReissues.inc();
 }
 
 coro::Task<std::uint64_t>
@@ -323,10 +388,13 @@ BmSystem::allocEntries(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
     WISYNC_ASSERT(addr + count <= cfg_.words(), "BM allocation OOB");
     // One broadcast allocation message carries base + PID (§4.4); on
     // delivery every node allocates and tags the same entries.
-    co_await macs_[node]->send(false, [this, pid, addr, count] {
-        for (std::uint32_t i = 0; i < count; ++i)
-            store_.setTag(addr + i, pid);
-    });
+    while (co_await macs_[node]->send(
+               false,
+               [this, pid, addr, count] {
+                   for (std::uint32_t i = 0; i < count; ++i)
+                       store_.setTag(addr + i, pid);
+               }) == wireless::SendOutcome::GaveUp)
+        stats_.sendReissues.inc();
     co_await coro::delay(engine_, cfg_.bmRtCycles);
 }
 
@@ -334,10 +402,13 @@ coro::Task<void>
 BmSystem::deallocEntries(sim::NodeId node, sim::BmAddr addr,
                          std::uint32_t count)
 {
-    co_await macs_[node]->send(false, [this, addr, count] {
-        for (std::uint32_t i = 0; i < count; ++i)
-            store_.setTag(addr + i, kNoPid);
-    });
+    while (co_await macs_[node]->send(
+               false,
+               [this, addr, count] {
+                   for (std::uint32_t i = 0; i < count; ++i)
+                       store_.setTag(addr + i, kNoPid);
+               }) == wireless::SendOutcome::GaveUp)
+        stats_.sendReissues.inc();
 }
 
 bool

@@ -45,6 +45,7 @@
 #include "sim/types.hh"
 #include "wireless/data_channel.hh"
 #include "wireless/mac/mac_protocol.hh"
+#include "wireless/rf_model.hh"
 #include "wireless/tone_channel.hh"
 
 namespace wisync::bm {
@@ -103,6 +104,11 @@ struct BmStats
     sim::Counter bulkStores;
     sim::Counter rmws;
     sim::Counter afbFailures;
+    /** Controller broadcasts (stores, allocs, tone announcements) the
+     *  reliability layer gave up on and the controller re-issued —
+     *  graceful degradation under a lossy channel: the operation just
+     *  completes later, replicas never diverge. */
+    sim::Counter sendReissues;
     sim::Counter toneStores;
     sim::Counter toneAnnouncements;
     sim::Counter protectionFaults;
@@ -222,6 +228,20 @@ class BmSystem
     const BmConfig &config() const { return cfg_; }
     bool hasTone() const { return toneEnabled_; }
 
+    /** The SNR->BER channel model (null unless berFromSnr is set). */
+    const wireless::RfChannelModel *
+    rfChannelModel() const
+    {
+        return rfModel_.get();
+    }
+
+    /**
+     * Pin one link's attenuation (a blocked or resonant in-package
+     * path) and re-derive the channel's drop table. Requires
+     * berFromSnr; meant for experiments and tests.
+     */
+    void overrideLinkPathLoss(sim::NodeId tx, sim::NodeId rx, double db);
+
     /**
      * Return to post-construction state, optionally retiming: zeroed
      * store, idle channels, fresh per-node MAC backoff/RNG streams
@@ -238,6 +258,11 @@ class BmSystem
 
   private:
     void checkPid(sim::BmAddr addr, sim::Pid pid, std::uint32_t count = 1);
+
+    /** Build (or drop) the RF channel model per @p wcfg.berFromSnr
+     *  and install the per-transmitter drop table. */
+    void configureLoss(const wireless::WirelessConfig &wcfg);
+    void refreshDropTable();
 
     /** Track a pending RMW for AFB detection. */
     struct PendingRmw
@@ -265,6 +290,8 @@ class BmSystem
     std::vector<std::unique_ptr<wireless::Mac>> macs_;
     /** Always constructed; gated by toneEnabled_ (WiSyncNoT). */
     std::unique_ptr<wireless::ToneChannel> tone_;
+    /** SNR->BER attenuation matrix (only when berFromSnr). */
+    std::unique_ptr<wireless::RfChannelModel> rfModel_;
     bool toneEnabled_ = true;
     std::vector<PendingRmw> pendingRmw_; // per node
     BmStats stats_;

@@ -1,5 +1,7 @@
 #include "core/machine_config.hh"
 
+#include <cstdio>
+
 #include "sim/logging.hh"
 
 namespace wisync::core {
@@ -100,6 +102,14 @@ MachineConfig::describe() const
     if (wireless.macKind != wireless::MacKind::Brs) {
         out += " mac=";
         out += toString(wireless.macKind);
+    }
+    // Likewise: the loss model only appears when enabled, keeping
+    // ideal-channel harness output byte-identical to pre-loss builds.
+    if (wireless.lossPct > 0.0 || wireless.berFromSnr) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), " loss=%g%%%s", wireless.lossPct,
+                      wireless.berFromSnr ? "+snr" : "");
+        out += buf;
     }
     return out;
 }

@@ -12,6 +12,9 @@ DataChannel::DataChannel(sim::Engine &engine, const WirelessConfig &cfg)
 {
     WISYNC_ASSERT(cfg_.collisionCycles < cfg_.dataCycles,
                   "collision penalty must be below full transfer time");
+    WISYNC_ASSERT(cfg_.lossPct >= 0.0 && cfg_.lossPct <= 100.0,
+                  "lossPct is a percentage");
+    lossEnabled_ = cfg_.lossPct > 0.0;
 }
 
 void
@@ -19,11 +22,37 @@ DataChannel::reset(const WirelessConfig &cfg)
 {
     WISYNC_ASSERT(cfg.collisionCycles < cfg.dataCycles,
                   "collision penalty must be below full transfer time");
+    WISYNC_ASSERT(cfg.lossPct >= 0.0 && cfg.lossPct <= 100.0,
+                  "lossPct is a percentage");
     cfg_ = cfg;
     nextFree_ = 0;
     openSlot_ = sim::kCycleMax;
     slotAttempts_.clear();
+    dropData_.clear();
+    dropBulk_.clear();
+    lossEnabled_ = cfg_.lossPct > 0.0;
     stats_.reset();
+}
+
+void
+DataChannel::setDropTable(std::vector<double> data, std::vector<double> bulk)
+{
+    dropData_ = std::move(data);
+    dropBulk_ = std::move(bulk);
+    lossEnabled_ = cfg_.lossPct > 0.0 || !dropData_.empty();
+}
+
+double
+DataChannel::dropProbability(sim::NodeId src, bool bulk) const
+{
+    // The uniform knob and the SNR-derived per-link rate are
+    // independent corruption sources; survival probabilities multiply.
+    double ok = 1.0 - cfg_.lossPct / 100.0;
+    const auto &table = bulk ? dropBulk_ : dropData_;
+    if (src < table.size())
+        ok *= 1.0 - table[src];
+    const double per = 1.0 - ok;
+    return per < 0.0 ? 0.0 : (per > 1.0 ? 1.0 : per);
 }
 
 namespace {
@@ -56,9 +85,8 @@ DataChannel::joinSlot(Pending &p)
 
 coro::Task<DataChannel::Outcome>
 DataChannel::attempt(sim::NodeId src, bool bulk, sim::UniqueFunction &deliver,
-                     const std::function<bool()> *abort)
+                     const std::function<bool()> *abort, sim::Rng *rng)
 {
-    (void)src;
     // A ready transceiver waits for the cycle the channel is next
     // expected to be free (§4.1); the horizon can move while waiting.
     while (engine_.now() < nextFree_)
@@ -70,6 +98,8 @@ DataChannel::attempt(sim::NodeId src, bool bulk, sim::UniqueFunction &deliver,
     pending.deliver = &deliver;
     pending.abort = abort;
     pending.done = &done;
+    pending.src = src;
+    pending.rng = rng;
     joinSlot(pending);
     co_return co_await done;
 }
@@ -108,6 +138,21 @@ DataChannel::arbitrate()
         stats_.messages.inc();
         if (p->bulk)
             stats_.bulkMessages.inc();
+        // Lossy channel: one Bernoulli draw from the transmitting
+        // node's RNG stream decides whether the frame survives at
+        // every receiver — a broadcast is all-or-nothing, so replicas
+        // can never diverge. The slot is consumed either way; on a
+        // drop no deliver runs and the sender learns of the loss when
+        // its ack window expires. The ideal channel draws nothing.
+        if (lossEnabled_ && p->rng != nullptr) {
+            const double per = dropProbability(p->src, p->bulk);
+            if (per > 0.0 && p->rng->chance(per)) {
+                stats_.drops.inc();
+                engine_.scheduleIn(
+                    dur, [p] { complete(p, Outcome::Dropped); });
+                return;
+            }
+        }
         // Delivery happens at the end of the transmission: the deliver
         // callback is the total-order commit point for BM updates.
         engine_.scheduleIn(dur, [p] {
@@ -146,10 +191,38 @@ Mac::reset(MacProtocol &protocol, sim::Rng rng)
     retries_.reset();
 }
 
-coro::Task<void>
+coro::Task<bool>
+Mac::ackTimeoutRetry(std::uint32_t drops)
+{
+    const WirelessConfig &cfg = channel_.config();
+    if (drops > cfg.maxRetries) {
+        // The retry budget is spent: wait out the final ack window
+        // (the sender cannot know the frame was lost any earlier),
+        // then surface the typed failure instead of retransmitting.
+        protocol_->noteAckTimeout(cfg.ackTimeoutCycles);
+        co_await coro::delay(engine_, cfg.ackTimeoutCycles);
+        protocol_->noteGiveUp();
+        co_return false;
+    }
+    // Ack window plus bounded exponential spacing before the
+    // retransmission. Deterministic (no RNG): the packet-error draws
+    // already decorrelate senders, and a fixed schedule keeps the
+    // lossPct = 0 contract trivially intact.
+    const std::uint32_t exp = drops < cfg.retryBackoffMaxExp
+                                  ? drops
+                                  : cfg.retryBackoffMaxExp;
+    const sim::Cycle wait =
+        cfg.ackTimeoutCycles + (sim::Cycle{1} << exp);
+    protocol_->noteAckTimeout(wait);
+    co_await coro::delay(engine_, wait);
+    protocol_->noteRetransmit();
+    co_return true;
+}
+
+coro::Task<SendOutcome>
 Mac::sendLoop(bool bulk, sim::UniqueFunction &deliver,
               const std::function<bool()> *abort,
-              sim::Cycle first_attempt)
+              sim::Cycle first_attempt, std::uint32_t drops)
 {
     for (;;) {
         co_await protocol_->acquire(node_);
@@ -159,10 +232,10 @@ Mac::sendLoop(bool bulk, sim::UniqueFunction &deliver,
             // contention grant picked up during the last collision)
             // would otherwise stall every queued sender.
             protocol_->release(node_, false);
-            break;
+            co_return SendOutcome::Aborted;
         }
         const auto outcome =
-            co_await channel_.attempt(node_, bulk, deliver, abort);
+            co_await channel_.attempt(node_, bulk, deliver, abort, &rng_);
         if (outcome == DataChannel::Outcome::Collided) {
             // The protocol drops the claim, updates contention state
             // and performs this node's backoff; then contend again.
@@ -170,15 +243,27 @@ Mac::sendLoop(bool bulk, sim::UniqueFunction &deliver,
             co_await protocol_->onCollision(node_, rng_);
             continue;
         }
+        if (outcome == DataChannel::Outcome::Dropped) {
+            // The channel lost the frame. The claim is released like
+            // a delivered send (the token must pass on) and the ack
+            // window / bounded-retry machinery decides what follows.
+            protocol_->release(node_, false);
+            ++drops;
+            if (!co_await ackTimeoutRetry(drops))
+                co_return SendOutcome::GaveUp;
+            continue;
+        }
         protocol_->release(node_,
                            outcome == DataChannel::Outcome::Delivered);
-        if (outcome == DataChannel::Outcome::Delivered)
+        if (outcome == DataChannel::Outcome::Delivered) {
             channel_.noteDelivery(first_attempt);
-        break;
+            co_return SendOutcome::Delivered;
+        }
+        co_return SendOutcome::Aborted;
     }
 }
 
-coro::Task<void>
+coro::Task<SendOutcome>
 Mac::send(bool bulk, sim::UniqueFunction deliver,
           const std::function<bool()> *abort)
 {
@@ -201,27 +286,45 @@ Mac::send(bool bulk, sim::UniqueFunction deliver,
                     // inline acquire/abort-check sequence would.
                     protocol_->release(node_, false);
                     order_.unlock();
-                    co_return;
+                    co_return SendOutcome::Aborted;
                 }
-                DataChannel::FastAttempt fa(channel_, bulk, &deliver,
-                                            abort);
+                DataChannel::FastAttempt fa(channel_, node_, bulk,
+                                            &deliver, abort, &rng_);
                 const auto outcome = co_await fa;
+                if (outcome == DataChannel::Outcome::Dropped) {
+                    // Lost on the air: same recovery sequence as the
+                    // slow path's Dropped branch (release, ack
+                    // window, recontend through the generic loop with
+                    // the loss already counted), order_ still held.
+                    protocol_->release(node_, false);
+                    SendOutcome sent = SendOutcome::GaveUp;
+                    if (co_await ackTimeoutRetry(1))
+                        sent = co_await sendLoop(bulk, deliver, abort,
+                                                 first_attempt, 1);
+                    order_.unlock();
+                    co_return sent;
+                }
                 if (outcome != DataChannel::Outcome::Collided) {
                     protocol_->release(
                         node_,
                         outcome == DataChannel::Outcome::Delivered);
-                    if (outcome == DataChannel::Outcome::Delivered)
+                    if (outcome == DataChannel::Outcome::Delivered) {
                         channel_.noteDelivery(first_attempt);
+                        order_.unlock();
+                        co_return SendOutcome::Delivered;
+                    }
                     order_.unlock();
-                    co_return;
+                    co_return SendOutcome::Aborted;
                 }
                 // Collided: back off and fall into the generic retry
                 // loop, order_ still held.
                 retries_.inc();
                 co_await protocol_->onCollision(node_, rng_);
-                co_await sendLoop(bulk, deliver, abort, first_attempt);
+                const auto sent =
+                    co_await sendLoop(bulk, deliver, abort,
+                                      first_attempt, 0);
                 order_.unlock();
-                co_return;
+                co_return sent;
             }
         }
         channel_.noteFastpathFallback();
@@ -229,8 +332,10 @@ Mac::send(bool bulk, sim::UniqueFunction deliver,
     // A node's broadcasts are strictly ordered (§4.2.1: no subsequent
     // store proceeds until the current one performed).
     co_await order_.lock();
-    co_await sendLoop(bulk, deliver, abort, engine_.now());
+    const auto sent = co_await sendLoop(bulk, deliver, abort,
+                                        engine_.now(), 0);
     order_.unlock();
+    co_return sent;
 }
 
 } // namespace wisync::wireless

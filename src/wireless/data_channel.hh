@@ -38,6 +38,12 @@ namespace wisync::wireless {
 
 class MacProtocol;
 
+/** Data-channel frame sizes (§4.1): a 77-bit message (64-bit datum +
+ *  11-bit address + Bulk + Tone bits), and a Bulk frame carrying 3
+ *  further words. Used to price frames in the RF channel model. */
+constexpr std::uint32_t kDataFrameBits = 77;
+constexpr std::uint32_t kBulkFrameBits = 77 + 3 * 64;
+
 /** Wireless timing knobs (Table 1 defaults) + MAC selection. */
 struct WirelessConfig
 {
@@ -50,12 +56,40 @@ struct WirelessConfig
     /** Frameless uncontended-broadcast fast path (host-time only). */
     bool fastpath = sim::fastpathDefault();
 
+    // ---- Lossy channel model + reliability layer ------------------
+    // lossPct = 0 and berFromSnr = false (the defaults) keep the ideal
+    // channel: no RNG draws, no retry machinery, byte-identical event
+    // streams to a build without the loss layer.
+    /** Uniform probability, percent, that a broadcast is corrupted at
+     *  some receiver and must be retransmitted. */
+    double lossPct = 0.0;
+    /** Derive per-transmitter loss from the RF channel model
+     *  (distance -> path loss -> SNR -> BER) instead of, or on top
+     *  of, the uniform lossPct (BmSystem installs the drop table). */
+    bool berFromSnr = false;
+    /** Transmit power for the SNR -> BER derivation, dBm. */
+    double txPowerDbm = 10.0;
+    /** Cycles a sender waits for the missing ack before declaring a
+     *  transmission lost. */
+    std::uint32_t ackTimeoutCycles = 4;
+    /** Retransmissions per send before the MAC gives up and surfaces
+     *  a typed delivery failure (SendOutcome::GaveUp). */
+    std::uint32_t maxRetries = 8;
+    /** Cap on the bounded exponential retransmission backoff: the
+     *  i-th retry waits min(2^i, 2^retryBackoffMaxExp) extra cycles. */
+    std::uint32_t retryBackoffMaxExp = 6;
+
     /** Which MAC protocol arbitrates the channel (default: §5.3 BRS). */
     MacKind macKind = MacKind::Brs;
     /** BRS: maximum exponential-backoff exponent (window = 2^i - 1). */
     std::uint32_t maxBackoffExp = 10;
-    /** Token/fuzzy: per-ring-hop token pass latency, cycles. */
-    std::uint32_t tokenPassCycles = 1;
+    /** Token/fuzzy: per-ring-hop token pass latency, cycles; 0 means
+     *  "price it through the RF channel model" — a tokenFrameBits
+     *  control frame at the WiSync transceiver's bandwidth, which is
+     *  1 cycle at the defaults (the legacy constant). */
+    std::uint32_t tokenPassCycles = 0;
+    /** Token-family control frame size, bits (tokenPassCycles = 0). */
+    std::uint32_t tokenFrameBits = 16;
     /** Token: minimum channel reservation per grant, cycles. */
     std::uint32_t tokenHoldCycles = 0;
     /** Adaptive: channel events per policy-observation window. */
@@ -72,6 +106,9 @@ struct DataChannelStats
     sim::Counter messages;
     sim::Counter bulkMessages;
     sim::Counter collisions;
+    /** Transmissions corrupted by the lossy channel model (the slot
+     *  is consumed, no node delivers, the sender's ack times out). */
+    sim::Counter drops;
     /** Cycles the channel spent transmitting or recovering. */
     sim::Counter busyCycles;
     /** Latency from first attempt to delivery, per message. */
@@ -108,6 +145,9 @@ class DataChannel
         Collided,
         /** Abort predicate fired when the transmit slot was won. */
         Aborted,
+        /** Won the slot but the lossy channel corrupted the frame:
+         *  deliver never ran; the sender's ack window will expire. */
+        Dropped,
     };
 
     /**
@@ -115,11 +155,15 @@ class DataChannel
      * fully (running @p deliver at the delivery instant), collide, or
      * abort (the @p abort predicate is evaluated at arbitration time,
      * i.e. "when the write is attempted" — the paper's AFB semantics).
-     * The MAC layers retries/backoff on top of this.
+     * Under a lossy channel (@see lossy()) a won slot may instead be
+     * Dropped, decided by one Bernoulli draw from @p rng — the
+     * transmitting node's stream, so runs stay bit-reproducible. The
+     * MAC layers retries/backoff/ack-timeouts on top of this.
      */
     coro::Task<Outcome> attempt(sim::NodeId src, bool bulk,
                                 sim::UniqueFunction &deliver,
-                                const std::function<bool()> *abort);
+                                const std::function<bool()> *abort,
+                                sim::Rng *rng = nullptr);
 
     class FastAttempt;
 
@@ -138,6 +182,11 @@ class DataChannel
         coro::Future<Outcome> *done = nullptr;
         /** Frameless path: outcome resumes this awaiter's caller. */
         FastAttempt *fast = nullptr;
+        /** Transmitting node (drop-table lookup under loss). */
+        sim::NodeId src = 0;
+        /** Transmitter's RNG stream for the packet-error draw; only
+         *  consulted when the channel is lossy. */
+        sim::Rng *rng = nullptr;
     };
 
     /**
@@ -151,15 +200,17 @@ class DataChannel
     {
       public:
         /** Registers immediately; only legal when now() >= nextFree(). */
-        FastAttempt(DataChannel &channel, bool bulk,
+        FastAttempt(DataChannel &channel, sim::NodeId src, bool bulk,
                     sim::UniqueFunction *deliver,
-                    const std::function<bool()> *abort)
+                    const std::function<bool()> *abort, sim::Rng *rng)
             : engine_(channel.engine_)
         {
             pending_.bulk = bulk;
             pending_.deliver = deliver;
             pending_.abort = abort;
             pending_.fast = this;
+            pending_.src = src;
+            pending_.rng = rng;
             channel.joinSlot(pending_);
         }
 
@@ -206,6 +257,25 @@ class DataChannel
     const DataChannelStats &stats() const { return stats_; }
     const WirelessConfig &config() const { return cfg_; }
 
+    // ---- Lossy channel model --------------------------------------
+
+    /**
+     * Install per-transmitter broadcast packet-error rates derived
+     * from the RF channel model (index = transmitting node; one table
+     * per frame size). Combined independently with the uniform
+     * lossPct; empty tables revert to lossPct alone. BmSystem owns
+     * the RfChannelModel and calls this when berFromSnr is set.
+     */
+    void setDropTable(std::vector<double> data, std::vector<double> bulk);
+
+    /** True when any transmission can be lost (a positive lossPct or
+     *  an installed drop table). False costs nothing: zero RNG draws,
+     *  an event stream identical to the pre-loss simulator. */
+    bool lossy() const { return lossEnabled_; }
+
+    /** Probability a broadcast from @p src fails to reach every node. */
+    double dropProbability(sim::NodeId src, bool bulk) const;
+
     /** Utilisation bookkeeping: total busy cycles / elapsed cycles. */
     double
     utilisation() const
@@ -239,7 +309,27 @@ class DataChannel
     /** Double buffer for arbitrate(): both keep their capacity, so
      *  steady-state arbitration never touches the allocator. */
     std::vector<Pending *> arbScratch_;
+    /** Per-tx SNR-derived packet-error rates (empty: uniform only). */
+    std::vector<double> dropData_;
+    std::vector<double> dropBulk_;
+    bool lossEnabled_ = false;
     DataChannelStats stats_;
+};
+
+/**
+ * How one Mac::send ended. GaveUp is the typed delivery failure of
+ * the reliability layer: the channel lost the frame maxRetries + 1
+ * times and the sender stopped — the broadcast never happened (no
+ * replica changed), and the caller must re-issue or abort (BmSystem
+ * maps it onto the AFB/software-retry contract).
+ */
+enum class SendOutcome
+{
+    Delivered,
+    /** AFB abort predicate fired; nothing was broadcast. */
+    Aborted,
+    /** Lossy channel: exceeded maxRetries; nothing was broadcast. */
+    GaveUp,
 };
 
 /**
@@ -264,9 +354,16 @@ class Mac
      * slot is won, cancels the transmission (used for RMW atomicity
      * failure: the instruction "neither broadcasts its value nor
      * updates the local BM").
+     *
+     * Under a lossy channel each corrupted transmission costs an ack
+     * timeout plus a bounded exponential backoff before the
+     * retransmission; after maxRetries retransmissions the send
+     * returns SendOutcome::GaveUp instead of hanging. On the ideal
+     * channel the result is always Delivered or Aborted.
      */
-    coro::Task<void> send(bool bulk, sim::UniqueFunction deliver,
-                          const std::function<bool()> *abort = nullptr);
+    coro::Task<SendOutcome> send(bool bulk, sim::UniqueFunction deliver,
+                                 const std::function<bool()> *abort =
+                                     nullptr);
 
     sim::NodeId node() const { return node_; }
     std::uint64_t retries() const { return retries_.value(); }
@@ -281,11 +378,23 @@ class Mac
     /**
      * The acquire/attempt/backoff retry loop, entered with order_
      * held. Shared by the slow path (from the first attempt) and the
-     * fast path (after its armed attempt collided).
+     * fast path (after its armed attempt collided or was dropped;
+     * @p drops carries the fast attempt's loss count forward so the
+     * maxRetries budget spans the whole send).
      */
-    coro::Task<void> sendLoop(bool bulk, sim::UniqueFunction &deliver,
-                              const std::function<bool()> *abort,
-                              sim::Cycle first_attempt);
+    coro::Task<SendOutcome> sendLoop(bool bulk,
+                                     sim::UniqueFunction &deliver,
+                                     const std::function<bool()> *abort,
+                                     sim::Cycle first_attempt,
+                                     std::uint32_t drops);
+
+    /**
+     * The per-send ack window: transmission @p drops was corrupted,
+     * so wait out the ack timeout (plus the bounded exponential
+     * backoff when a retransmission follows) and report whether the
+     * sender may retry (false: maxRetries exhausted — give up).
+     */
+    coro::Task<bool> ackTimeoutRetry(std::uint32_t drops);
 
     sim::Engine &engine_;
     DataChannel &channel_;

@@ -38,6 +38,10 @@ MacProtocol::registerStats(sim::StatSet &set,
     set.addCounter(prefix + ".token_rotations", s.tokenRotations);
     set.addCounter(prefix + ".mode_switches", s.modeSwitches);
     set.addCounter(prefix + ".fuzzy_grabs", s.fuzzyGrabs);
+    set.addCounter(prefix + ".ack_timeouts", s.ackTimeouts);
+    set.addCounter(prefix + ".ack_wait_cycles", s.ackWaitCycles);
+    set.addCounter(prefix + ".retransmits", s.retransmits);
+    set.addCounter(prefix + ".give_ups", s.giveUps);
 }
 
 std::unique_ptr<MacProtocol>

@@ -77,6 +77,16 @@ struct MacStats
      */
     sim::Counter fuzzyGrabs;
 
+    // Reliability layer (lossy channel; all zero at lossPct = 0).
+    /** Ack windows that expired (one per corrupted transmission). */
+    sim::Counter ackTimeouts;
+    /** Cycles senders spent in ack windows + retransmission backoff. */
+    sim::Counter ackWaitCycles;
+    /** Retransmissions performed after an expired ack window. */
+    sim::Counter retransmits;
+    /** Sends abandoned after maxRetries (typed delivery failures). */
+    sim::Counter giveUps;
+
     /** Zero everything (assignment cannot miss a late-added field). */
     void reset() { *this = {}; }
 };
@@ -141,6 +151,21 @@ class MacProtocol
     virtual void reset() = 0;
 
     const MacStats &stats() const { return *stats_; }
+
+    // Reliability-layer telemetry, driven by the Mac front-ends (the
+    // ack/retry state machine lives there); non-virtual so composite
+    // protocols record into their shared stats block automatically.
+    /** An ack window expired; @p waited covers it plus any backoff. */
+    void
+    noteAckTimeout(sim::Cycle waited)
+    {
+        stats_->ackTimeouts.inc();
+        stats_->ackWaitCycles.inc(waited);
+    }
+    /** A retransmission follows the expired window. */
+    void noteRetransmit() { stats_->retransmits.inc(); }
+    /** maxRetries exhausted; the send surfaces a typed failure. */
+    void noteGiveUp() { stats_->giveUps.inc(); }
 
     /** Register the telemetry counters as "<prefix>.*" in @p set. */
     void registerStats(sim::StatSet &set, const std::string &prefix) const;

@@ -3,6 +3,7 @@
 #include "sim/engine.hh"
 #include "sim/logging.hh"
 #include "wireless/data_channel.hh"
+#include "wireless/rf_model.hh"
 
 namespace wisync::wireless {
 
@@ -19,7 +20,15 @@ TokenMac::TokenMac(sim::Engine &engine, DataChannel &channel,
 std::uint32_t
 TokenMac::passCycles() const
 {
-    return channel_.config().tokenPassCycles;
+    // An explicit tokenPassCycles wins; 0 (the default) prices the
+    // token frame through the RF channel occupancy: tokenFrameBits at
+    // the WiSync transceiver's bandwidth — 1 cycle at the defaults,
+    // i.e. exactly the legacy constant.
+    const WirelessConfig &cfg = channel_.config();
+    if (cfg.tokenPassCycles != 0)
+        return cfg.tokenPassCycles;
+    return RfScalingModel::frameCycles(
+        cfg.tokenFrameBits, RfScalingModel::wisyncTransceiver22());
 }
 
 std::uint32_t

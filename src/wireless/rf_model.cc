@@ -57,6 +57,77 @@ RfScalingModel::referenceCores()
     };
 }
 
+std::uint32_t
+RfScalingModel::frameCycles(std::uint32_t bits, const RfSpec &spec)
+{
+    // 1 cycle = 1 ns, so bits-per-cycle equals the Gb/s figure.
+    const double cycles =
+        std::ceil(static_cast<double>(bits) / spec.bandwidthGbps);
+    return cycles < 1.0 ? 1u : static_cast<std::uint32_t>(cycles);
+}
+
+RfChannelModel::RfChannelModel(std::uint32_t num_nodes,
+                               const RfChannelConfig &cfg)
+    : numNodes_(num_nodes), cfg_(cfg)
+{
+    side_ = 1;
+    while (side_ * side_ < numNodes_)
+        ++side_;
+    pathLossDb_.resize(static_cast<std::size_t>(numNodes_) * numNodes_);
+    for (std::uint32_t tx = 0; tx < numNodes_; ++tx)
+        for (std::uint32_t rx = 0; rx < numNodes_; ++rx)
+            pathLossDb_[idx(tx, rx)] =
+                cfg_.plRefDb + cfg_.plSlopeDbPerMm * distanceMm(tx, rx);
+}
+
+double
+RfChannelModel::distanceMm(std::uint32_t tx, std::uint32_t rx) const
+{
+    const double pitch = cfg_.chipEdgeMm / static_cast<double>(side_);
+    const double dx = (static_cast<double>(tx % side_) -
+                       static_cast<double>(rx % side_)) *
+                      pitch;
+    const double dy = (static_cast<double>(tx / side_) -
+                       static_cast<double>(rx / side_)) *
+                      pitch;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+double
+RfChannelModel::snrDb(std::uint32_t tx, std::uint32_t rx) const
+{
+    return cfg_.txPowerDbm - pathLossDb(tx, rx) - cfg_.noiseFloorDbm;
+}
+
+double
+RfChannelModel::bitErrorRate(std::uint32_t tx, std::uint32_t rx) const
+{
+    // Non-coherent OOK envelope detection: BER = 0.5 * exp(-SNR/2)
+    // (linear SNR), saturating at coin-flip for hopeless links.
+    const double snr = std::pow(10.0, snrDb(tx, rx) / 10.0);
+    const double ber = 0.5 * std::exp(-snr / 2.0);
+    return ber < 0.0 ? 0.0 : (ber > 0.5 ? 0.5 : ber);
+}
+
+double
+RfChannelModel::broadcastErrorRate(std::uint32_t tx,
+                                   std::uint32_t bits) const
+{
+    // P(all receivers get all bits) in log space to survive the
+    // product over numNodes * bits Bernoulli terms without underflow.
+    double log_ok = 0.0;
+    for (std::uint32_t rx = 0; rx < numNodes_; ++rx) {
+        if (rx == tx)
+            continue;
+        const double ber = bitErrorRate(tx, rx);
+        if (ber >= 1.0)
+            return 1.0;
+        log_ok += static_cast<double>(bits) * std::log1p(-ber);
+    }
+    const double per = -std::expm1(log_ok);
+    return per < 0.0 ? 0.0 : (per > 1.0 ? 1.0 : per);
+}
+
 std::vector<Table4Row>
 RfScalingModel::table4()
 {

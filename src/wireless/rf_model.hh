@@ -1,6 +1,7 @@
 /**
  * @file
- * Analytical RF transceiver area/power scaling model (paper §2, §7.1).
+ * Analytical RF transceiver scaling model (paper §2, §7.1) and the
+ * per-link physical channel model (path loss / SNR / BER).
  *
  * The paper extrapolates the measured 65 nm transceiver+antenna of
  * Yu et al. [51] (0.23 mm², 31.2 mW, 16 Gb/s at 60 GHz) to 22 nm:
@@ -20,6 +21,7 @@
 #ifndef WISYNC_WIRELESS_RF_MODEL_HH
 #define WISYNC_WIRELESS_RF_MODEL_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -77,6 +79,106 @@ class RfScalingModel
 
     /** Compute Table 4: T+2A relative to each reference core. */
     static std::vector<Table4Row> table4();
+
+    /**
+     * 1 ns channel slots a @p bits control frame occupies at
+     * @p spec's bandwidth (ceil, at least 1). Prices token-family
+     * control traffic through the same transceiver that carries data:
+     * a 16-bit token at the 16 Gb/s WiSync transceiver costs exactly
+     * one slot — the legacy tokenPassCycles constant.
+     */
+    static std::uint32_t frameCycles(std::uint32_t bits,
+                                     const RfSpec &spec);
+};
+
+/**
+ * Per-link channel parameters for the in-package 60 GHz medium.
+ *
+ * The defaults follow the measurement-driven picture of Timoneda et
+ * al. ("Engineer the Channel and Adapt to it"): within a flip-chip
+ * package the dominant trend is a roughly distance-linear path loss
+ * on top of a fixed insertion loss, with tens of dB of SNR available
+ * at millimetre ranges — so at the default transmit power the ideal
+ * channel of the rest of the simulator is recovered (BER ~ 0 on every
+ * link). Lowering txPowerDbm (or overriding individual links) walks
+ * the chip into the lossy regime.
+ */
+struct RfChannelConfig
+{
+    /** Die edge, mm; nodes sit at the centres of a ceil(sqrt(N)) grid. */
+    double chipEdgeMm = 20.0;
+    /** Insertion/reference loss at zero distance, dB. */
+    double plRefDb = 30.0;
+    /** Path-loss slope, dB per mm of straight-line distance. */
+    double plSlopeDbPerMm = 1.0;
+    /** Transmit power, dBm. */
+    double txPowerDbm = 10.0;
+    /** Receiver noise floor over the 16 GHz band incl. noise figure,
+     *  dBm (kTB at 300 K over 16 GHz is ~ -72 dBm; +10 dB NF). */
+    double noiseFloorDbm = -62.0;
+};
+
+/**
+ * Deterministic per-(tx,rx) attenuation matrix: grid geometry ->
+ * distance -> path loss -> SNR -> BER -> broadcast packet-error rate.
+ * Individual links can be overridden (a blocked or resonant path per
+ * the Timoneda measurements); the model itself draws no randomness —
+ * the packet-error Bernoulli draw happens in the DataChannel, from
+ * the transmitting node's RNG stream.
+ */
+class RfChannelModel
+{
+  public:
+    explicit RfChannelModel(std::uint32_t num_nodes,
+                            const RfChannelConfig &cfg = {});
+
+    std::uint32_t numNodes() const { return numNodes_; }
+    const RfChannelConfig &config() const { return cfg_; }
+
+    /** Straight-line distance between the two nodes' grid cells, mm. */
+    double distanceMm(std::uint32_t tx, std::uint32_t rx) const;
+
+    /** Attenuation on the (tx, rx) link, dB (override-aware). */
+    double
+    pathLossDb(std::uint32_t tx, std::uint32_t rx) const
+    {
+        return pathLossDb_[idx(tx, rx)];
+    }
+
+    /** Pin one link's attenuation (both directions stay independent). */
+    void
+    overridePathLoss(std::uint32_t tx, std::uint32_t rx, double db)
+    {
+        pathLossDb_[idx(tx, rx)] = db;
+    }
+
+    /** Received signal-to-noise ratio on the link, dB. */
+    double snrDb(std::uint32_t tx, std::uint32_t rx) const;
+
+    /** Per-bit error probability: non-coherent OOK, 0.5*exp(-SNR/2). */
+    double bitErrorRate(std::uint32_t tx, std::uint32_t rx) const;
+
+    /**
+     * Probability that a @p bits broadcast from @p tx is corrupted at
+     * one or more of the other nodes. The channel treats a broadcast
+     * as all-or-nothing (any corrupted replica voids the whole
+     * transmission and its ack), which is what keeps BM replicas
+     * coherent under loss.
+     */
+    double broadcastErrorRate(std::uint32_t tx, std::uint32_t bits) const;
+
+  private:
+    std::size_t
+    idx(std::uint32_t tx, std::uint32_t rx) const
+    {
+        return static_cast<std::size_t>(tx) * numNodes_ + rx;
+    }
+
+    std::uint32_t numNodes_;
+    std::uint32_t side_;
+    RfChannelConfig cfg_;
+    /** numNodes^2 link attenuations, overrides applied in place. */
+    std::vector<double> pathLossDb_;
 };
 
 } // namespace wisync::wireless

@@ -27,6 +27,10 @@ captureChannelStats(KernelResult &result, core::Machine &machine)
         result.macTokenWaits = mac.tokenWaits.value();
         result.macTokenRotations = mac.tokenRotations.value();
         result.macModeSwitches = mac.modeSwitches.value();
+        result.wirelessDrops = bm->dataChannel().stats().drops.value();
+        result.macAckTimeouts = mac.ackTimeouts.value();
+        result.macRetransmits = mac.retransmits.value();
+        result.macGiveups = mac.giveUps.value();
     }
 }
 
@@ -41,7 +45,11 @@ bitIdentical(const KernelResult &a, const KernelResult &b)
            a.macBackoffCycles == b.macBackoffCycles &&
            a.macTokenWaits == b.macTokenWaits &&
            a.macTokenRotations == b.macTokenRotations &&
-           a.macModeSwitches == b.macModeSwitches;
+           a.macModeSwitches == b.macModeSwitches &&
+           a.wirelessDrops == b.wirelessDrops &&
+           a.macAckTimeouts == b.macAckTimeouts &&
+           a.macRetransmits == b.macRetransmits &&
+           a.macGiveups == b.macGiveups;
 }
 
 } // namespace wisync::workloads

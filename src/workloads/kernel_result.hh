@@ -41,6 +41,19 @@ struct KernelResult
     /** BRS <-> token transitions (adaptive MAC). */
     std::uint64_t macModeSwitches = 0;
 
+    // Lossy-channel reliability telemetry (all 0 at lossPct = 0 with
+    // no SNR-derived loss, which is what keeps these fields from
+    // perturbing the loss0 identity gate). Simulated observables:
+    // included in bitIdentical().
+    /** Broadcasts corrupted by the channel (no node delivered). */
+    std::uint64_t wirelessDrops = 0;
+    /** Ack windows that expired. */
+    std::uint64_t macAckTimeouts = 0;
+    /** Retransmissions performed by the reliability layer. */
+    std::uint64_t macRetransmits = 0;
+    /** Sends abandoned after maxRetries (typed delivery failures). */
+    std::uint64_t macGiveups = 0;
+
     // Host-side fast-path telemetry, aggregated over the mesh, memory
     // and wireless layers. Deliberately NOT part of bitIdentical():
     // the fast paths are cycle-exact but these counters describe which

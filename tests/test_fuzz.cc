@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -96,12 +97,20 @@ struct FuzzResult
 FuzzResult
 fuzzRun(ConfigKind kind, std::uint64_t seed, std::uint32_t threads,
         int ops_per_thread, Machine *reuse = nullptr,
-        MacKind mac = MacKind::Brs, bool fastpath = true)
+        MacKind mac = MacKind::Brs, bool fastpath = true,
+        double loss_pct = 0.0, bool ber_from_snr = false,
+        double tx_power_dbm = 10.0,
+        const std::function<void(MachineConfig &)> &tweak = {})
 {
     auto cfg = MachineConfig::make(kind, threads);
     cfg.seed = seed;
     cfg.wireless.macKind = mac;
+    cfg.wireless.lossPct = loss_pct;
+    cfg.wireless.berFromSnr = ber_from_snr;
+    cfg.wireless.txPowerDbm = tx_power_dbm;
     cfg.setFastpath(fastpath);
+    if (tweak)
+        tweak(cfg);
     std::unique_ptr<Machine> owned;
     if (reuse != nullptr) {
         reuse->reset(cfg);
@@ -357,6 +366,76 @@ TEST(FuzzParallelSweep, RandomGridsMatchSerialAtRandomThreadCounts)
                 << "iter " << iter << " point " << i << " threads "
                 << threads;
         }
+    }
+}
+
+/**
+ * Lossy-channel dimension: random BER (uniform and SNR-derived) x
+ * MacKind x ConfigKind. Invariants: every kernel terminates inside
+ * the run limit (the reliability layer's bounded give-up plus the
+ * controller's re-issue/AFB degradation forbid hangs), BM replicas
+ * stay coherent (no lost wakeups: the barrier at the end of every
+ * fuzz thread would otherwise never release), counter bounds hold,
+ * and the same seed replays bit-identically.
+ */
+TEST(FuzzLossyChannel, RandomLossGridPreservesInvariantsAndReplays)
+{
+    wisync::sim::Rng rng(0x10551055);
+    constexpr ConfigKind kWirelessKinds[] = {ConfigKind::WiSyncNoT,
+                                             ConfigKind::WiSync};
+    for (int iter = 0; iter < 10; ++iter) {
+        const auto kind = kWirelessKinds[rng.below(2)];
+        const auto mac = kMacKinds[rng.below(4)];
+        // Up to 35% uniform loss — heavy, but the give-up probability
+        // stays far from the regime where re-issue loops crawl.
+        const double loss = static_cast<double>(rng.below(36));
+        const bool snr = rng.chance(0.25);
+        // In the SNR regime, walk the transmit power down into the
+        // band where corner transmitters go marginal.
+        const double power =
+            snr ? static_cast<double>(rng.below(8)) - 2.0 : 10.0;
+        const std::uint64_t seed =
+            0x105500 + static_cast<std::uint64_t>(iter);
+        const auto a = fuzzRun(kind, seed, 8, 20, nullptr, mac, true,
+                               loss, snr, power);
+        ASSERT_TRUE(a.completed)
+            << "iter " << iter << " loss " << loss << " snr " << snr;
+        EXPECT_TRUE(a.replicasOk);
+        EXPECT_LE(a.counter + a.bmCounter, 8u * 20u);
+        const auto b = fuzzRun(kind, seed, 8, 20, nullptr, mac, true,
+                               loss, snr, power);
+        EXPECT_EQ(a.cycles, b.cycles) << "iter " << iter;
+        EXPECT_EQ(a.counter, b.counter) << "iter " << iter;
+        EXPECT_EQ(a.bmCounter, b.bmCounter) << "iter " << iter;
+    }
+}
+
+TEST(FuzzLossyChannel, Loss0KnobsNeverPerturbTheIdealChannel)
+{
+    // Random ack/retry knob settings with lossPct = 0 must replay the
+    // ideal channel bit-for-bit (the knobs are dead state until a
+    // drop happens, and drops cannot happen).
+    wisync::sim::Rng rng(0x0FF0FF);
+    for (int iter = 0; iter < 6; ++iter) {
+        const auto mac = kMacKinds[rng.below(4)];
+        const std::uint64_t seed =
+            0x0FF000 + static_cast<std::uint64_t>(iter);
+        const auto ideal =
+            fuzzRun(ConfigKind::WiSync, seed, 8, 15, nullptr, mac);
+        ASSERT_TRUE(ideal.completed);
+        const auto ack = 1 + static_cast<std::uint32_t>(rng.below(16));
+        const auto retries = static_cast<std::uint32_t>(rng.below(12));
+        const auto exp = static_cast<std::uint32_t>(rng.below(8));
+        const auto odd = fuzzRun(
+            ConfigKind::WiSync, seed, 8, 15, nullptr, mac, true, 0.0,
+            false, 10.0, [&](MachineConfig &cfg) {
+                cfg.wireless.ackTimeoutCycles = ack;
+                cfg.wireless.maxRetries = retries;
+                cfg.wireless.retryBackoffMaxExp = exp;
+            });
+        EXPECT_EQ(ideal.cycles, odd.cycles) << "iter " << iter;
+        EXPECT_EQ(ideal.counter, odd.counter) << "iter " << iter;
+        EXPECT_EQ(ideal.bmCounter, odd.bmCounter) << "iter " << iter;
     }
 }
 

@@ -251,6 +251,35 @@ TEST(MacProtoToken, HoldCyclesReserveTheChannelPerGrant)
     EXPECT_EQ(parked_delivery(20), 26u); // departs at 20, +1 hop, +5
 }
 
+TEST(MacProtoToken, AutoPassPriceMatchesLegacyConstant)
+{
+    auto parked_fetch = [](std::uint32_t pass_cycles,
+                           std::uint32_t frame_bits) {
+        WirelessConfig cfg;
+        cfg.macKind = MacKind::Token;
+        cfg.tokenPassCycles = pass_cycles;
+        cfg.tokenFrameBits = frame_bits;
+        ProtoNet net(8, cfg);
+        Cycle delivered_at = 0;
+        spawnNow(net.engine, [&]() -> Task<void> {
+            co_await net.macs[3]->send(
+                false, [&] { delivered_at = net.engine.now(); });
+        });
+        net.engine.run();
+        return delivered_at;
+    };
+    // tokenPassCycles = 0 (the default) prices the hop through the RF
+    // model: a 16-bit token frame at the 16 Gb/s WiSync transceiver is
+    // exactly the legacy 1-cycle constant, so the default machine
+    // timing is unchanged.
+    EXPECT_EQ(parked_fetch(0, 16), parked_fetch(1, 16));
+    EXPECT_EQ(parked_fetch(0, 16), 3u * 1u + 5u);
+    // Wider control frames cost more slots: 48 bits -> 3 cycles/hop.
+    EXPECT_EQ(parked_fetch(0, 48), 3u * 3u + 5u);
+    // An explicit nonzero constant still wins over the RF pricing.
+    EXPECT_EQ(parked_fetch(2, 48), 3u * 2u + 5u);
+}
+
 TEST(MacProtoToken, IdleRingSchedulesNoEvents)
 {
     WirelessConfig cfg;
@@ -329,6 +358,38 @@ TEST(MacProtoAdaptive, HugeWindowNeverSwitchesAndMatchesBrsExactly)
 
     EXPECT_EQ(a.macModeSwitches, 0u);
     EXPECT_TRUE(wisync::workloads::bitIdentical(a, b));
+}
+
+TEST(MacProtoAdaptive, TryAcquireDelegatesToActivePolicy)
+{
+    // In BRS mode (the initial policy) the frameless fast path is
+    // granted immediately, recording the granting sub-policy exactly
+    // as acquire() would...
+    WirelessConfig cfg;
+    cfg.macKind = MacKind::Adaptive;
+    ProtoNet net(4, cfg);
+    EXPECT_TRUE(net.protocol->tryAcquire(2));
+    net.protocol->release(2, true);
+    // ...while the token family keeps the default refusal, leaving no
+    // trace (its senders always take the coroutine path).
+    WirelessConfig tcfg;
+    tcfg.macKind = MacKind::Token;
+    ProtoNet tnet(4, tcfg);
+    EXPECT_FALSE(tnet.protocol->tryAcquire(2));
+}
+
+TEST(MacProtoAdaptive, BrsModeSendsTakeTheFastPath)
+{
+    auto cfg = MachineConfig::make(ConfigKind::WiSyncNoT, 16);
+    cfg.wireless.macKind = MacKind::Adaptive;
+    cfg.setFastpath(true);
+    Machine m(cfg);
+    wisync::workloads::TightLoopParams p;
+    p.iterations = 4;
+    (void)wisync::workloads::runTightLoopOn(m, p);
+    // Before tryAcquire delegated to the active sub-policy, adaptive
+    // machines could never arm the frameless broadcast path.
+    EXPECT_GT(m.bm()->dataChannel().stats().fastpathHits.value(), 0u);
 }
 
 // ---- Machine-level contracts for every MacKind --------------------

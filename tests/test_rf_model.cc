@@ -1,15 +1,20 @@
 /**
  * @file
  * Tests for the RF area/power scaling model against the paper's §2,
- * §7.1 and Table 4 numbers.
+ * §7.1 and Table 4 numbers, and for the deterministic per-link
+ * channel model (grid geometry -> path loss -> SNR -> BER ->
+ * broadcast packet-error rate).
  */
 
 #include <gtest/gtest.h>
 
+#include "wireless/data_channel.hh"
 #include "wireless/rf_model.hh"
 
 namespace {
 
+using wisync::wireless::RfChannelConfig;
+using wisync::wireless::RfChannelModel;
 using wisync::wireless::RfScalingModel;
 using wisync::wireless::RfSpec;
 
@@ -71,6 +76,114 @@ TEST(RfModel, Table4Percentages)
     EXPECT_EQ(rows[1].name, "Atom Silvermont");
     EXPECT_NEAR(rows[1].areaPct, 5.6, 0.2);
     EXPECT_NEAR(rows[1].powerPct, 1.8, 0.1);
+}
+
+// ---- Control-frame pricing ----------------------------------------
+
+TEST(RfChannel, FrameCyclesPricesFramesAtTransceiverBandwidth)
+{
+    const RfSpec t = RfScalingModel::wisyncTransceiver22();
+    // 16 Gb/s in 1 ns slots = 16 bits per slot: a 16-bit token frame
+    // costs exactly the legacy 1-cycle hop, and the 77-bit data frame
+    // prices to the Table 1 5-cycle transfer.
+    EXPECT_EQ(RfScalingModel::frameCycles(16, t), 1u);
+    EXPECT_EQ(RfScalingModel::frameCycles(77, t), 5u);
+    EXPECT_EQ(RfScalingModel::frameCycles(48, t), 3u);
+    // Ceil with a floor of one slot.
+    EXPECT_EQ(RfScalingModel::frameCycles(1, t), 1u);
+    EXPECT_EQ(RfScalingModel::frameCycles(17, t), 2u);
+}
+
+// ---- Per-link channel model ---------------------------------------
+
+TEST(RfChannel, GridGeometryAndReferenceLoss)
+{
+    // 16 nodes on the 20 mm die: a 4x4 grid, 5 mm pitch.
+    const RfChannelModel m(16);
+    EXPECT_DOUBLE_EQ(m.distanceMm(3, 3), 0.0);
+    EXPECT_DOUBLE_EQ(m.distanceMm(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(m.distanceMm(0, 4), 5.0); // one row down
+    EXPECT_DOUBLE_EQ(m.distanceMm(2, 9), m.distanceMm(9, 2));
+    // Zero distance costs exactly the insertion/reference loss; every
+    // mm adds the measured slope on top.
+    EXPECT_DOUBLE_EQ(m.pathLossDb(3, 3), m.config().plRefDb);
+    EXPECT_DOUBLE_EQ(m.pathLossDb(0, 1),
+                     m.config().plRefDb + 5.0 * m.config().plSlopeDbPerMm);
+}
+
+TEST(RfChannel, BerGrowsWithDistance)
+{
+    const RfChannelModel m(16);
+    // Node 15 sits at the far corner from node 0; node 1 is adjacent.
+    EXPECT_GT(m.snrDb(0, 1), m.snrDb(0, 15));
+    EXPECT_LT(m.bitErrorRate(0, 1), m.bitErrorRate(0, 15));
+    EXPECT_GT(m.bitErrorRate(0, 15), 0.0);
+    EXPECT_LE(m.bitErrorRate(0, 15), 0.5);
+}
+
+TEST(RfChannel, DefaultChannelIsEffectivelyIdeal)
+{
+    // At the default transmit power the in-package link budget leaves
+    // tens of dB of margin (the Timoneda picture): the derived
+    // broadcast packet-error rate is negligible even for the worst
+    // transmitter on a 64-node die.
+    const RfChannelModel m(64);
+    for (const std::uint32_t tx : {0u, 27u, 63u})
+        EXPECT_LT(m.broadcastErrorRate(
+                      tx, wisync::wireless::kDataFrameBits),
+                  1e-6);
+}
+
+TEST(RfChannel, LowTransmitPowerEntersTheLossyRegime)
+{
+    RfChannelConfig cfg;
+    cfg.txPowerDbm = -20.0;
+    const RfChannelModel m(16, cfg);
+    EXPECT_GT(m.broadcastErrorRate(0, wisync::wireless::kDataFrameBits),
+              0.5);
+}
+
+TEST(RfChannel, WiderFramesCarryMoreRisk)
+{
+    RfChannelConfig cfg;
+    cfg.txPowerDbm = 5.0;
+    const RfChannelModel m(16, cfg);
+    const double data =
+        m.broadcastErrorRate(0, wisync::wireless::kDataFrameBits);
+    const double bulk =
+        m.broadcastErrorRate(0, wisync::wireless::kBulkFrameBits);
+    EXPECT_GT(data, 0.0);
+    EXPECT_GT(bulk, data);
+    EXPECT_LE(bulk, 1.0);
+}
+
+TEST(RfChannel, LinkOverrideIsDirectional)
+{
+    RfChannelModel m(16);
+    const double reverse = m.bitErrorRate(1, 0);
+    m.overridePathLoss(0, 1, 150.0);
+    // The blocked path kills the (0 -> 1) link — and with it every
+    // broadcast from node 0 (all-or-nothing) — while the reverse
+    // direction and other transmitters are untouched.
+    EXPECT_NEAR(m.bitErrorRate(0, 1), 0.5, 1e-6);
+    EXPECT_DOUBLE_EQ(m.bitErrorRate(1, 0), reverse);
+    EXPECT_GT(m.broadcastErrorRate(0, wisync::wireless::kDataFrameBits),
+              0.99);
+    EXPECT_LT(m.broadcastErrorRate(1, wisync::wireless::kDataFrameBits),
+              1e-6);
+}
+
+TEST(RfChannel, NonSquareNodeCountsGetTheEnclosingGrid)
+{
+    // 6 nodes -> a 3x3 grid with the last cells empty; distances stay
+    // finite and the matrix covers every real pair.
+    const RfChannelModel m(6);
+    for (std::uint32_t tx = 0; tx < 6; ++tx)
+        for (std::uint32_t rx = 0; rx < 6; ++rx) {
+            EXPECT_GE(m.pathLossDb(tx, rx), m.config().plRefDb);
+            if (tx != rx)
+                EXPECT_GT(m.distanceMm(tx, rx), 0.0);
+        }
 }
 
 } // namespace
