@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Multi-chip scale-out: speedup vs chip count at a fixed machine size.
+ *
+ * The kilocore question the chip grid answers: with the total core
+ * count held constant, does tiling the machine into more chips — each
+ * with its own wireless domain under the FrequencyPlan, coupled by the
+ * serialized ChipBridge — pay for the bridge latency it introduces?
+ * Three workloads bracket the answer on both wireless kinds:
+ *
+ *  - BarrierStorm (TightLoop, zero-element array): nothing but
+ *    machine-wide barriers. The hierarchical MultiChipBarrier's
+ *    global phase rides the bridge every round — the worst case.
+ *  - TightLoop (50-element array): the paper's Fig. 7 kernel, where
+ *    per-chip channels absorb the broadcast storm between barriers.
+ *  - CAS-LIFO: cross-chip RMW contention; stale-replica AFB aborts
+ *    measure the coherence cost directly.
+ *
+ * The grid (kind x workload x chip count, 256 cores total) runs
+ * through harness::ParallelSweep twice — serially and at the
+ * environment's worker count — and must merge bit-identically,
+ * bridge and stale-abort telemetry included. Two extra 64-core
+ * WiSync barrier-storm points (1 chip vs 4) measure the intra- vs
+ * inter-chip synchronization cost per barrier: the bridge's latency
+ * must be visible (inter > intra), or the bridge model is vacuous.
+ * bench/check_bench.py gates the record ("multichip" in
+ * BENCH_sweep.json): identity, completion, >= 256 cores swept,
+ * inter > intra, and frames actually crossing the bridge.
+ *
+ * With --json the bench emits only the machine-readable record (for
+ * bench/run_bench.sh --sweep); by default it prints the scale table.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hh"
+#include "harness/report.hh"
+#include "workloads/cas_kernels.hh"
+#include "workloads/tight_loop.hh"
+
+using namespace wisync;
+
+namespace {
+
+struct Point
+{
+    core::ConfigKind kind;
+    const char *workload;
+    std::uint32_t chips;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool json_only =
+        argc > 1 && std::strcmp(argv[1], "--json") == 0;
+    const bool quick = harness::sweepMode() == harness::SweepMode::Quick;
+
+    // The acceptance floor is a >= 256-core machine even in quick
+    // mode; quick only trims the chip axis and the iteration counts.
+    const std::uint32_t total_cores = 256;
+    const std::vector<std::uint32_t> chip_counts =
+        quick ? std::vector<std::uint32_t>{1, 4}
+              : std::vector<std::uint32_t>{1, 2, 4};
+    const std::vector<core::ConfigKind> kinds = {
+        core::ConfigKind::WiSync, core::ConfigKind::WiSyncNoT};
+
+    workloads::TightLoopParams storm;
+    storm.iterations = quick ? 4 : 8;
+    storm.arrayElems = 0;
+    storm.runLimit = 20'000'000;
+    workloads::TightLoopParams tight;
+    tight.iterations = quick ? 4 : 8;
+    tight.runLimit = 20'000'000;
+    workloads::CasKernelParams cas;
+    cas.criticalSectionInstr = 128;
+    cas.duration = quick ? 20'000 : 60'000;
+
+    harness::ParallelSweep sweep;
+    std::vector<Point> grid;
+    for (const auto kind : kinds) {
+        for (const auto chips : chip_counts) {
+            auto cfg = core::MachineConfig::make(kind, total_cores);
+            cfg.numChips = chips;
+            grid.push_back({kind, "BarrierStorm", chips});
+            sweep.add(cfg, [storm](core::Machine &m) {
+                return workloads::runTightLoopOn(m, storm);
+            });
+            grid.push_back({kind, "TightLoop", chips});
+            sweep.add(cfg, [tight](core::Machine &m) {
+                return workloads::runTightLoopOn(m, tight);
+            });
+            grid.push_back({kind, "CAS-LIFO", chips});
+            sweep.add(cfg, [cas](core::Machine &m) {
+                return workloads::runCasKernelOn(workloads::CasKernel::Lifo,
+                                                 m, cas);
+            });
+        }
+    }
+
+    // Intra- vs inter-chip synchronization cost: the same 64-core
+    // WiSync barrier storm, once on one die (tone barrier) and once
+    // tiled over 4 chips (MultiChipBarrier's global phase crosses the
+    // bridge every round). Appended to the same sweep so the identity
+    // leg covers these points too.
+    const std::size_t intra_idx = grid.size();
+    for (const std::uint32_t chips : {1u, 4u}) {
+        auto cfg = core::MachineConfig::make(core::ConfigKind::WiSync, 64);
+        cfg.numChips = chips;
+        grid.push_back({core::ConfigKind::WiSync, "SyncCost", chips});
+        sweep.add(cfg, [storm](core::Machine &m) {
+            return workloads::runTightLoopOn(m, storm);
+        });
+    }
+
+    const auto serial = sweep.run(1);
+    const unsigned threads = harness::ParallelSweep::threads();
+    const auto parallel = sweep.run(threads);
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i)
+        identical = workloads::bitIdentical(serial[i], parallel[i]);
+
+    bool all_completed = true;
+    std::uint64_t bridge_frames = 0, stale_aborts = 0;
+    for (const auto &r : serial) {
+        all_completed = all_completed && r.completed;
+        bridge_frames += r.bridgeFrames;
+        stale_aborts += r.staleRmwAborts;
+    }
+
+    const double intra_per_barrier =
+        static_cast<double>(serial[intra_idx].cycles) / storm.iterations;
+    const double inter_per_barrier =
+        static_cast<double>(serial[intra_idx + 1].cycles) /
+        storm.iterations;
+
+    const bool ok = identical && all_completed &&
+                    inter_per_barrier > intra_per_barrier;
+
+    if (json_only) {
+        std::printf(
+            "{\"grid\": \"multichip\", \"points\": %zu, "
+            "\"threads\": %u, \"results_identical\": %s, "
+            "\"all_completed\": %s, \"total_cores_max\": %u, "
+            "\"intra_cycles_per_barrier\": %.2f, "
+            "\"inter_cycles_per_barrier\": %.2f, "
+            "\"bridge_frames\": %llu, \"stale_rmw_aborts\": %llu}\n",
+            grid.size(), threads, identical ? "true" : "false",
+            all_completed ? "true" : "false", total_cores,
+            intra_per_barrier, inter_per_barrier,
+            static_cast<unsigned long long>(bridge_frames),
+            static_cast<unsigned long long>(stale_aborts));
+        return ok ? 0 : 1;
+    }
+
+    harness::TextTable tab("Multi-chip scale-out (256 cores total, "
+                           "chips x workload)");
+    tab.header({"Config", "Workload", "Chips", "Cycles", "Speedup",
+                "Bridge frames", "Stale aborts"});
+    for (std::size_t i = 0; i < intra_idx; ++i) {
+        const auto &r = serial[i];
+        // Speedup vs the 1-chip tiling of the same (kind, workload):
+        // chip_counts always leads with 1, so that point is the first
+        // matching entry in the grid.
+        std::size_t base = 0;
+        while (grid[base].kind != grid[i].kind ||
+               std::strcmp(grid[base].workload, grid[i].workload) != 0)
+            ++base;
+        const double speedup =
+            r.cycles == 0 ? 0.0
+                          : static_cast<double>(serial[base].cycles) /
+                                static_cast<double>(r.cycles);
+        tab.row({toString(grid[i].kind), grid[i].workload,
+                 std::to_string(grid[i].chips),
+                 r.completed ? std::to_string(r.cycles)
+                             : std::string("run limit"),
+                 harness::fmt(speedup, 2) + "x",
+                 std::to_string(r.bridgeFrames),
+                 std::to_string(r.staleRmwAborts)});
+    }
+    tab.print(std::cout);
+    std::printf("sync cost per barrier (64-core WiSync storm): "
+                "%.1f cycles on one die, %.1f across 4 chips\n",
+                intra_per_barrier, inter_per_barrier);
+    std::cout << (identical ? "serial/parallel results identical\n"
+                            : "DETERMINISM VIOLATION: serial and "
+                              "parallel results differ\n");
+    return ok ? 0 : 1;
+}

@@ -32,6 +32,14 @@ every drop is answered by a retransmission or a typed give-up — no
 silent loss, no hang), plus a sanity floor on lossy_drops (the loss
 model must actually drop packets at lossPct = 10).
 
+The multi-chip record ("multichip", emitted by bench_multichip
+--json) is gated the same way: serial/parallel identity of the chip
+grid, every tiling completing, a scale-out sweep that actually
+reaches >= 256 total cores, an inter-chip barrier measurably more
+expensive than the intra-chip one (the bridge latency must show up,
+or the bridge model is vacuous), and at least one frame actually
+crossing the bridge.
+
 Usage: bench/check_bench.py [BENCH_kernel.json] [--sweep BENCH_sweep.json]
 Exit status 0 = all gates pass.
 """
@@ -207,6 +215,37 @@ def main():
                      f"mac_ablation lossy_drops = "
                      f"{mac.get('lossy_drops')} (gate: >= 1) — the "
                      "loss model must actually drop packets")
+
+        mc = sweep.get("multichip")
+        if mc is None:
+            failures.append(f"missing 'multichip' record in "
+                            f"{sweep_path}")
+        else:
+            def mc_gate(cond, line):
+                checks.append(line)
+                if not cond:
+                    failures.append(f"FAIL {line}")
+
+            mc_gate(mc.get("results_identical", False),
+                    "multichip results_identical — the chip grid must "
+                    "merge identically at any thread count")
+            mc_gate(mc.get("all_completed", False),
+                    "multichip all_completed — no tiling may deadlock "
+                    "a workload across the bridge")
+            mc_gate(mc.get("total_cores_max", 0) >= 256,
+                    f"multichip total_cores_max = "
+                    f"{mc.get('total_cores_max')} (gate: >= 256) — the "
+                    "scale-out grid must reach kilocore territory")
+            intra = mc.get("intra_cycles_per_barrier", 0.0)
+            inter = mc.get("inter_cycles_per_barrier", 0.0)
+            mc_gate(inter > intra > 0,
+                    f"multichip sync cost: inter = {inter} > intra = "
+                    f"{intra} cycles/barrier — the bridge latency must "
+                    "be visible in cross-chip synchronization")
+            mc_gate(mc.get("bridge_frames", 0) >= 1,
+                    f"multichip bridge_frames = "
+                    f"{mc.get('bridge_frames')} (gate: >= 1) — global "
+                    "BM traffic must actually cross the bridge")
 
     for line in checks:
         print(" ", line)

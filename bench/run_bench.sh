@@ -115,15 +115,24 @@ if [[ $SWEEP -eq 1 ]]; then
     echo "== bench_ablation_mac (protocol grid, serial vs N threads)"
     MAC_JSON=$("$MAC_EXE" --json)
     echo "   $MAC_JSON"
+    # Multi-chip scale-out record: speedup vs chip count at 256 cores,
+    # serial-vs-parallel identity, and the intra- vs inter-chip
+    # barrier-cost measurement check_bench.py gates.
+    MC_EXE="$BUILD_DIR/bench/bench_multichip"
+    require_exe "$MC_EXE"
+    echo "== bench_multichip (chip grid, serial vs N threads)"
+    MC_JSON=$("$MC_EXE" --json)
+    echo "   $MC_JSON"
     ROWFILE=$(mktemp)
     trap 'rm -f "$ROWFILE"' EXIT
     printf '%s' "$ROWS" >"$ROWFILE"
     python3 - "$SWEEP_OUT" "$MODE" "$ROWFILE" "$BASELINE_NAME" \
-        "$PARALLEL_JSON" "$MAC_JSON" <<'EOF'
+        "$PARALLEL_JSON" "$MAC_JSON" "$MC_JSON" <<'EOF'
 import json, sys
 out, mode, name = sys.argv[1], sys.argv[2], sys.argv[4]
 parallel = json.loads(sys.argv[5])
 mac = json.loads(sys.argv[6])
+multichip = json.loads(sys.argv[7])
 rows = []
 for line in open(sys.argv[3]):
     parts = line.split()
@@ -163,6 +172,14 @@ doc = {
                            "identical; counters are deterministic "
                            "simulation outputs",
     "mac_ablation": mac,
+    "multichip_method": "kind x workload x chip-count grid at 256 "
+                        "total cores (per-chip wireless domains under "
+                        "the FrequencyPlan, ChipBridge coherence) run "
+                        "serially and at WISYNC_SWEEP_THREADS workers; "
+                        "merged results verified identical; the sync-"
+                        "cost pair measures a 64-core barrier storm on "
+                        "one die vs tiled over 4 chips",
+    "multichip": multichip,
     "benches": rows,
 }
 with open(out, "w") as f:
@@ -179,6 +196,11 @@ print(f"  lossy channel: {mac.get('lossy_points', 0)} points, "
       f"loss0_identical={mac.get('loss0_identical')}, "
       f"delivered_or_reported={mac.get('all_delivered_or_reported')}, "
       f"drops={mac.get('lossy_drops')}")
+print(f"  multichip: {multichip['points']} points, identical="
+      f"{multichip['results_identical']}, sync cost "
+      f"{multichip['intra_cycles_per_barrier']} intra vs "
+      f"{multichip['inter_cycles_per_barrier']} inter cycles/barrier, "
+      f"bridge_frames={multichip['bridge_frames']}")
 for r in rows:
     extra = ""
     k = f"speedup_{name}_over_reuse"

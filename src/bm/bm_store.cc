@@ -9,10 +9,12 @@ namespace wisync::bm {
 
 BmStore::BmStore(sim::Engine &engine, std::uint32_t num_nodes,
                  std::uint32_t words_per_node)
-    : engine_(engine), numNodes_(num_nodes), words_(words_per_node)
+    : engine_(engine), numNodes_(num_nodes), words_(words_per_node),
+      watches_(engine)
 {
     replicas_.assign(numNodes_, std::vector<std::uint64_t>(words_, 0));
     tags_.assign(words_, kNoPid);
+    scopes_.assign(words_, BmScope::Global);
 }
 
 std::uint64_t
@@ -28,12 +30,22 @@ BmStore::writeAll(sim::BmAddr addr, std::uint64_t value)
     WISYNC_ASSERT(addr < words_, "BM write OOB");
     for (std::uint32_t n = 0; n < numNodes_; ++n)
         replicas_[n][addr] = value;
-    for (std::uint32_t n = 0; n < numNodes_; ++n) {
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(addr) << 10) | n;
-        if (const auto it = watches_.find(key); it != watches_.end())
-            it->second->raise();
-    }
+    for (std::uint32_t n = 0; n < numNodes_; ++n)
+        if (coro::VersionedEvent *ev = watches_.find(watchKey(n, addr)))
+            ev->raise();
+}
+
+void
+BmStore::writeChip(sim::NodeId first, std::uint32_t count, sim::BmAddr addr,
+                   std::uint64_t value)
+{
+    WISYNC_ASSERT(addr < words_ && first + count <= numNodes_,
+                  "BM chip write OOB");
+    for (std::uint32_t n = first; n < first + count; ++n)
+        replicas_[n][addr] = value;
+    for (std::uint32_t n = first; n < first + count; ++n)
+        if (coro::VersionedEvent *ev = watches_.find(watchKey(n, addr)))
+            ev->raise();
 }
 
 void
@@ -45,12 +57,41 @@ BmStore::toggleAll(sim::BmAddr addr)
     writeAll(addr, replicas_[0][addr] == 0 ? 1 : 0);
 }
 
+void
+BmStore::toggleChip(sim::NodeId first, std::uint32_t count, sim::BmAddr addr)
+{
+    WISYNC_ASSERT(addr < words_ && first + count <= numNodes_,
+                  "BM chip toggle OOB");
+    writeChip(first, count, addr, replicas_[first][addr] == 0 ? 1 : 0);
+}
+
 bool
 BmStore::replicasConsistent() const
 {
     for (std::uint32_t n = 1; n < numNodes_; ++n)
         if (replicas_[n] != replicas_[0])
             return false;
+    return true;
+}
+
+bool
+BmStore::replicasConsistent(std::uint32_t cores_per_chip) const
+{
+    if (cores_per_chip == 0 || cores_per_chip >= numNodes_)
+        return replicasConsistent();
+    for (std::uint32_t n = 0; n < numNodes_; ++n) {
+        const std::uint32_t chip_first = n - n % cores_per_chip;
+        if (n != chip_first && replicas_[n] != replicas_[chip_first])
+            return false;
+    }
+    for (std::uint32_t w = 0; w < words_; ++w) {
+        if (scopes_[w] != BmScope::Global)
+            continue;
+        for (std::uint32_t first = cores_per_chip; first < numNodes_;
+             first += cores_per_chip)
+            if (replicas_[first][w] != replicas_[0][w])
+                return false;
+    }
     return true;
 }
 
@@ -69,12 +110,27 @@ BmStore::tag(sim::BmAddr addr) const
 }
 
 void
+BmStore::setScope(sim::BmAddr addr, BmScope scope)
+{
+    WISYNC_ASSERT(addr < words_, "BM scope OOB");
+    scopes_[addr] = scope;
+}
+
+BmScope
+BmStore::scope(sim::BmAddr addr) const
+{
+    WISYNC_ASSERT(addr < words_, "BM scope OOB");
+    return scopes_[addr];
+}
+
+void
 BmStore::reset()
 {
     for (auto &replica : replicas_)
         std::fill(replica.begin(), replica.end(), 0);
     std::fill(tags_.begin(), tags_.end(), kNoPid);
-    watches_.clear();
+    std::fill(scopes_.begin(), scopes_.end(), BmScope::Global);
+    watches_.reset(); // recycles events instead of freeing them
 }
 
 std::uint64_t
@@ -93,11 +149,7 @@ BmStore::fingerprint() const
 coro::VersionedEvent &
 BmStore::watch(sim::NodeId node, sim::BmAddr addr)
 {
-    const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 10) | node;
-    auto &slot = watches_[key];
-    if (!slot)
-        slot = std::make_unique<coro::VersionedEvent>(engine_);
-    return *slot;
+    return watches_[watchKey(node, addr)];
 }
 
 } // namespace wisync::bm

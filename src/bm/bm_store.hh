@@ -8,17 +8,22 @@
  * instant updates every replica in one simulation step. Each 64-bit
  * entry is tagged with the PID of the owning program; a PID mismatch
  * on access is a protection violation (§4.4).
+ *
+ * Multi-chip: with several chips each broadcast commits on its own
+ * chip's replica group first (writeChip); the inter-chip bridge
+ * re-applies it on the other chips a bridge latency later. Words may
+ * be marked chip-local (setScope): those never cross the bridge, and
+ * the replica-consistency invariant for them holds per chip only.
  */
 
 #ifndef WISYNC_BM_BM_STORE_HH
 #define WISYNC_BM_BM_STORE_HH
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "coro/primitives.hh"
+#include "coro/watch_table.hh"
 #include "sim/engine.hh"
 #include "sim/types.hh"
 
@@ -26,6 +31,15 @@ namespace wisync::bm {
 
 /** Tag value for unallocated entries. */
 inline constexpr sim::Pid kNoPid = 0xFFFF;
+
+/** Sharing scope of a BM word (multi-chip machines). */
+enum class BmScope : std::uint8_t
+{
+    /** Bridged to every chip (the default; single-chip semantics). */
+    Global,
+    /** Never crosses the bridge; each chip's copies are independent. */
+    ChipLocal,
+};
 
 /** Per-node replicated broadcast memories + word-update events. */
 class BmStore
@@ -46,15 +60,39 @@ class BmStore
      */
     void writeAll(sim::BmAddr addr, std::uint64_t value);
 
+    /**
+     * Write the replicas of nodes [@p first, @p first + @p count) only
+     * (a chip-local commit or a bridged re-apply) and wake exactly
+     * that range's watchers.
+     */
+    void writeChip(sim::NodeId first, std::uint32_t count, sim::BmAddr addr,
+                   std::uint64_t value);
+
     /** Toggle 0 <-> 1 on every replica (tone-barrier release). */
     void toggleAll(sim::BmAddr addr);
+
+    /** Toggle 0 <-> 1 on one chip's replicas (per-chip tone release). */
+    void toggleChip(sim::NodeId first, std::uint32_t count,
+                    sim::BmAddr addr);
 
     /** Verify all replicas agree (model invariant; for tests). */
     bool replicasConsistent() const;
 
+    /**
+     * Multi-chip invariant: within every @p cores_per_chip-node group
+     * all replicas agree, and Global-scope words additionally agree
+     * across groups (only meaningful at quiescence — in-flight bridge
+     * frames legitimately leave chips divergent mid-run).
+     */
+    bool replicasConsistent(std::uint32_t cores_per_chip) const;
+
     /** PID tag management (chunk-granularity protection, §4.4). */
     void setTag(sim::BmAddr addr, sim::Pid pid);
     sim::Pid tag(sim::BmAddr addr) const;
+
+    /** Sharing scope (multi-chip; Global unless marked otherwise). */
+    void setScope(sim::BmAddr addr, BmScope scope);
+    BmScope scope(sim::BmAddr addr) const;
 
     /** Per-(node,word) update event for event-driven spinning. */
     coro::VersionedEvent &watch(sim::NodeId node, sim::BmAddr addr);
@@ -69,14 +107,21 @@ class BmStore
     std::uint64_t fingerprint() const;
 
   private:
+    static std::uint64_t
+    watchKey(sim::NodeId node, sim::BmAddr addr)
+    {
+        // 16 node bits: the old << 10 packing was exactly exhausted at
+        // 1024 nodes and aliased beyond.
+        return (static_cast<std::uint64_t>(addr) << 16) | node;
+    }
+
     sim::Engine &engine_;
     std::uint32_t numNodes_;
     std::uint32_t words_;
     std::vector<std::vector<std::uint64_t>> replicas_; // [node][word]
     std::vector<sim::Pid> tags_;
-    std::unordered_map<std::uint64_t,
-                       std::unique_ptr<coro::VersionedEvent>>
-        watches_;
+    std::vector<BmScope> scopes_;
+    coro::WatchTable watches_;
 };
 
 } // namespace wisync::bm

@@ -8,51 +8,132 @@ namespace wisync::bm {
 
 BmSystem::BmSystem(sim::Engine &engine, std::uint32_t num_nodes,
                    const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
-                   sim::Rng rng, bool with_tone)
+                   sim::Rng rng, bool with_tone, std::uint32_t num_chips,
+                   const noc::BridgeConfig &bridge_cfg)
     : engine_(engine), numNodes_(num_nodes), cfg_(cfg),
-      store_(engine, num_nodes, cfg.words()), channel_(engine, wcfg)
+      store_(engine, num_nodes, cfg.words())
 {
-    macProtocol_ =
-        wireless::makeMacProtocol(wcfg, engine_, channel_, numNodes_);
+    rebuildChipTopology(wcfg, bridge_cfg, num_chips);
+    // Per-node MACs fork the RNG in global node order — the contract
+    // that keeps a reset machine's random stream identical to a fresh
+    // one regardless of the chip tiling.
     macs_.reserve(numNodes_);
     for (std::uint32_t n = 0; n < numNodes_; ++n)
         macs_.push_back(std::make_unique<wireless::Mac>(
-            engine_, channel_, *macProtocol_, n, rng.fork()));
-    // The Tone channel hardware is always built; whether the config
-    // exposes it (WiSync vs WiSyncNoT) is a flag, so reset() can move
-    // one machine between kinds without reallocating anything.
-    tone_ = std::make_unique<wireless::ToneChannel>(engine_, numNodes_,
-                                                    cfg_.allocSlots);
-    tone_->setReleaseHandler(
-        [this](sim::BmAddr addr) { store_.toggleAll(addr); });
+            engine_, *channels_[channelIdxOf(n)],
+            *macProtocols_[channelIdxOf(n)], channelLocalNode(n),
+            rng.fork()));
     toneEnabled_ = with_tone;
     pendingRmw_.resize(numNodes_);
     configureLoss(wcfg);
 }
 
 void
+BmSystem::rebuildChipTopology(const wireless::WirelessConfig &wcfg,
+                              const noc::BridgeConfig &bridge_cfg,
+                              std::uint32_t num_chips)
+{
+    numChips_ = num_chips == 0 ? 1 : num_chips;
+    WISYNC_FATAL_IF(numNodes_ % numChips_ != 0,
+                    "cores must divide evenly among chips");
+    coresPerChip_ = numNodes_ / numChips_;
+    plan_ = wireless::FrequencyPlan(numChips_, wcfg.spectrumSlots);
+    channels_.clear();
+    macProtocols_.clear();
+    for (std::uint32_t ch = 0; ch < plan_.channels(); ++ch) {
+        channels_.push_back(
+            std::make_unique<wireless::DataChannel>(engine_, wcfg));
+        macProtocols_.push_back(wireless::makeMacProtocol(
+            wcfg, engine_, *channels_[ch],
+            plan_.chipsOnChannel(ch) * coresPerChip_));
+    }
+    // The Tone channel hardware is always built; whether the config
+    // exposes it (WiSync vs WiSyncNoT) is a flag, so reset() can move
+    // one machine between kinds without reallocating anything.
+    tones_.clear();
+    for (std::uint32_t chip = 0; chip < numChips_; ++chip) {
+        tones_.push_back(std::make_unique<wireless::ToneChannel>(
+            engine_, coresPerChip_, cfg_.allocSlots));
+        if (numChips_ == 1)
+            tones_[chip]->setReleaseHandler(
+                [this](sim::BmAddr addr) { store_.toggleAll(addr); });
+        else
+            tones_[chip]->setReleaseHandler(
+                [this, chip](sim::BmAddr addr) {
+                    store_.toggleChip(chip * coresPerChip_, coresPerChip_,
+                                      addr);
+                });
+    }
+    bridgeCfg_ = bridge_cfg;
+    if (numChips_ > 1) {
+        bridge_ = std::make_unique<noc::ChipBridge>(engine_, bridge_cfg);
+        globalVersion_.assign(store_.words(), 0);
+        appliedVersion_.assign(
+            static_cast<std::size_t>(numChips_) * store_.words(), 0);
+    } else {
+        bridge_.reset();
+        globalVersion_.clear();
+        appliedVersion_.clear();
+    }
+    framePool_.clear();
+    freeFrames_.clear();
+}
+
+void
 BmSystem::reset(const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
-                sim::Rng rng, bool with_tone)
+                sim::Rng rng, bool with_tone, std::uint32_t num_chips,
+                const noc::BridgeConfig &bridge_cfg)
 {
     WISYNC_FATAL_IF(cfg.words() != cfg_.words() ||
                         cfg.allocSlots != cfg_.allocSlots,
                     "BmSystem::reset cannot change BM capacity");
     cfg_ = cfg;
     store_.reset();
-    channel_.reset(wcfg);
-    // Retiming may select a different MAC protocol; rebuild only then
-    // (the common same-kind reset stays allocation-free). The RNG fork
-    // order below matches construction either way — protocols never
-    // consume machine randomness.
-    if (macProtocol_->kind() != wcfg.macKind)
-        macProtocol_ =
-            wireless::makeMacProtocol(wcfg, engine_, channel_, numNodes_);
-    else
-        macProtocol_->reset();
-    // Same fork order as construction: node 0 first.
-    for (auto &mac : macs_)
-        mac->reset(*macProtocol_, rng.fork());
-    tone_->reset();
+    const std::uint32_t chips = num_chips == 0 ? 1 : num_chips;
+    const wireless::FrequencyPlan plan(chips, wcfg.spectrumSlots);
+    if (chips != numChips_ || !(plan == plan_)) {
+        // Re-tiling the machine rebuilds the chip-topology objects —
+        // the same license the macKind flip below already takes. MACs
+        // must rebind to the new channels, so they are rebuilt too,
+        // forking the RNG in the same global node order as the
+        // constructor.
+        rebuildChipTopology(wcfg, bridge_cfg, chips);
+        macs_.clear();
+        for (std::uint32_t n = 0; n < numNodes_; ++n)
+            macs_.push_back(std::make_unique<wireless::Mac>(
+                engine_, *channels_[channelIdxOf(n)],
+                *macProtocols_[channelIdxOf(n)], channelLocalNode(n),
+                rng.fork()));
+    } else {
+        for (auto &channel : channels_)
+            channel->reset(wcfg);
+        // Retiming may select a different MAC protocol; rebuild only
+        // then (the common same-kind reset stays allocation-free). The
+        // RNG fork order below matches construction either way —
+        // protocols never consume machine randomness.
+        for (std::uint32_t ch = 0; ch < channels_.size(); ++ch) {
+            if (macProtocols_[ch]->kind() != wcfg.macKind)
+                macProtocols_[ch] = wireless::makeMacProtocol(
+                    wcfg, engine_, *channels_[ch],
+                    plan_.chipsOnChannel(ch) * coresPerChip_);
+            else
+                macProtocols_[ch]->reset();
+        }
+        // Same fork order as construction: node 0 first.
+        for (std::uint32_t n = 0; n < numNodes_; ++n)
+            macs_[n]->reset(*macProtocols_[channelIdxOf(n)], rng.fork());
+        for (auto &tone : tones_)
+            tone->reset();
+        if (bridge_)
+            bridge_->reset(bridge_cfg);
+        bridgeCfg_ = bridge_cfg;
+        std::fill(globalVersion_.begin(), globalVersion_.end(), 0);
+        std::fill(appliedVersion_.begin(), appliedVersion_.end(), 0);
+        // In-flight frames died with the engine reset; recycle them.
+        freeFrames_.clear();
+        for (auto &frame : framePool_)
+            freeFrames_.push_back(frame.get());
+    }
     toneEnabled_ = with_tone;
     pendingRmw_.assign(numNodes_, PendingRmw{});
     stats_.reset();
@@ -65,36 +146,51 @@ BmSystem::configureLoss(const wireless::WirelessConfig &wcfg)
     if (!wcfg.berFromSnr) {
         // The channel construction/reset left the drop table empty;
         // any positive lossPct applies uniformly without a model.
-        rfModel_.reset();
+        rfModels_.clear();
         return;
     }
     wireless::RfChannelConfig rc;
     rc.txPowerDbm = wcfg.txPowerDbm;
-    rfModel_ =
-        std::make_unique<wireless::RfChannelModel>(numNodes_, rc);
+    // One attenuation matrix per chip: all dies share the geometry
+    // (coresPerChip transceivers each) but overrides stay per chip.
+    rfModels_.clear();
+    for (std::uint32_t chip = 0; chip < numChips_; ++chip)
+        rfModels_.push_back(
+            std::make_unique<wireless::RfChannelModel>(coresPerChip_, rc));
     refreshDropTable();
 }
 
 void
 BmSystem::refreshDropTable()
 {
-    std::vector<double> data(numNodes_);
-    std::vector<double> bulk(numNodes_);
-    for (std::uint32_t n = 0; n < numNodes_; ++n) {
-        data[n] =
-            rfModel_->broadcastErrorRate(n, wireless::kDataFrameBits);
-        bulk[n] =
-            rfModel_->broadcastErrorRate(n, wireless::kBulkFrameBits);
+    for (std::uint32_t ch = 0; ch < channels_.size(); ++ch) {
+        const std::uint32_t population =
+            plan_.chipsOnChannel(ch) * coresPerChip_;
+        std::vector<double> data(population);
+        std::vector<double> bulk(population);
+        for (std::uint32_t i = 0; i < population; ++i) {
+            // Channel-local id i -> (chip, on-die transmitter).
+            const std::uint32_t chip = plan_.chipAt(ch, i / coresPerChip_);
+            const std::uint32_t local = i % coresPerChip_;
+            data[i] = rfModels_[chip]->broadcastErrorRate(
+                local, wireless::kDataFrameBits);
+            bulk[i] = rfModels_[chip]->broadcastErrorRate(
+                local, wireless::kBulkFrameBits);
+        }
+        channels_[ch]->setDropTable(std::move(data), std::move(bulk));
     }
-    channel_.setDropTable(std::move(data), std::move(bulk));
 }
 
 void
 BmSystem::overrideLinkPathLoss(sim::NodeId tx, sim::NodeId rx, double db)
 {
-    WISYNC_ASSERT(rfModel_ != nullptr,
+    WISYNC_ASSERT(!rfModels_.empty(),
                   "overrideLinkPathLoss requires berFromSnr");
-    rfModel_->overridePathLoss(tx, rx, db);
+    const std::uint32_t chip = chipOf(tx);
+    WISYNC_ASSERT(chip == chipOf(rx),
+                  "cross-chip paths are not wireless links");
+    rfModels_[chip]->overridePathLoss(tx % coresPerChip_,
+                                      rx % coresPerChip_, db);
     refreshDropTable();
 }
 
@@ -109,19 +205,132 @@ BmSystem::checkPid(sim::BmAddr addr, sim::Pid pid, std::uint32_t count)
     }
 }
 
+BmSystem::BridgeFrame *
+BmSystem::acquireFrame()
+{
+    if (freeFrames_.empty()) {
+        framePool_.push_back(std::make_unique<BridgeFrame>());
+        freeFrames_.push_back(framePool_.back().get());
+    }
+    BridgeFrame *frame = freeFrames_.back();
+    freeFrames_.pop_back();
+    return frame;
+}
+
+void
+BmSystem::releaseFrame(BridgeFrame *frame)
+{
+    freeFrames_.push_back(frame);
+}
+
 void
 BmSystem::deliverStore(sim::NodeId src, sim::BmAddr addr,
                        const std::uint64_t *values, std::uint32_t count)
 {
-    for (std::uint32_t i = 0; i < count; ++i)
-        store_.writeAll(addr + i, values[i]);
-    // AFB: an incoming store that hits the address window of another
-    // node's pending RMW breaks that RMW's atomicity (§4.2.1).
-    for (sim::NodeId n = 0; n < numNodes_; ++n) {
+    if (numChips_ == 1) {
+        for (std::uint32_t i = 0; i < count; ++i)
+            store_.writeAll(addr + i, values[i]);
+        // AFB: an incoming store that hits the address window of
+        // another node's pending RMW breaks that RMW's atomicity
+        // (§4.2.1).
+        for (sim::NodeId n = 0; n < numNodes_; ++n) {
+            PendingRmw &p = pendingRmw_[n];
+            if (p.active && n != src && p.addr >= addr &&
+                p.addr < addr + count)
+                p.afb = true;
+        }
+        return;
+    }
+    // Multi-chip: commit on the transmitting chip now; global-scope
+    // windows additionally bump the version clocks and cross the
+    // bridge. Bulk windows may not mix scopes — the frame is one unit.
+    const std::uint32_t chip = chipOf(src);
+    const sim::NodeId first = chip * coresPerChip_;
+    const bool global = store_.scope(addr) == BmScope::Global;
+    BridgeFrame *frame = global ? acquireFrame() : nullptr;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        WISYNC_ASSERT((store_.scope(addr + i) == BmScope::Global) == global,
+                      "bulk store window mixes BM scopes");
+        store_.writeChip(first, coresPerChip_, addr + i, values[i]);
+        if (frame != nullptr) {
+            const std::uint64_t v = ++globalVersion_[addr + i];
+            appliedVersion_[static_cast<std::size_t>(chip) *
+                                store_.words() +
+                            addr + i] = v;
+            frame->values[i] = values[i];
+            frame->versions[i] = v;
+        }
+    }
+    for (sim::NodeId n = first; n < first + coresPerChip_; ++n) {
         PendingRmw &p = pendingRmw_[n];
         if (p.active && n != src && p.addr >= addr && p.addr < addr + count)
             p.afb = true;
     }
+    if (frame != nullptr) {
+        frame->addr = addr;
+        frame->count = count;
+        frame->srcChip = chip;
+        bridge_->post(count * 64,
+                      [this, frame] { applyBridged(frame); });
+    }
+}
+
+void
+BmSystem::applyBridged(BridgeFrame *frame)
+{
+    for (std::uint32_t chip = 0; chip < numChips_; ++chip) {
+        if (chip == frame->srcChip)
+            continue;
+        const sim::NodeId first = chip * coresPerChip_;
+        for (std::uint32_t i = 0; i < frame->count; ++i) {
+            const sim::BmAddr a = frame->addr + i;
+            std::uint64_t &applied =
+                appliedVersion_[static_cast<std::size_t>(chip) *
+                                    store_.words() +
+                                a];
+            // Last-writer-wins: a later write already landed here
+            // (this chip committed it locally while our frame was in
+            // flight) — applying the older value would roll it back.
+            if (frame->versions[i] <= applied)
+                continue;
+            applied = frame->versions[i];
+            store_.writeChip(first, coresPerChip_, a, frame->values[i]);
+            // The bridged commit breaks pending RMWs on this chip
+            // exactly like a same-chip delivery would (§4.2.1,
+            // extended machine-wide).
+            for (sim::NodeId n = first; n < first + coresPerChip_; ++n) {
+                PendingRmw &p = pendingRmw_[n];
+                if (p.active && p.addr == a)
+                    p.afb = true;
+            }
+        }
+    }
+    releaseFrame(frame);
+}
+
+void
+BmSystem::deliverRmw(sim::NodeId node, sim::BmAddr addr,
+                     std::uint64_t value)
+{
+    if (numChips_ > 1 && store_.scope(addr) == BmScope::Global) {
+        PendingRmw &p = pendingRmw_[node];
+        // Unlike same-chip commits (serialized on our channel, so they
+        // cannot land mid-transmission), a bridged frame can arrive
+        // between winning the slot and this delivery instant — honor
+        // the AFB it raised. And if the local replica was stale when we
+        // read it (our chip has not applied the latest global version),
+        // the value we computed is based on a lost update: abort.
+        if (p.afb ||
+            appliedVersion_[static_cast<std::size_t>(chipOf(node)) *
+                                store_.words() +
+                            addr] != globalVersion_[addr]) {
+            if (!p.afb)
+                stats_.staleRmwAborts.inc();
+            p.afb = true;
+            return;
+        }
+    }
+    deliverStore(node, addr, &value, 1);
 }
 
 coro::Task<std::uint64_t>
@@ -200,10 +409,7 @@ BmSystem::fetchAdd(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
     const std::function<bool()> abort = [&p] { return p.afb; };
     const auto sent = co_await macs_[node]->send(
         false,
-        [this, node, addr, desired] {
-            const std::uint64_t v = desired;
-            deliverStore(node, addr, &v, 1);
-        },
+        [this, node, addr, desired] { deliverRmw(node, addr, desired); },
         &abort);
     // A reliability-layer give-up rides the AFB contract: the write
     // never occurred, the instruction completes, software retries
@@ -234,12 +440,7 @@ BmSystem::testAndSet(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
     co_await coro::delay(engine_, cfg_.rmwModifyCycles);
     const std::function<bool()> abort = [&p] { return p.afb; };
     const auto sent = co_await macs_[node]->send(
-        false,
-        [this, node, addr] {
-            const std::uint64_t v = 1;
-            deliverStore(node, addr, &v, 1);
-        },
-        &abort);
+        false, [this, node, addr] { deliverRmw(node, addr, 1); }, &abort);
     // Give-up -> AFB, as in fetchAdd.
     const bool failed =
         p.afb || sent == wireless::SendOutcome::GaveUp;
@@ -275,10 +476,7 @@ BmSystem::cas(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
     const std::function<bool()> abort = [&p] { return p.afb; };
     const auto sent = co_await macs_[node]->send(
         false,
-        [this, node, addr, desired] {
-            const std::uint64_t v = desired;
-            deliverStore(node, addr, &v, 1);
-        },
+        [this, node, addr, desired] { deliverRmw(node, addr, desired); },
         &abort);
     // Give-up -> AFB, as in fetchAdd.
     const bool failed =
@@ -321,9 +519,11 @@ BmSystem::toneStore(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
                   "tone_st requires the Tone channel (WiSync config)");
     stats_.toneStores.inc();
     co_await coro::delay(engine_, 1); // tone-controller access
-    WISYNC_ASSERT(tone_->isArmed(addr, node),
+    wireless::ToneChannel &tone = *tones_[chipOf(node)];
+    const sim::NodeId local = node % coresPerChip_;
+    WISYNC_ASSERT(tone.isArmed(addr, local),
                   "tone_st from a node not armed for this barrier");
-    if (tone_->needsAnnouncement(addr)) {
+    if (tone.needsAnnouncement(addr)) {
         // First arrival (from this node's view): the tone controller
         // announces the barrier on the Data channel with the Tone bit
         // set. tone_st itself retires immediately — the MAC transmits
@@ -332,12 +532,11 @@ BmSystem::toneStore(sim::NodeId node, sim::Pid pid, sim::BmAddr addr)
         // MAC, the controller cancels the now-redundant message at
         // its transmit slot.
         stats_.toneAnnouncements.inc();
-        tone_->arrive(addr, node); // pending until activation
+        tone.arrive(addr, local); // pending until activation
         coro::spawnDetached(engine_,
-                            announceTask(node, addr,
-                                         tone_->epochOf(addr)));
+                            announceTask(node, addr, tone.epochOf(addr)));
     } else {
-        tone_->arrive(addr, node); // drop our tone
+        tone.arrive(addr, local); // drop our tone
     }
 }
 
@@ -345,16 +544,19 @@ coro::Task<void>
 BmSystem::announceTask(sim::NodeId node, sim::BmAddr addr,
                        std::uint64_t epoch)
 {
+    // The announcement travels on this chip's Data channel and acts on
+    // this chip's tone controller (tone barriers are per-die hardware).
+    wireless::ToneChannel *tone = tones_[chipOf(node)].get();
     // The abort predicate lives in this frame for the whole send.
-    const std::function<bool()> abort = [this, addr, epoch] {
-        return tone_->isActive(addr) || tone_->epochOf(addr) != epoch;
+    const std::function<bool()> abort = [tone, addr, epoch] {
+        return tone->isActive(addr) || tone->epochOf(addr) != epoch;
     };
     // Never a lost wakeup: an announcement the reliability layer gave
     // up on is re-issued until it is either delivered or genuinely
     // redundant (the abort predicate fires because another node's
     // announcement activated the barrier, or the epoch moved on).
     while (co_await macs_[node]->send(
-               false, [this, addr] { tone_->activate(addr); },
+               false, [tone, addr] { tone->activate(addr); },
                &abort) == wireless::SendOutcome::GaveUp)
         stats_.sendReissues.inc();
 }
@@ -387,7 +589,11 @@ BmSystem::allocEntries(sim::NodeId node, sim::Pid pid, sim::BmAddr addr,
 {
     WISYNC_ASSERT(addr + count <= cfg_.words(), "BM allocation OOB");
     // One broadcast allocation message carries base + PID (§4.4); on
-    // delivery every node allocates and tags the same entries.
+    // delivery every node allocates and tags the same entries. On a
+    // multi-chip machine the tags apply machine-wide at the delivery
+    // instant: allocation is setup-plane metadata, not data — modeling
+    // its bridge crossing would only delay tag visibility, never
+    // reorder data commits.
     while (co_await macs_[node]->send(
                false,
                [this, pid, addr, count] {
@@ -416,14 +622,54 @@ BmSystem::allocToneBarrier(sim::BmAddr addr, std::vector<bool> armed)
 {
     if (!toneEnabled_)
         return false;
-    return tone_->alloc(addr, std::move(armed));
+    if (numChips_ == 1)
+        return tones_[0]->alloc(addr, std::move(armed));
+    // Tone barriers are per-die hardware: the armed set must sit on
+    // one chip. A spanning set is not an error — the caller falls back
+    // to a Data-channel barrier (and, above that, the multi-chip
+    // composite barrier).
+    WISYNC_ASSERT(armed.size() == numNodes_,
+                  "armed vector must cover every node");
+    std::uint32_t chip = numChips_;
+    for (std::uint32_t n = 0; n < numNodes_; ++n) {
+        if (!armed[n])
+            continue;
+        if (chip == numChips_)
+            chip = chipOf(n);
+        else if (chipOf(n) != chip)
+            return false;
+    }
+    if (chip == numChips_)
+        return false; // nobody armed
+    std::vector<bool> local(coresPerChip_, false);
+    for (std::uint32_t l = 0; l < coresPerChip_; ++l)
+        local[l] = armed[chip * coresPerChip_ + l];
+    if (!tones_[chip]->alloc(addr, std::move(local)))
+        return false;
+    // The barrier word toggles on this chip only; mark it chip-local
+    // so the release neither crosses the bridge nor trips the global
+    // consistency invariant. The scope sticks until the next reset —
+    // the BM allocator never reuses words within a run.
+    store_.setScope(addr, BmScope::ChipLocal);
+    return true;
 }
 
 void
 BmSystem::deallocToneBarrier(sim::BmAddr addr)
 {
-    if (toneEnabled_)
-        tone_->dealloc(addr);
+    if (!toneEnabled_)
+        return;
+    for (auto &tone : tones_)
+        if (tone->isAllocated(addr))
+            tone->dealloc(addr);
+}
+
+bool
+BmSystem::anyToneArmedOn(sim::NodeId node) const
+{
+    if (!toneEnabled_)
+        return false;
+    return tones_[chipOf(node)]->anyArmedOn(node % coresPerChip_);
 }
 
 } // namespace wisync::bm

@@ -24,6 +24,21 @@
  *    (§4.2.2); the release toggles the barrier word in all replicas.
  *  - Every access checks the entry's PID tag (§4.4); a mismatch throws
  *    ProtectionFault.
+ *
+ * Multi-chip machines (numChips > 1) generalize this machine-wide:
+ * each chip owns a contiguous block of coresPerChip nodes, its own BM
+ * replica group, tone channel and die geometry (RfChannelModel); the
+ * FrequencyPlan maps chips onto data channels so separate spectrum
+ * slots transmit concurrently (the channel is the arbitration domain).
+ * A broadcast commits on the transmitting chip at its delivery instant
+ * and crosses the ChipBridge to the other replica groups afterwards;
+ * per-(chip, word) version clocks make the re-apply last-writer-wins
+ * and extend the AFB contract across chips: an RMW only commits if its
+ * chip's replica of the word was globally current at the delivery
+ * instant — otherwise AFB is raised and software retries once the
+ * bridged update has landed. Words marked chip-local in the BmStore
+ * (barrier counters and the like) skip the bridge entirely and keep
+ * exact single-chip semantics within their chip.
  */
 
 #ifndef WISYNC_BM_BM_SYSTEM_HH
@@ -39,11 +54,13 @@
 #include "bm/bm_store.hh"
 #include "coro/primitives.hh"
 #include "coro/task.hh"
+#include "noc/chip_bridge.hh"
 #include "sim/engine.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "wireless/data_channel.hh"
+#include "wireless/frequency_plan.hh"
 #include "wireless/mac/mac_protocol.hh"
 #include "wireless/rf_model.hh"
 #include "wireless/tone_channel.hh"
@@ -112,14 +129,19 @@ struct BmStats
     sim::Counter toneStores;
     sim::Counter toneAnnouncements;
     sim::Counter protectionFaults;
+    /** Multi-chip: RMWs aborted because the local replica was stale
+     *  (a bridged update had not landed yet) — a subset of
+     *  afbFailures, counted separately for the figure family. */
+    sim::Counter staleRmwAborts;
 
     /** Zero everything (assignment cannot miss a late-added field). */
     void reset() { *this = {}; }
 };
 
 /**
- * One chip's Broadcast Memory system: replicated stores, per-node
- * MACs on the shared Data channel, and the Tone channel controller.
+ * The machine's Broadcast Memory system: replicated stores, per-node
+ * MACs on the chips' Data channels, per-chip Tone channels, and (for
+ * numChips > 1) the inter-chip bridge.
  */
 class BmSystem
 {
@@ -127,10 +149,14 @@ class BmSystem
     /**
      * @param with_tone  False for WiSyncNoT (no Tone channel; tone_st
      *                   and tone barriers are unavailable).
+     * @param num_chips  Chips in the package; num_nodes must divide
+     *                   evenly. 1 keeps the exact single-chip machine.
      */
     BmSystem(sim::Engine &engine, std::uint32_t num_nodes,
              const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
-             sim::Rng rng, bool with_tone = true);
+             sim::Rng rng, bool with_tone = true,
+             std::uint32_t num_chips = 1,
+             const noc::BridgeConfig &bridge_cfg = {});
 
     // ---- Instruction surface -------------------------------------
 
@@ -204,41 +230,87 @@ class BmSystem
     coro::Task<void> deallocEntries(sim::NodeId node, sim::BmAddr addr,
                                     std::uint32_t count);
 
-    /** Register a tone barrier; false if AllocB overflows or no tone. */
+    /**
+     * Register a tone barrier; false if AllocB overflows or no tone.
+     * @p armed is indexed by global node id; on a multi-chip machine
+     * the armed nodes must all sit on one chip (the tone channel is
+     * per-die hardware) — a spanning set returns false and the caller
+     * falls back to a Data-channel barrier.
+     */
     bool allocToneBarrier(sim::BmAddr addr, std::vector<bool> armed);
     void deallocToneBarrier(sim::BmAddr addr);
 
     // ---- Introspection --------------------------------------------
 
     BmStore &storeArray() { return store_; }
-    wireless::DataChannel &dataChannel() { return channel_; }
+    /** Channel 0 (the only channel on single-chip machines). */
+    wireless::DataChannel &dataChannel() { return *channels_[0]; }
+    /** Arbitration domains under the frequency plan. */
+    std::uint32_t
+    channelCount() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+    wireless::DataChannel &
+    dataChannel(std::uint32_t channel)
+    {
+        return *channels_[channel];
+    }
+    /** Chip 0's tone channel (the only one on single-chip machines). */
     wireless::ToneChannel *
     toneChannel()
     {
-        return toneEnabled_ ? tone_.get() : nullptr;
+        return toneEnabled_ ? tones_[0].get() : nullptr;
+    }
+    wireless::ToneChannel *
+    toneChannel(std::uint32_t chip)
+    {
+        return toneEnabled_ ? tones_[chip].get() : nullptr;
     }
     wireless::Mac &mac(sim::NodeId node) { return *macs_[node]; }
-    /** The channel-wide MAC protocol (WirelessConfig::macKind). */
-    wireless::MacProtocol &macProtocol() { return *macProtocol_; }
+    /** Channel 0's MAC protocol (WirelessConfig::macKind). */
+    wireless::MacProtocol &macProtocol() { return *macProtocols_[0]; }
     const wireless::MacProtocol &macProtocol() const
     {
-        return *macProtocol_;
+        return *macProtocols_[0];
+    }
+    wireless::MacProtocol &
+    macProtocol(std::uint32_t channel)
+    {
+        return *macProtocols_[channel];
     }
     const BmStats &stats() const { return stats_; }
     const BmConfig &config() const { return cfg_; }
     bool hasTone() const { return toneEnabled_; }
 
-    /** The SNR->BER channel model (null unless berFromSnr is set). */
+    std::uint32_t numChips() const { return numChips_; }
+    std::uint32_t coresPerChip() const { return coresPerChip_; }
+    std::uint32_t
+    chipOf(sim::NodeId node) const
+    {
+        return node / coresPerChip_;
+    }
+    const wireless::FrequencyPlan &frequencyPlan() const { return plan_; }
+    /** The inter-chip bridge (null on single-chip machines). */
+    noc::ChipBridge *bridge() { return bridge_.get(); }
+    const noc::ChipBridge *bridge() const { return bridge_.get(); }
+
+    /** True if any allocated tone barrier arms @p node (global id). */
+    bool anyToneArmedOn(sim::NodeId node) const;
+
+    /** Chip 0's SNR->BER channel model (null unless berFromSnr). */
     const wireless::RfChannelModel *
     rfChannelModel() const
     {
-        return rfModel_.get();
+        return rfModels_.empty() ? nullptr : rfModels_[0].get();
     }
 
     /**
      * Pin one link's attenuation (a blocked or resonant in-package
      * path) and re-derive the channel's drop table. Requires
-     * berFromSnr; meant for experiments and tests.
+     * berFromSnr; @p tx and @p rx are global node ids on the same chip
+     * (cross-chip paths are not wireless links). Meant for experiments
+     * and tests.
      */
     void overrideLinkPathLoss(sim::NodeId tx, sim::NodeId rx, double db);
 
@@ -249,18 +321,42 @@ class BmSystem
      * reset machine draws the exact sequence a fresh one would), no
      * pending RMWs, zero stats. @p cfg / @p wcfg may change timing
      * only (capacity and AllocB slots are fixed at construction);
-     * @p with_tone may flip the Tone channel on or off (the channel
-     * hardware is always built — availability is a config property,
-     * which is what lets one machine serve every ConfigKind).
+     * @p with_tone may flip the Tone channel on or off, and
+     * @p num_chips may re-tile the machine into a different chip grid
+     * (the chip-topology objects are rebuilt only when the tiling or
+     * frequency plan actually changes — the common same-shape reset
+     * stays allocation-free).
      */
     void reset(const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
-               sim::Rng rng, bool with_tone);
+               sim::Rng rng, bool with_tone, std::uint32_t num_chips = 1,
+               const noc::BridgeConfig &bridge_cfg = {});
 
   private:
     void checkPid(sim::BmAddr addr, sim::Pid pid, std::uint32_t count = 1);
 
-    /** Build (or drop) the RF channel model per @p wcfg.berFromSnr
-     *  and install the per-transmitter drop table. */
+    /** Build channels/protocols/tones/bridge for @p num_chips. */
+    void rebuildChipTopology(const wireless::WirelessConfig &wcfg,
+                             const noc::BridgeConfig &bridge_cfg,
+                             std::uint32_t num_chips);
+
+    /** The channel index node @p node transmits on. */
+    std::uint32_t
+    channelIdxOf(sim::NodeId node) const
+    {
+        return plan_.channelOf(chipOf(node));
+    }
+
+    /** @p node's id within its channel's arbitration domain. */
+    sim::NodeId
+    channelLocalNode(sim::NodeId node) const
+    {
+        const std::uint32_t chip = chipOf(node);
+        return plan_.chipIndexOnChannel(chip) * coresPerChip_ +
+               node % coresPerChip_;
+    }
+
+    /** Build (or drop) the RF channel models per @p wcfg.berFromSnr
+     *  and install the per-transmitter drop tables. */
     void configureLoss(const wireless::WirelessConfig &wcfg);
     void refreshDropTable();
 
@@ -272,9 +368,35 @@ class BmSystem
         bool afb = false;
     };
 
+    /** A pooled in-flight bridge frame (global-scope commits only). */
+    struct BridgeFrame
+    {
+        sim::BmAddr addr = 0;
+        std::uint32_t count = 0;
+        std::uint32_t srcChip = 0;
+        std::array<std::uint64_t, 4> values{};
+        std::array<std::uint64_t, 4> versions{};
+    };
+
+    BridgeFrame *acquireFrame();
+    void releaseFrame(BridgeFrame *frame);
+
     /** Broadcast-delivery commit for a (possibly bulk) store. */
     void deliverStore(sim::NodeId src, sim::BmAddr addr,
                       const std::uint64_t *values, std::uint32_t count);
+
+    /**
+     * Delivery-instant commit of an RMW's write. On a multi-chip
+     * machine the write only commits if the transmitting chip's
+     * replica of @p addr is globally current (and AFB is still clear);
+     * otherwise AFB is raised and nothing is written — the RMW was
+     * computed from a stale value.
+     */
+    void deliverRmw(sim::NodeId node, sim::BmAddr addr,
+                    std::uint64_t value);
+
+    /** Bridge arrival: LWW-apply @p frame on every other chip. */
+    void applyBridged(BridgeFrame *frame);
 
     /** Detached tone-barrier announcement (cancellable, see §5.1). */
     coro::Task<void> announceTask(sim::NodeId node, sim::BmAddr addr,
@@ -284,14 +406,29 @@ class BmSystem
     std::uint32_t numNodes_;
     BmConfig cfg_;
     BmStore store_;
-    wireless::DataChannel channel_;
-    /** Channel-wide MAC protocol; rebuilt when reset flips macKind. */
-    std::unique_ptr<wireless::MacProtocol> macProtocol_;
+    std::uint32_t numChips_ = 1;
+    std::uint32_t coresPerChip_;
+    wireless::FrequencyPlan plan_;
+    /** One DataChannel per frequency-plan slot; >= 1. */
+    std::vector<std::unique_ptr<wireless::DataChannel>> channels_;
+    /** One MAC protocol per channel (the arbitration domain); rebuilt
+     *  when reset flips macKind or the chip tiling. */
+    std::vector<std::unique_ptr<wireless::MacProtocol>> macProtocols_;
+    /** Per-node MAC front-ends, in global node order (RNG contract). */
     std::vector<std::unique_ptr<wireless::Mac>> macs_;
-    /** Always constructed; gated by toneEnabled_ (WiSyncNoT). */
-    std::unique_ptr<wireless::ToneChannel> tone_;
-    /** SNR->BER attenuation matrix (only when berFromSnr). */
-    std::unique_ptr<wireless::RfChannelModel> rfModel_;
+    /** One ToneChannel per chip; gated by toneEnabled_ (WiSyncNoT). */
+    std::vector<std::unique_ptr<wireless::ToneChannel>> tones_;
+    /** Per-chip SNR->BER attenuation matrices (only when berFromSnr). */
+    std::vector<std::unique_ptr<wireless::RfChannelModel>> rfModels_;
+    /** Inter-chip link (numChips > 1 only). */
+    std::unique_ptr<noc::ChipBridge> bridge_;
+    noc::BridgeConfig bridgeCfg_;
+    /** Per-word global version clock (bumped at every global-scope
+     *  commit) and per-(chip, word) applied clock; empty at 1 chip. */
+    std::vector<std::uint64_t> globalVersion_;
+    std::vector<std::uint64_t> appliedVersion_; // [chip * words + word]
+    std::vector<std::unique_ptr<BridgeFrame>> framePool_;
+    std::vector<BridgeFrame *> freeFrames_;
     bool toneEnabled_ = true;
     std::vector<PendingRmw> pendingRmw_; // per node
     BmStats stats_;

@@ -11,6 +11,9 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
     WISYNC_FATAL_IF(cfg_.mesh.numNodes != cfg_.numCores,
                     "mesh size must equal core count (use "
                     "MachineConfig::make)");
+    WISYNC_FATAL_IF(cfg_.numChips == 0 ||
+                        cfg_.numCores % cfg_.numChips != 0,
+                    "numCores must divide evenly among chips");
     mesh_ = std::make_unique<noc::Mesh>(engine_, cfg_.mesh);
     mem_ = std::make_unique<mem::MemSystem>(engine_, *mesh_, memory_,
                                             cfg_.numCores, cfg_.mem);
@@ -20,7 +23,8 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
     // so a sweep over kinds runs on one reset-reused machine.
     bm_ = std::make_unique<bm::BmSystem>(engine_, cfg_.numCores, cfg_.bm,
                                          cfg_.wireless, rng_.fork(),
-                                         cfg_.hasTone());
+                                         cfg_.hasTone(), cfg_.numChips,
+                                         cfg_.bridge);
 }
 
 Machine::~Machine()
@@ -44,6 +48,9 @@ Machine::reset(const MachineConfig &cfg)
     WISYNC_FATAL_IF(!cfg.compatibleShape(cfg_),
                     "Machine::reset requires a shape-compatible config "
                     "(same kind/cores/cache/BM geometry)");
+    WISYNC_FATAL_IF(cfg.numChips == 0 ||
+                        cfg.numCores % cfg.numChips != 0,
+                    "numCores must divide evenly among chips");
     cfg_ = cfg;
     // Engine first: destroys live thread/transaction frames (whose
     // teardown may touch subsystem mutexes) and drops every pending
@@ -55,7 +62,8 @@ Machine::reset(const MachineConfig &cfg)
     memory_.clear();
     mesh_->reset(cfg_.mesh);
     mem_->reset(cfg_.mem);
-    bm_->reset(cfg_.bm, cfg_.wireless, rng_.fork(), cfg_.hasTone());
+    bm_->reset(cfg_.bm, cfg_.wireless, rng_.fork(), cfg_.hasTone(),
+               cfg_.numChips, cfg_.bridge);
     threads_.clear();
     liveThreads_ = 0;
     nextMem_ = kMemBase;
@@ -222,8 +230,7 @@ ThreadCtx::migrate(sim::NodeId new_node, sim::Cycle migrate_cost)
 {
     WISYNC_FATAL_IF(new_node >= machine_.config().numCores,
                     "migration target out of range");
-    if (machine_.bm() && machine_.bm()->hasTone() &&
-        machine_.bm()->toneChannel()->anyArmedOn(node_)) {
+    if (machine_.bm() && machine_.bm()->anyToneArmedOn(node_)) {
         throw std::runtime_error(
             "cannot migrate: a tone barrier arms this node (§5.2)");
     }

@@ -95,6 +95,10 @@ MachineConfig::describe() const
 {
     std::string out = toString(kind);
     out += " cores=" + std::to_string(numCores);
+    // Only off the default, so single-chip output stays byte-identical
+    // to pre-multichip builds.
+    if (numChips > 1)
+        out += " chips=" + std::to_string(numChips);
     out += " variant=";
     out += toString(variant);
     // Mentioned only off the default so pre-MAC-subsystem harness
@@ -106,9 +110,15 @@ MachineConfig::describe() const
     // Likewise: the loss model only appears when enabled, keeping
     // ideal-channel harness output byte-identical to pre-loss builds.
     if (wireless.lossPct > 0.0 || wireless.berFromSnr) {
-        char buf[48];
-        std::snprintf(buf, sizeof(buf), " loss=%g%%%s", wireless.lossPct,
-                      wireless.berFromSnr ? "+snr" : "");
+        // The retry knobs change behavior whenever the channel is
+        // lossy, so two sweep points differing only in them must not
+        // print identical labels.
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      " loss=%g%%%s ack=%u retries=%u boexp=%u",
+                      wireless.lossPct, wireless.berFromSnr ? "+snr" : "",
+                      wireless.ackTimeoutCycles, wireless.maxRetries,
+                      wireless.retryBackoffMaxExp);
         out += buf;
     }
     return out;

@@ -11,6 +11,7 @@
 
 #include "bm/bm_system.hh"
 #include "mem/mem_system.hh"
+#include "noc/chip_bridge.hh"
 #include "noc/mesh.hh"
 #include "wireless/data_channel.hh"
 
@@ -48,6 +49,16 @@ struct MachineConfig
     ConfigKind kind = ConfigKind::WiSync;
     Variant variant = Variant::Default;
     std::uint32_t numCores = 64;
+    /**
+     * Chips in the package. numCores counts the whole machine and must
+     * divide evenly; chip c owns the contiguous node range
+     * [c * coresPerChip(), (c+1) * coresPerChip()). Each chip gets its
+     * own BM replica group, tone channel and die geometry; the
+     * FrequencyPlan maps chips onto data channels and the ChipBridge
+     * carries global BM updates between chips. Behavioral, not
+     * structural: reset() may change it freely on one machine.
+     */
+    std::uint32_t numChips = 1;
     /** Issue width of the 1 GHz OoO core (Table 1: 2-issue). */
     std::uint32_t issueWidth = 2;
     std::uint64_t seed = 42;
@@ -56,6 +67,14 @@ struct MachineConfig
     noc::MeshConfig mesh;
     wireless::WirelessConfig wireless;
     bm::BmConfig bm;
+    noc::BridgeConfig bridge;
+
+    std::uint32_t coresPerChip() const { return numCores / numChips; }
+    std::uint32_t
+    chipOf(sim::NodeId node) const
+    {
+        return node / coresPerChip();
+    }
 
     bool
     hasWireless() const

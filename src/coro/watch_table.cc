@@ -1,0 +1,115 @@
+#include "coro/watch_table.hh"
+
+#include "sim/logging.hh"
+
+namespace wisync::coro {
+
+namespace {
+
+/** Initial slot count; a power of two (masked probing). */
+constexpr std::size_t kInitialSlots = 64;
+
+/** Occupancy ceiling, in tenths (no erase path -> no tombstones). */
+constexpr std::size_t kMaxLoadTenths = 7;
+
+} // namespace
+
+WatchTable::WatchTable(sim::Engine &engine)
+    : engine_(engine), slots_(kInitialSlots)
+{}
+
+std::size_t
+WatchTable::hashOf(std::uint64_t key)
+{
+    // splitmix64 finalizer: keys pack (location << 16 | node), so the
+    // low bits cluster by node and the rest by address locality —
+    // identity hashing would chain badly under linear probing.
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+}
+
+std::size_t
+WatchTable::probe(std::uint64_t key) const
+{
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hashOf(key) & mask;
+    while (slots_[i].event != nullptr && slots_[i].key != key)
+        i = (i + 1) & mask;
+    return i;
+}
+
+VersionedEvent &
+WatchTable::operator[](std::uint64_t key)
+{
+    std::size_t i = probe(key);
+    if (slots_[i].event != nullptr)
+        return *slots_[i].event;
+
+    if ((size_ + 1) * 10 > slots_.size() * kMaxLoadTenths) {
+        rehash(slots_.size() * 2);
+        i = probe(key);
+    }
+
+    VersionedEvent *e;
+    if (!free_.empty()) {
+        e = free_.back();
+        free_.pop_back();
+        // Scrub on acquisition: a recycled event restarts at
+        // generation zero with no waiters (the engine reset that
+        // preceded our reset() destroyed any parked frames).
+        e->reset();
+        ++stats_.recycled;
+    } else {
+        pool_.push_back(std::make_unique<VersionedEvent>(engine_));
+        e = pool_.back().get();
+        ++stats_.allocated;
+    }
+    slots_[i].key = key;
+    slots_[i].event = e;
+    ++size_;
+    return *e;
+}
+
+VersionedEvent *
+WatchTable::find(std::uint64_t key)
+{
+    return slots_[probe(key)].event;
+}
+
+void
+WatchTable::reset()
+{
+    for (Slot &s : slots_) {
+        if (s.event != nullptr)
+            free_.push_back(s.event);
+        s.event = nullptr;
+    }
+    size_ = 0;
+}
+
+void
+WatchTable::rehash(std::size_t new_count)
+{
+    WISYNC_ASSERT((new_count & (new_count - 1)) == 0,
+                  "WatchTable slot count must stay a power of two");
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.assign(new_count, Slot{});
+    ++stats_.rehashes;
+    const std::size_t mask = new_count - 1;
+    for (const Slot &s : old) {
+        if (s.event == nullptr)
+            continue;
+        std::size_t i = hashOf(s.key) & mask;
+        while (slots_[i].event != nullptr)
+            i = (i + 1) & mask;
+        slots_[i] = s;
+    }
+}
+
+} // namespace wisync::coro

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Open-addressed, event-pooling spin-watch table.
+ *
+ * MemSystem and BmStore both keep per-(node, location) VersionedEvents
+ * for event-driven spinning, and both used to keep them in an
+ * unordered_map<uint64_t, unique_ptr<VersionedEvent>> cleared on
+ * Machine::reset — one heap allocation per watched location per sweep
+ * point, the exact churn DirTable removed from the directory. At 1024
+ * cores (the multichip sweeps) the watch maps are on the reset hot
+ * loop, so they get the same treatment:
+ *
+ *   - a linear-probing hash table of (key -> VersionedEvent*) slots,
+ *   - a pool of events with stable addresses *recycled* onto a free
+ *     list by reset() instead of destroyed, so the next run re-acquires
+ *     warm events without touching the allocator.
+ *
+ * Event pointers are stable for the life of the table: spinUntil
+ * coroutines hold VersionedEvent& across awaits while later watches
+ * rehash the slot array underneath them. reset() is only legal after
+ * the engine destroyed any frames parked on the events (Machine::reset
+ * resets the engine first).
+ */
+
+#ifndef WISYNC_CORO_WATCH_TABLE_HH
+#define WISYNC_CORO_WATCH_TABLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coro/primitives.hh"
+
+namespace wisync::coro {
+
+/** Pooled key -> VersionedEvent map (see file comment). */
+class WatchTable
+{
+  public:
+    /** Allocation/recycling counters (monotonic over the table's life). */
+    struct Stats
+    {
+        std::uint64_t allocated = 0; ///< events constructed (pool growth)
+        std::uint64_t recycled = 0;  ///< events served from the free list
+        std::uint64_t rehashes = 0;  ///< slot-array rebuilds
+    };
+
+    explicit WatchTable(sim::Engine &engine);
+
+    WatchTable(const WatchTable &) = delete;
+    WatchTable &operator=(const WatchTable &) = delete;
+    WatchTable(WatchTable &&) = default;
+
+    /**
+     * The event for @p key, created (from the free list when possible)
+     * if absent. The reference is stable until the table is destroyed.
+     */
+    VersionedEvent &operator[](std::uint64_t key);
+
+    /** The event for @p key, or nullptr (raise paths never create). */
+    VersionedEvent *find(std::uint64_t key);
+
+    /**
+     * Return every event to the free list and clear the map, keeping
+     * the slot array and all event capacity for the next run.
+     */
+    void reset();
+
+    std::size_t size() const { return size_; }
+    std::size_t slotCount() const { return slots_.size(); }
+    /** Events sitting in the free list right now. */
+    std::size_t freeCount() const { return free_.size(); }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        VersionedEvent *event = nullptr; ///< null = empty
+    };
+
+    static std::size_t hashOf(std::uint64_t key);
+
+    /** Probe for @p key; @return its slot, or the insertion slot. */
+    std::size_t probe(std::uint64_t key) const;
+
+    /** Rebuild the slot array with @p new_count slots. */
+    void rehash(std::size_t new_count);
+
+    sim::Engine &engine_;
+    std::vector<Slot> slots_;
+    /** Every event ever built: stable storage behind the slot array. */
+    std::vector<std::unique_ptr<VersionedEvent>> pool_;
+    std::vector<VersionedEvent *> free_;
+    std::size_t size_ = 0;
+    Stats stats_;
+};
+
+} // namespace wisync::coro
+
+#endif // WISYNC_CORO_WATCH_TABLE_HH

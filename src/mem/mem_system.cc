@@ -21,7 +21,7 @@ wordOf(sim::Addr addr)
 MemSystem::MemSystem(sim::Engine &engine, noc::Mesh &mesh, Memory &memory,
                      std::uint32_t num_nodes, const MemConfig &cfg)
     : engine_(engine), mesh_(mesh), memory_(memory), numNodes_(num_nodes),
-      cfg_(cfg)
+      cfg_(cfg), watches_(engine)
 {
     l1_.reserve(numNodes_);
     banks_.reserve(numNodes_);
@@ -55,7 +55,7 @@ MemSystem::reset(const MemConfig &cfg)
     }
     for (auto &ctrl : dramCtrls_)
         ctrl->reset();
-    watches_.clear();
+    watches_.reset(); // recycles events instead of freeing them
     stats_.reset();
 }
 
@@ -105,11 +105,11 @@ MemSystem::sharerList(const DirEntry &e, sim::NodeId exclude) const
 coro::VersionedEvent &
 MemSystem::watch(sim::NodeId node, sim::Addr line)
 {
-    const std::uint64_t key = (line << 9) | node;
-    auto &slot = watches_[key];
-    if (!slot)
-        slot = std::make_unique<coro::VersionedEvent>(engine_);
-    return *slot;
+    // 16 node bits: the old << 9 packing aliased distinct (node, line)
+    // pairs from 512 cores up — a silently shared watch event, i.e.
+    // spurious (but not lost) wakeups. Host-side only either way.
+    const std::uint64_t key = (line << 16) | node;
+    return watches_[key];
 }
 
 void

@@ -34,10 +34,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 
 #include "coro/primitives.hh"
 #include "coro/task.hh"
+#include "coro/watch_table.hh"
 #include "mem/cache.hh"
 #include "mem/dir_table.hh"
 #include "mem/memory.hh"
@@ -290,6 +290,17 @@ class MemSystem
      */
     DirTable::Stats dirPoolStats() const;
 
+    /**
+     * Spin-watch pool counters: with reset-recycling, steady-state
+     * sweeps should serve (nearly) every watch event from the free
+     * list (the DirTable contract, applied to watches_).
+     */
+    const coro::WatchTable::Stats &
+    watchPoolStats() const
+    {
+        return watches_.stats();
+    }
+
   private:
     struct Bank
     {
@@ -393,9 +404,7 @@ class MemSystem
     std::vector<CacheArray> l1_;
     std::vector<Bank> banks_;
     std::vector<std::unique_ptr<coro::Resource>> dramCtrls_;
-    std::unordered_map<std::uint64_t,
-                       std::unique_ptr<coro::VersionedEvent>>
-        watches_;
+    coro::WatchTable watches_;
     MemStats stats_;
 };
 

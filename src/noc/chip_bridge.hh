@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The inter-chip bridge: a serialized broadcast link between chips.
+ *
+ * Multi-chip machines commit every global-scope BM broadcast on the
+ * transmitting chip first; the bridge then carries the update to the
+ * other chips' replica groups. The model is a single shared broadcast
+ * medium (a package-level waveguide / interposer bus): frames
+ * serialize in FIFO order at a configurable width — serialization IS
+ * the bridge's MAC, there is no contention loss — and each frame lands
+ * on the remote chips one propagation latency after its last flit
+ * leaves. Delivery runs a caller callback at the arrival instant, so
+ * the BM layer can apply the update and fire AFB aborts in one atomic
+ * simulation step, exactly like a Data-channel delivery.
+ */
+
+#ifndef WISYNC_NOC_CHIP_BRIDGE_HH
+#define WISYNC_NOC_CHIP_BRIDGE_HH
+
+#include <cstdint>
+
+#include "sim/engine.hh"
+#include "sim/function.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace wisync::noc {
+
+/** Bridge link knobs. */
+struct BridgeConfig
+{
+    /** Propagation latency, last flit out -> remote delivery, cycles. */
+    sim::Cycle latencyCycles = 24;
+    /** Serialization width: payload bits accepted per cycle. */
+    std::uint32_t widthBits = 64;
+    /** Fixed per-frame header (routing + word address + version). */
+    std::uint32_t headerBits = 32;
+};
+
+/** Bridge statistics. */
+struct BridgeStats
+{
+    sim::Counter frames;
+    sim::Counter busyCycles;
+    /** Cycles frames waited for the serializer behind earlier frames. */
+    sim::Counter queueWaitCycles;
+
+    void reset() { *this = {}; }
+};
+
+/** The shared inter-chip broadcast link (see file comment). */
+class ChipBridge
+{
+  public:
+    ChipBridge(sim::Engine &engine, const BridgeConfig &cfg)
+        : engine_(engine), cfg_(cfg)
+    {}
+
+    /**
+     * Ship a frame of @p payload_bits. Serialization starts when the
+     * link frees (FIFO); @p deliver runs at the remote arrival
+     * instant. Fire-and-forget: the sender does not wait (the BM
+     * store already committed locally; WCB semantics are chip-local).
+     */
+    void
+    post(std::uint32_t payload_bits, sim::UniqueFunction deliver)
+    {
+        const std::uint32_t bits = cfg_.headerBits + payload_bits;
+        const sim::Cycle ser =
+            (bits + cfg_.widthBits - 1) / cfg_.widthBits;
+        const sim::Cycle now = engine_.now();
+        const sim::Cycle start = nextFree_ > now ? nextFree_ : now;
+        stats_.frames.inc();
+        stats_.busyCycles.inc(ser);
+        stats_.queueWaitCycles.inc(start - now);
+        nextFree_ = start + ser;
+        engine_.schedule(nextFree_ + cfg_.latencyCycles,
+                         std::move(deliver));
+    }
+
+    /** First cycle a new frame could start serializing. */
+    sim::Cycle nextFree() const { return nextFree_; }
+
+    const BridgeStats &stats() const { return stats_; }
+    const BridgeConfig &config() const { return cfg_; }
+
+    /** Idle link, zero stats, optionally retimed. In-flight frames
+     *  must already be gone (the engine reset dropped their events). */
+    void
+    reset(const BridgeConfig &cfg)
+    {
+        cfg_ = cfg;
+        nextFree_ = 0;
+        stats_.reset();
+    }
+
+  private:
+    sim::Engine &engine_;
+    BridgeConfig cfg_;
+    sim::Cycle nextFree_ = 0;
+    BridgeStats stats_;
+};
+
+} // namespace wisync::noc
+
+#endif // WISYNC_NOC_CHIP_BRIDGE_HH

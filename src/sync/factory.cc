@@ -19,6 +19,20 @@ SyncFactory::makeLock()
     return nullptr;
 }
 
+/** True when @p nodes spread over more than one chip. */
+static bool
+spansChips(const core::MachineConfig &cfg,
+           const std::vector<sim::NodeId> &nodes)
+{
+    if (cfg.numChips <= 1 || nodes.empty())
+        return false;
+    const std::uint32_t chip = cfg.chipOf(nodes.front());
+    for (const sim::NodeId n : nodes)
+        if (cfg.chipOf(n) != chip)
+            return true;
+    return false;
+}
+
 std::unique_ptr<Barrier>
 SyncFactory::makeBarrier(const std::vector<sim::NodeId> &participant_nodes)
 {
@@ -29,8 +43,16 @@ SyncFactory::makeBarrier(const std::vector<sim::NodeId> &participant_nodes)
       case core::ConfigKind::BaselinePlus:
         return std::make_unique<TournamentBarrier>(machine_, n);
       case core::ConfigKind::WiSyncNoT:
+        if (spansChips(machine_.config(), participant_nodes))
+            return std::make_unique<MultiChipBarrier>(machine_, pid_,
+                                                      participant_nodes);
         return std::make_unique<BmBarrier>(machine_, pid_, n);
       case core::ConfigKind::WiSync:
+        // A spanning participant set cannot use one tone barrier (the
+        // Tone channel is per-die); compose per-chip phases instead.
+        if (spansChips(machine_.config(), participant_nodes))
+            return std::make_unique<MultiChipBarrier>(machine_, pid_,
+                                                      participant_nodes);
         try {
             return std::make_unique<ToneBarrier>(machine_, pid_,
                                                  participant_nodes);

@@ -107,6 +107,118 @@ ToneBarrier::wait(core::ThreadCtx &ctx)
                              [want](std::uint64_t v) { return v == want; });
 }
 
+// ------------------------------------------------------- MultiChipBarrier
+
+MultiChipBarrier::MultiChipBarrier(core::Machine &m, sim::Pid pid,
+                                   const std::vector<sim::NodeId>
+                                       &participants)
+    : machine_(m), gcountAddr_(setupBmWords(m, 1, pid)),
+      greleaseAddr_(setupBmWords(m, 1, pid))
+{
+    WISYNC_ASSERT(m.bm() != nullptr, "multi-chip barrier needs WiSync");
+    const core::MachineConfig &cfg = m.config();
+    groupOfChip_.assign(cfg.numChips, cfg.numChips);
+    for (const sim::NodeId n : participants) {
+        const std::uint32_t chip = cfg.chipOf(n);
+        if (groupOfChip_[chip] == cfg.numChips) {
+            groupOfChip_[chip] =
+                static_cast<std::uint32_t>(groups_.size());
+            ChipGroup g;
+            g.chip = chip;
+            g.repNode = n;
+            groups_.push_back(g);
+        }
+        ++groups_[groupOfChip_[chip]].participants;
+    }
+    WISYNC_ASSERT(groups_.size() > 1,
+                  "participants sit on one chip — use a plain barrier");
+    for (ChipGroup &g : groups_) {
+        // Local phase: a per-chip tone barrier where the hardware has
+        // a slot, the counter protocol otherwise. Either way the words
+        // are chip-local — the local phase never crosses the bridge.
+        g.tone = false;
+        if (cfg.hasTone()) {
+            g.arriveAddr = setupBmWords(m, 1, pid);
+            std::vector<bool> armed(cfg.numCores, false);
+            for (const sim::NodeId n : participants)
+                if (cfg.chipOf(n) == g.chip) {
+                    WISYNC_ASSERT(!armed[n],
+                                  "two threads of one tone barrier on "
+                                  "the same core are unsupported (§5.2)");
+                    armed[n] = true;
+                }
+            g.tone = m.bm()->allocToneBarrier(g.arriveAddr,
+                                              std::move(armed));
+        }
+        if (!g.tone) {
+            if (!cfg.hasTone())
+                g.arriveAddr = setupBmWords(m, 1, pid);
+            m.bm()->storeArray().setScope(g.arriveAddr,
+                                          bm::BmScope::ChipLocal);
+        }
+        g.releaseAddr = setupBmWords(m, 1, pid);
+        m.bm()->storeArray().setScope(g.releaseAddr,
+                                      bm::BmScope::ChipLocal);
+    }
+}
+
+MultiChipBarrier::~MultiChipBarrier()
+{
+    for (const ChipGroup &g : groups_)
+        if (g.tone)
+            machine_.bm()->deallocToneBarrier(g.arriveAddr);
+}
+
+coro::Task<void>
+MultiChipBarrier::wait(core::ThreadCtx &ctx)
+{
+    std::uint64_t &sense = senses_[ctx.tid()];
+    sense = sense ? 0 : 1;
+    const std::uint64_t want = sense;
+
+    const ChipGroup &g =
+        groups_[groupOfChip_[machine_.config().chipOf(ctx.node())]];
+    bool rep = false;
+    if (g.tone) {
+        // All local threads release together; the fixed representative
+        // then carries the chip into the global phase.
+        co_await ctx.toneStore(g.arriveAddr);
+        co_await ctx.bmSpinUntil(g.arriveAddr, [want](std::uint64_t v) {
+            return v == want;
+        });
+        rep = ctx.node() == g.repNode;
+    } else {
+        // Counter protocol: the last local arriver is the rep.
+        const std::uint64_t arrived =
+            co_await ctx.bmFetchAdd(g.arriveAddr, 1) + 1;
+        if (arrived == g.participants) {
+            co_await ctx.bmStore(g.arriveAddr, 0);
+            rep = true;
+        }
+    }
+    if (rep) {
+        // Global phase over the bridge: one sense-reversing round among
+        // the chip representatives. fetch&add on a bridged word retries
+        // through stale-replica AFB aborts until the chip is current.
+        const std::uint64_t garrived =
+            co_await ctx.bmFetchAdd(gcountAddr_, 1) + 1;
+        if (garrived == groups_.size()) {
+            co_await ctx.bmStore(gcountAddr_, 0);
+            co_await ctx.bmStore(greleaseAddr_, sense);
+        } else {
+            co_await ctx.bmSpinUntil(greleaseAddr_,
+                                     [want](std::uint64_t v) {
+                                         return v == want;
+                                     });
+        }
+        co_await ctx.bmStore(g.releaseAddr, sense);
+    } else {
+        co_await ctx.bmSpinUntil(g.releaseAddr, [want](std::uint64_t v) {
+            return v == want;
+        });
+    }
+}
+
 // -------------------------------------------------------- BmOrBarrierImpl
 
 BmOrBarrierImpl::BmOrBarrierImpl(core::Machine &m, sim::Pid pid)

@@ -8,6 +8,10 @@
  *                   (§4.3.2); Count and Release pack into one entry's
  *                   two halves conceptually — modelled as two words.
  * ToneBarrier     — the hardware Tone-channel barrier (§4.3.3)
+ * MultiChipBarrier— hierarchical barrier for multi-chip machines:
+ *                   per-chip local phase on chip-local words (tone
+ *                   barrier where available), chip representatives
+ *                   synchronize on global words over the bridge
  * BmOrBarrierImpl — eureka on a BM word (§4.3.2)
  * BmReducer       — fetch&add reduction (§4.3.5)
  * ProducerConsumer— full/empty flag protocol (§4.3.4)
@@ -82,6 +86,50 @@ class ToneBarrier : public Barrier
   private:
     core::Machine &machine_;
     sim::BmAddr addr_;
+    std::unordered_map<sim::ThreadId, std::uint64_t> senses_;
+};
+
+/**
+ * Hierarchical barrier for machines with several chips.
+ *
+ * Each chip runs a local phase entirely on chip-local BM words (a
+ * hardware tone barrier when the Tone channel has a free AllocB slot,
+ * a fetch&inc counter otherwise), so per-chip traffic never crosses
+ * the bridge. One representative per chip then runs a global
+ * sense-reversing phase on bridged global words, and finally toggles
+ * its chip's local release word. Threads must stay on their
+ * construction-time nodes (no migration), like tone barriers.
+ */
+class MultiChipBarrier : public Barrier
+{
+  public:
+    MultiChipBarrier(core::Machine &m, sim::Pid pid,
+                     const std::vector<sim::NodeId> &participants);
+    ~MultiChipBarrier() override;
+
+    coro::Task<void> wait(core::ThreadCtx &ctx) override;
+
+  private:
+    /** One involved chip's local-phase state. */
+    struct ChipGroup
+    {
+        std::uint32_t chip = 0;
+        std::uint32_t participants = 0;
+        /** Fixed representative (first participant node on the chip);
+         *  meaningful on the tone path, where there is no "last
+         *  arriver" — the release frees everyone at once. */
+        sim::NodeId repNode = 0;
+        bool tone = false;
+        /** Tone-barrier word (tone path) or arrival counter. */
+        sim::BmAddr arriveAddr = 0;
+        sim::BmAddr releaseAddr = 0;
+    };
+
+    core::Machine &machine_;
+    std::vector<ChipGroup> groups_;
+    std::vector<std::uint32_t> groupOfChip_; // chip -> groups_ index
+    sim::BmAddr gcountAddr_;
+    sim::BmAddr greleaseAddr_;
     std::unordered_map<sim::ThreadId, std::uint64_t> senses_;
 };
 

@@ -79,6 +79,12 @@ struct WirelessConfig
      *  i-th retry waits min(2^i, 2^retryBackoffMaxExp) extra cycles. */
     std::uint32_t retryBackoffMaxExp = 6;
 
+    /** Multi-chip: spectrum slots the FrequencyPlan may hand out.
+     *  Chips sharing a slot share one channel + MAC arbitration
+     *  domain; with >= numChips slots every chip's channel is
+     *  private. Ignored on single-chip machines. */
+    std::uint32_t spectrumSlots = 4;
+
     /** Which MAC protocol arbitrates the channel (default: §5.3 BRS). */
     MacKind macKind = MacKind::Brs;
     /** BRS: maximum exponential-backoff exponent (window = 2^i - 1). */

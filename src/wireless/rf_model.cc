@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/logging.hh"
+
 namespace wisync::wireless {
 
 RfSpec
@@ -60,6 +62,10 @@ RfScalingModel::referenceCores()
 std::uint32_t
 RfScalingModel::frameCycles(std::uint32_t bits, const RfSpec &spec)
 {
+    // A zero/negative bandwidth would divide to inf and the
+    // double -> uint32_t cast below would be undefined.
+    WISYNC_FATAL_IF(!(spec.bandwidthGbps > 0.0),
+                    "frameCycles needs a positive bandwidth");
     // 1 cycle = 1 ns, so bits-per-cycle equals the Gb/s figure.
     const double cycles =
         std::ceil(static_cast<double>(bits) / spec.bandwidthGbps);

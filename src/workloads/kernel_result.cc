@@ -16,21 +16,37 @@ captureChannelStats(KernelResult &result, core::Machine &machine)
     result.fastpathFallbacks =
         mesh.fastpathFallbacks.value() + mem.fastpathFallbacks.value();
     if (bm::BmSystem *bm = machine.bm()) {
-        result.dataChannelUtilisation = bm->dataChannel().utilisation();
-        result.collisions = bm->dataChannel().stats().collisions.value();
-        result.fastpathHits +=
-            bm->dataChannel().stats().fastpathHits.value();
-        result.fastpathFallbacks +=
-            bm->dataChannel().stats().fastpathFallbacks.value();
-        const wireless::MacStats &mac = bm->macProtocol().stats();
-        result.macBackoffCycles = mac.backoffCycles.value();
-        result.macTokenWaits = mac.tokenWaits.value();
-        result.macTokenRotations = mac.tokenRotations.value();
-        result.macModeSwitches = mac.modeSwitches.value();
-        result.wirelessDrops = bm->dataChannel().stats().drops.value();
-        result.macAckTimeouts = mac.ackTimeouts.value();
-        result.macRetransmits = mac.retransmits.value();
-        result.macGiveups = mac.giveUps.value();
+        // Single-channel machines read channel 0 directly (the exact
+        // pre-multichip expressions); multi-channel machines sum over
+        // every frequency-plan channel and report the mean busy
+        // fraction.
+        const std::uint32_t channels = bm->channelCount();
+        double utilisation = 0.0;
+        for (std::uint32_t ch = 0; ch < channels; ++ch) {
+            wireless::DataChannel &channel = bm->dataChannel(ch);
+            utilisation += channel.utilisation();
+            result.collisions += channel.stats().collisions.value();
+            result.fastpathHits += channel.stats().fastpathHits.value();
+            result.fastpathFallbacks +=
+                channel.stats().fastpathFallbacks.value();
+            result.wirelessDrops += channel.stats().drops.value();
+            const wireless::MacStats &mac = bm->macProtocol(ch).stats();
+            result.macBackoffCycles += mac.backoffCycles.value();
+            result.macTokenWaits += mac.tokenWaits.value();
+            result.macTokenRotations += mac.tokenRotations.value();
+            result.macModeSwitches += mac.modeSwitches.value();
+            result.macAckTimeouts += mac.ackTimeouts.value();
+            result.macRetransmits += mac.retransmits.value();
+            result.macGiveups += mac.giveUps.value();
+        }
+        result.dataChannelUtilisation =
+            channels == 1 ? utilisation
+                          : utilisation / static_cast<double>(channels);
+        if (const noc::ChipBridge *bridge = bm->bridge()) {
+            result.bridgeFrames = bridge->stats().frames.value();
+            result.bridgeBusyCycles = bridge->stats().busyCycles.value();
+        }
+        result.staleRmwAborts = bm->stats().staleRmwAborts.value();
     }
 }
 
@@ -49,7 +65,10 @@ bitIdentical(const KernelResult &a, const KernelResult &b)
            a.wirelessDrops == b.wirelessDrops &&
            a.macAckTimeouts == b.macAckTimeouts &&
            a.macRetransmits == b.macRetransmits &&
-           a.macGiveups == b.macGiveups;
+           a.macGiveups == b.macGiveups &&
+           a.bridgeFrames == b.bridgeFrames &&
+           a.bridgeBusyCycles == b.bridgeBusyCycles &&
+           a.staleRmwAborts == b.staleRmwAborts;
 }
 
 } // namespace wisync::workloads

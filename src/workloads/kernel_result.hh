@@ -54,6 +54,16 @@ struct KernelResult
     /** Sends abandoned after maxRetries (typed delivery failures). */
     std::uint64_t macGiveups = 0;
 
+    // Multi-chip telemetry (all 0 on single-chip machines, which is
+    // what keeps these fields from perturbing the numChips=1 identity
+    // gate). Simulated observables: included in bitIdentical().
+    /** Frames carried by the inter-chip bridge. */
+    std::uint64_t bridgeFrames = 0;
+    /** Cycles the bridge serializer was busy. */
+    std::uint64_t bridgeBusyCycles = 0;
+    /** RMWs aborted because a bridged update had not landed yet. */
+    std::uint64_t staleRmwAborts = 0;
+
     // Host-side fast-path telemetry, aggregated over the mesh, memory
     // and wireless layers. Deliberately NOT part of bitIdentical():
     // the fast paths are cycle-exact but these counters describe which
@@ -76,11 +86,14 @@ struct KernelResult
 
 /**
  * Fill the wireless-channel columns (utilisation, collisions), the
- * MAC-protocol telemetry and the fast-path counters from @p machine.
- * The wireless columns are a no-op on wired configs, where the
- * zero-initialized fields are already correct; the fast-path counters
- * aggregate mesh + memory (+ wireless) on every config. Every run*On
- * workload epilogue calls this instead of reading the channel by hand.
+ * MAC-protocol telemetry, the bridge counters and the fast-path
+ * counters from @p machine. The wireless columns are a no-op on wired
+ * configs, where the zero-initialized fields are already correct; the
+ * fast-path counters aggregate mesh + memory (+ wireless) on every
+ * config. On a multi-chip machine the channel columns sum over every
+ * frequency-plan channel (utilisation is the mean busy fraction).
+ * Every run*On workload epilogue calls this instead of reading the
+ * channel by hand.
  */
 void captureChannelStats(KernelResult &result, core::Machine &machine);
 

@@ -319,6 +319,50 @@ TEST(FuzzMacProtocols, RandomKindFlipsThroughResetMatchFresh)
 }
 
 /**
+ * Multi-chip dimension: random (numChips, MacKind, lossPct) triples on
+ * the full WiSync config, every round run twice — on one persistent
+ * reset-reused machine and on a fresh build — and the two must be
+ * bit-identical. At quiescence the replicas must be coherent across
+ * the bridge (per-chip groups agree, and Global words agree
+ * machine-wide), including under a lossy channel where the bridged
+ * updates race retransmissions.
+ */
+TEST(FuzzMultiChip, RandomChipGridsThroughResetMatchFreshAndStayCoherent)
+{
+    constexpr std::uint32_t kCores = 16;
+    constexpr std::uint32_t kChipChoices[] = {1, 2, 4};
+    Machine persistent(MachineConfig::make(ConfigKind::WiSync, kCores));
+    wisync::sim::Rng pick(0xC41905);
+    int multichip_rounds = 0;
+    for (int i = 0; i < 10; ++i) {
+        const std::uint32_t chips = kChipChoices[pick.below(3)];
+        const MacKind mac = kMacKinds[pick.below(4)];
+        const double loss = pick.below(2) == 0 ? 0.0 : 5.0;
+        const std::uint64_t seed = 7100 + static_cast<std::uint64_t>(i);
+        multichip_rounds += chips > 1 ? 1 : 0;
+        const auto tweak = [chips](MachineConfig &cfg) {
+            cfg.numChips = chips;
+        };
+        const auto fresh = fuzzRun(ConfigKind::WiSync, seed, kCores, 12,
+                                   nullptr, mac, true, loss, false, 10.0,
+                                   tweak);
+        const auto reused = fuzzRun(ConfigKind::WiSync, seed, kCores, 12,
+                                    &persistent, mac, true, loss, false,
+                                    10.0, tweak);
+        ASSERT_TRUE(fresh.completed) << "round " << i;
+        ASSERT_TRUE(reused.completed) << "round " << i;
+        EXPECT_EQ(fresh.cycles, reused.cycles) << "round " << i;
+        EXPECT_EQ(fresh.counter, reused.counter) << "round " << i;
+        EXPECT_EQ(fresh.bmCounter, reused.bmCounter) << "round " << i;
+        EXPECT_TRUE(persistent.bm()->storeArray().replicasConsistent(
+            kCores / chips))
+            << "round " << i;
+    }
+    // The deterministic pick stream must actually cross the bridge.
+    EXPECT_GT(multichip_rounds, 0);
+}
+
+/**
  * Host-parallelism dimension: randomized sweep grids executed through
  * harness::ParallelSweep at a fuzz-chosen worker count must merge to
  * exactly the serial run's results. This fuzzes what the golden tests

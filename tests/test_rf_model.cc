@@ -94,6 +94,17 @@ TEST(RfChannel, FrameCyclesPricesFramesAtTransceiverBandwidth)
     EXPECT_EQ(RfScalingModel::frameCycles(17, t), 2u);
 }
 
+TEST(RfChannelDeathTest, FrameCyclesRejectsNonPositiveBandwidth)
+{
+    // A zero-bandwidth spec used to divide by zero inside the slot
+    // computation; it must die loudly instead of returning garbage.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    RfSpec broken = RfScalingModel::wisyncTransceiver22();
+    broken.bandwidthGbps = 0.0;
+    EXPECT_EXIT(RfScalingModel::frameCycles(77, broken),
+                ::testing::ExitedWithCode(1), "positive bandwidth");
+}
+
 // ---- Per-link channel model ---------------------------------------
 
 TEST(RfChannel, GridGeometryAndReferenceLoss)
