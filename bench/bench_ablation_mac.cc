@@ -25,7 +25,13 @@
  * grid: the reliability layer may not move a cycle until a packet is
  * actually lost) and all_delivered_or_reported (every lossy point
  * completes, and every drop is accounted for by a retransmission or
- * a typed give-up — no silent loss, no hang).
+ * a typed give-up — no silent loss, no hang). Two bursty rows per
+ * protocol extend the grid: a Gilbert–Elliott chain at the same 10%
+ * mean loss as the i.i.d. row (whose cycle count must measurably
+ * diverge — burst_vs_iid_differs — since equal average loss clusters
+ * the retries differently) and a burst-off twin with every chain knob
+ * moved off its default that must stay bit-identical to the ideal
+ * grid (burst_identity_off).
  *
  * With --json the bench emits only the machine-readable record (for
  * bench/run_bench.sh --sweep); by default it prints the ablation
@@ -41,9 +47,10 @@
 
 #include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
+#include "wireless/burst.hh"
+#include "wireless/mac/mac_kind.hh"
 #include "workloads/cas_kernels.hh"
 #include "workloads/tight_loop.hh"
-#include "wireless/mac/mac_kind.hh"
 
 using namespace wisync;
 
@@ -164,6 +171,37 @@ main(int argc, char **argv)
         loss_sweep.add(twin, [tight](core::Machine &m) {
             return workloads::runTightLoopOn(m, tight);
         });
+
+        // Correlated loss at the same 10% mean: a Gilbert–Elliott
+        // chain with 4-transmission mean bursts. Equal average loss,
+        // different drop clustering — the retry cost must measurably
+        // diverge from the i.i.d. row (gated below), or the burst
+        // model is indistinguishable from the knob it replaces.
+        auto bursty = core::MachineConfig::make(
+            core::ConfigKind::WiSyncNoT, loss_cores);
+        bursty.wireless.macKind = mac;
+        bursty.wireless.burst =
+            wireless::BurstParams::fromMean(10.0, 4.0);
+        loss_grid.push_back({mac, "burst=10%/4", SIZE_MAX});
+        loss_sweep.add(bursty, [tight](core::Machine &m) {
+            return workloads::runTightLoopOn(m, tight);
+        });
+
+        // Burst-off twin: every burst knob moved off its default but
+        // the enable gate closed — must be bit-identical to the ideal
+        // grid's point (the chain is dead state until enabled).
+        auto burst_off = core::MachineConfig::make(
+            core::ConfigKind::WiSyncNoT, loss_cores);
+        burst_off.wireless.macKind = mac;
+        burst_off.wireless.burst.enabled = false;
+        burst_off.wireless.burst.goodLossPct = 9.0;
+        burst_off.wireless.burst.badLossPct = 80.0;
+        burst_off.wireless.burst.pGoodToBad = 0.4;
+        burst_off.wireless.burst.pBadToGood = 0.2;
+        loss_grid.push_back({mac, "burst-off", ideal});
+        loss_sweep.add(burst_off, [tight](core::Machine &m) {
+            return workloads::runTightLoopOn(m, tight);
+        });
     }
     const auto loss_serial = loss_sweep.run(1);
     const auto loss_parallel = loss_sweep.run(threads);
@@ -172,27 +210,47 @@ main(int argc, char **argv)
             workloads::bitIdentical(loss_serial[i], loss_parallel[i]);
 
     bool loss0_identical = true;
+    bool burst_identity_off = true;
     bool all_delivered_or_reported = true;
+    bool burst_vs_iid_differs = false;
     std::uint64_t lossy_drops = 0, lossy_retransmits = 0,
-                  lossy_giveups = 0;
+                  lossy_giveups = 0, bursty_drops = 0;
     for (std::size_t i = 0; i < loss_grid.size(); ++i) {
         const auto &r = loss_serial[i];
         if (loss_grid[i].twin_of != SIZE_MAX) {
-            loss0_identical =
-                loss0_identical &&
+            const bool same =
                 workloads::bitIdentical(r, serial[loss_grid[i].twin_of]);
+            if (std::strcmp(loss_grid[i].channel, "burst-off") == 0)
+                burst_identity_off = burst_identity_off && same;
+            else
+                loss0_identical = loss0_identical && same;
             continue;
         }
-        // Lossy points: the kernel must terminate, and every drop
-        // must be answered by a retransmission or a typed give-up.
+        // Lossy points (i.i.d., SNR-derived and bursty alike): the
+        // kernel must terminate, and every drop must be answered by a
+        // retransmission or a typed give-up.
         all_delivered_or_reported =
             all_delivered_or_reported && r.completed &&
             (r.wirelessDrops == 0 ||
              r.macRetransmits + r.macGiveups > 0) &&
             r.macAckTimeouts == r.macRetransmits + r.macGiveups;
-        lossy_drops += r.wirelessDrops;
+        if (std::strcmp(loss_grid[i].channel, "burst=10%/4") == 0)
+            bursty_drops += r.wirelessDrops;
+        else
+            lossy_drops += r.wirelessDrops;
         lossy_retransmits += r.macRetransmits;
         lossy_giveups += r.macGiveups;
+    }
+    // Equal-mean-loss comparison: for each protocol the bursty row and
+    // the i.i.d. lossPct = 10 row average the same loss but cluster it
+    // differently; at least one protocol must show a different cycle
+    // count, or the chain is observationally dead weight. The per-mac
+    // stride in loss_grid is 5 points (loss, snr, twin, burst, off).
+    for (std::size_t m = 0; m < kinds.size(); ++m) {
+        const auto &iid = loss_serial[m * 5];
+        const auto &burst = loss_serial[m * 5 + 3];
+        burst_vs_iid_differs =
+            burst_vs_iid_differs || iid.cycles != burst.cycles;
     }
 
     bool all_completed = true;
@@ -220,7 +278,8 @@ main(int argc, char **argv)
     }
 
     const bool ok = identical && all_completed && loss0_identical &&
-                    all_delivered_or_reported;
+                    all_delivered_or_reported && burst_identity_off &&
+                    burst_vs_iid_differs;
 
     if (json_only) {
         std::printf(
@@ -233,7 +292,8 @@ main(int argc, char **argv)
             "\"lossy_points\": %zu, \"loss0_identical\": %s, "
             "\"all_delivered_or_reported\": %s, "
             "\"lossy_drops\": %llu, \"lossy_retransmits\": %llu, "
-            "\"lossy_giveups\": %llu}\n",
+            "\"lossy_giveups\": %llu, \"burst_identity_off\": %s, "
+            "\"bursty_drops\": %llu, \"burst_vs_iid_differs\": %s}\n",
             grid.size(), threads, identical ? "true" : "false",
             all_completed ? "true" : "false",
             static_cast<unsigned long long>(brs_collisions),
@@ -245,7 +305,10 @@ main(int argc, char **argv)
             all_delivered_or_reported ? "true" : "false",
             static_cast<unsigned long long>(lossy_drops),
             static_cast<unsigned long long>(lossy_retransmits),
-            static_cast<unsigned long long>(lossy_giveups));
+            static_cast<unsigned long long>(lossy_giveups),
+            burst_identity_off ? "true" : "false",
+            static_cast<unsigned long long>(bursty_drops),
+            burst_vs_iid_differs ? "true" : "false");
         return ok ? 0 : 1;
     }
 
@@ -294,5 +357,13 @@ main(int argc, char **argv)
     std::cout << (all_delivered_or_reported
                       ? "all lossy sends delivered or reported\n"
                       : "RELIABILITY VIOLATION: drops unaccounted for\n");
+    std::cout << (burst_identity_off
+                      ? "burst-off identical to ideal channel\n"
+                      : "DETERMINISM VIOLATION: disabled burst chain "
+                        "moved a simulated cycle\n");
+    std::cout << (burst_vs_iid_differs
+                      ? "equal-mean bursty loss diverges from i.i.d.\n"
+                      : "MODEL VIOLATION: bursty and i.i.d. loss are "
+                        "indistinguishable at equal mean\n");
     return ok ? 0 : 1;
 }

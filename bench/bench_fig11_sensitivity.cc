@@ -19,6 +19,13 @@
  * telemetry. Its lossPct = 0 row must be bit-identical to the main
  * grid's Default-variant cells — the loss layer, compiled in but
  * disabled, may not move a single simulated cycle (exit 1 if it does).
+ *
+ * A third table sweeps the burst-length axis of the Gilbert–Elliott
+ * chain at a mean loss equal to the i.i.d. 5% row: same average loss,
+ * increasingly correlated arrivals. Burst-off twins (live-looking
+ * chain knobs, enabled = false) must stay bit-identical to the
+ * lossPct = 0 points, and the equal-mean bursty rows must diverge
+ * from the i.i.d. row somewhere, or the chain is dead state.
  */
 
 #include <array>
@@ -28,6 +35,7 @@
 
 #include "harness/parallel_sweep.hh"
 #include "harness/report.hh"
+#include "wireless/burst.hh"
 #include "workloads/apps.hh"
 #include "workloads/kernel_result.hh"
 
@@ -187,5 +195,121 @@ main()
                       ? "loss0 identical to ideal channel\n"
                       : "DETERMINISM VIOLATION: lossPct=0 differs from "
                         "the ideal channel\n");
-    return loss0_identical ? 0 : 1;
+
+    // ---- Burst sensitivity: correlated loss at equal average loss --
+    // Gilbert–Elliott chains parametrized to the same 5% mean loss as
+    // the i.i.d. row above, sweeping the expected burst (bad-state
+    // sojourn) length. Length 1 is the memoryless corner; longer
+    // bursts concentrate the same loss budget into error trains that
+    // hit the retry backoff much harder. Appended burst-off twins
+    // carry live-looking chain knobs with enabled = false and must be
+    // bit-identical to the lossPct = 0 points — a disabled chain may
+    // not draw a single random number.
+    const double burst_mean = 5.0;
+    const std::vector<double> burst_lens =
+        harness::sweepMode() == harness::SweepMode::Quick
+            ? std::vector<double>{1.0, 8.0}
+            : std::vector<double>{1.0, 2.0, 4.0, 8.0};
+
+    harness::ParallelSweep burst_sweep;
+    // idx[len][app][kind], then one burst-off twin per (app, kind).
+    std::vector<std::vector<std::array<std::size_t, 2>>> burst_grid(
+        burst_lens.size());
+    for (std::size_t l = 0; l < burst_lens.size(); ++l) {
+        for (const auto &name : loss_apps) {
+            const auto &app = workloads::appByName(name);
+            std::array<std::size_t, 2> cell{};
+            for (std::size_t k = 0; k < loss_kinds.size(); ++k) {
+                auto cfg = core::MachineConfig::make(loss_kinds[k], cores,
+                                                     Variant::Default);
+                cfg.wireless.burst = wireless::BurstParams::fromMean(
+                    burst_mean, burst_lens[l]);
+                cell[k] = burst_sweep.add(cfg, [&app](core::Machine &m) {
+                    return workloads::runAppOn(app, m);
+                });
+            }
+            burst_grid[l].push_back(cell);
+        }
+    }
+    std::vector<std::array<std::size_t, 2>> burst_off_grid;
+    for (const auto &name : loss_apps) {
+        const auto &app = workloads::appByName(name);
+        std::array<std::size_t, 2> cell{};
+        for (std::size_t k = 0; k < loss_kinds.size(); ++k) {
+            auto cfg = core::MachineConfig::make(loss_kinds[k], cores,
+                                                 Variant::Default);
+            cfg.wireless.burst.enabled = false;
+            cfg.wireless.burst.goodLossPct = 7.0;
+            cfg.wireless.burst.badLossPct = 90.0;
+            cfg.wireless.burst.pGoodToBad = 0.3;
+            cfg.wireless.burst.pBadToGood = 0.1;
+            cell[k] = burst_sweep.add(cfg, [&app](core::Machine &m) {
+                return workloads::runAppOn(app, m);
+            });
+        }
+        burst_off_grid.push_back(cell);
+    }
+    const auto burst_results = burst_sweep.run();
+
+    bool burst_off_identical = true;
+    bool burst_diverges = false;
+    // The i.i.d. row with the same 5% mean sits in the loss table.
+    std::size_t iid5 = 0;
+    while (loss_levels[iid5] != 5.0)
+        ++iid5;
+    for (std::size_t a = 0; a < loss_apps.size(); ++a) {
+        for (std::size_t k = 0; k < loss_kinds.size(); ++k) {
+            burst_off_identical =
+                burst_off_identical &&
+                workloads::bitIdentical(
+                    loss_results[loss_grid[0][a][k]],
+                    burst_results[burst_off_grid[a][k]]);
+            for (std::size_t l = 0; l < burst_lens.size(); ++l)
+                burst_diverges =
+                    burst_diverges ||
+                    burst_results[burst_grid[l][a][k]].cycles !=
+                        loss_results[loss_grid[iid5][a][k]].cycles;
+        }
+    }
+
+    harness::TextTable burst_fig(
+        "Burst sensitivity: geomean slowdown vs ideal channel at 5% "
+        "mean loss (Default variant, " +
+        std::to_string(cores) + " cores)");
+    burst_fig.header({"Burst len", "WiSyncNoT", "WiSync", "Drops",
+                      "Rexmit", "Giveups"});
+    for (std::size_t l = 0; l < burst_lens.size(); ++l) {
+        std::vector<double> slow_not, slow_full;
+        std::uint64_t drops = 0, rexmit = 0, giveups = 0;
+        for (std::size_t a = 0; a < loss_apps.size(); ++a) {
+            const auto &r0n = loss_results[loss_grid[0][a][0]];
+            const auto &r0f = loss_results[loss_grid[0][a][1]];
+            const auto &rn = burst_results[burst_grid[l][a][0]];
+            const auto &rf = burst_results[burst_grid[l][a][1]];
+            slow_not.push_back(static_cast<double>(rn.cycles) /
+                               static_cast<double>(r0n.cycles));
+            slow_full.push_back(static_cast<double>(rf.cycles) /
+                                static_cast<double>(r0f.cycles));
+            drops += rn.wirelessDrops + rf.wirelessDrops;
+            rexmit += rn.macRetransmits + rf.macRetransmits;
+            giveups += rn.macGiveups + rf.macGiveups;
+        }
+        burst_fig.row({harness::fmt(burst_lens[l], 0),
+                       harness::fmt(harness::geomean(slow_not)),
+                       harness::fmt(harness::geomean(slow_full)),
+                       std::to_string(drops), std::to_string(rexmit),
+                       std::to_string(giveups)});
+    }
+    burst_fig.print(std::cout);
+    std::cout << (burst_off_identical
+                      ? "burst-off identical to ideal channel\n"
+                      : "DETERMINISM VIOLATION: disabled burst chain "
+                        "perturbed the ideal channel\n");
+    std::cout << (burst_diverges
+                      ? "equal-mean bursty loss diverges from i.i.d.\n"
+                      : "SENSITIVITY VIOLATION: burst chains "
+                        "indistinguishable from i.i.d. loss\n");
+
+    const bool ok = loss0_identical && burst_off_identical && burst_diverges;
+    return ok ? 0 : 1;
 }

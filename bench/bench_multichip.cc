@@ -23,9 +23,17 @@
  * WiSync barrier-storm points (1 chip vs 4) measure the intra- vs
  * inter-chip synchronization cost per barrier: the bridge's latency
  * must be visible (inter > intra), or the bridge model is vacuous.
+ *
+ * Reliability rows ride the same sweep: the 64-core storm again at 2
+ * and 4 chips over a 20% lossy bridge (retry/give-up counters must
+ * engage and the drop books must balance), a loss-free bridge with
+ * odd reliability knobs that must stay bit-identical to the plain
+ * 4-chip point, and a flat-vs-stepped per-channel loss profile pair
+ * whose 8 dB slot step must visibly shift the run.
  * bench/check_bench.py gates the record ("multichip" in
  * BENCH_sweep.json): identity, completion, >= 256 cores swept,
- * inter > intra, and frames actually crossing the bridge.
+ * inter > intra, frames actually crossing the bridge, bridge retries
+ * engaging, the ideal-bridge identity and the profile sensitivity.
  *
  * With --json the bench emits only the machine-readable record (for
  * bench/run_bench.sh --sweep); by default it prints the scale table.
@@ -120,6 +128,58 @@ main(int argc, char **argv)
         });
     }
 
+    // Bridge loss at 2 and 4 chips: the same 64-core WiSync storm with
+    // a 20% lossy bridge. Every global barrier phase rides the
+    // retrying link, so the bridge reliability counters must engage
+    // (bridge_retries gate) while the run still completes coherently.
+    const std::size_t bridge_loss_idx = grid.size();
+    for (const std::uint32_t chips : {2u, 4u}) {
+        auto cfg = core::MachineConfig::make(core::ConfigKind::WiSync, 64);
+        cfg.numChips = chips;
+        cfg.bridge.lossPct = 20.0;
+        grid.push_back({core::ConfigKind::WiSync, "BridgeLoss", chips});
+        sweep.add(cfg, [storm](core::Machine &m) {
+            return workloads::runTightLoopOn(m, storm);
+        });
+    }
+
+    // Ideal-bridge identity twin: odd reliability knobs on a loss-free
+    // bridge are dead state — the point must be bit-identical to the
+    // 4-chip SyncCost cell (bridge_loss_identity gate).
+    const std::size_t bridge_twin_idx = grid.size();
+    {
+        auto cfg = core::MachineConfig::make(core::ConfigKind::WiSync, 64);
+        cfg.numChips = 4;
+        cfg.bridge.ackTimeoutCycles = 17;
+        cfg.bridge.maxRetries = 2;
+        cfg.bridge.retryBackoffMaxExp = 1;
+        grid.push_back({core::ConfigKind::WiSync, "BridgeTwin", 4});
+        sweep.add(cfg, [storm](core::Machine &m) {
+            return workloads::runTightLoopOn(m, storm);
+        });
+    }
+
+    // Per-channel loss profiles: 32 cores tiled over 4 chips sharing
+    // 2 spectrum slots at marginal transmit power, flat spectrum vs
+    // an 8 dB per-slot step. The per-chip dies are small enough that
+    // the stepped slot stays usable (lossy, not dead); the profile
+    // moves real loss into the high slots, so the two points must
+    // diverge (channel_profile_differs gate).
+    const std::size_t profile_idx = grid.size();
+    for (const double step : {0.0, 8.0}) {
+        auto cfg = core::MachineConfig::make(core::ConfigKind::WiSync, 32);
+        cfg.numChips = 4;
+        cfg.wireless.spectrumSlots = 2;
+        cfg.wireless.berFromSnr = true;
+        cfg.wireless.txPowerDbm = 0.0;
+        cfg.wireless.channelLossStepDb = step;
+        grid.push_back({core::ConfigKind::WiSync,
+                        step == 0.0 ? "ProfileFlat" : "ProfileStep", 4});
+        sweep.add(cfg, [tight](core::Machine &m) {
+            return workloads::runTightLoopOn(m, tight);
+        });
+    }
+
     const auto serial = sweep.run(1);
     const unsigned threads = harness::ParallelSweep::threads();
     const auto parallel = sweep.run(threads);
@@ -129,10 +189,21 @@ main(int argc, char **argv)
 
     bool all_completed = true;
     std::uint64_t bridge_frames = 0, stale_aborts = 0;
+    std::uint64_t bridge_drops = 0, bridge_retries = 0, bridge_giveups = 0;
+    bool bridge_books_balance = true;
     for (const auto &r : serial) {
         all_completed = all_completed && r.completed;
         bridge_frames += r.bridgeFrames;
         stale_aborts += r.staleRmwAborts;
+        bridge_drops += r.bridgeDrops;
+        bridge_retries += r.bridgeRetransmits;
+        bridge_giveups += r.bridgeGiveups;
+        // Drop-accounting invariant, point by point: every corrupted
+        // serialization times out exactly once and is either
+        // retransmitted or given up on.
+        bridge_books_balance =
+            bridge_books_balance && r.bridgeDrops == r.bridgeAckTimeouts &&
+            r.bridgeDrops == r.bridgeRetransmits + r.bridgeGiveups;
     }
 
     const double intra_per_barrier =
@@ -141,8 +212,18 @@ main(int argc, char **argv)
         static_cast<double>(serial[intra_idx + 1].cycles) /
         storm.iterations;
 
+    const bool bridge_loss_identity = workloads::bitIdentical(
+        serial[bridge_twin_idx], serial[intra_idx + 1]);
+    const bool channel_profile_differs =
+        serial[profile_idx].completed && serial[profile_idx + 1].completed &&
+        !workloads::bitIdentical(serial[profile_idx],
+                                 serial[profile_idx + 1]);
+
     const bool ok = identical && all_completed &&
-                    inter_per_barrier > intra_per_barrier;
+                    inter_per_barrier > intra_per_barrier &&
+                    bridge_drops >= 1 && bridge_retries >= 1 &&
+                    bridge_books_balance && bridge_loss_identity &&
+                    channel_profile_differs;
 
     if (json_only) {
         std::printf(
@@ -151,12 +232,22 @@ main(int argc, char **argv)
             "\"all_completed\": %s, \"total_cores_max\": %u, "
             "\"intra_cycles_per_barrier\": %.2f, "
             "\"inter_cycles_per_barrier\": %.2f, "
-            "\"bridge_frames\": %llu, \"stale_rmw_aborts\": %llu}\n",
+            "\"bridge_frames\": %llu, \"stale_rmw_aborts\": %llu, "
+            "\"bridge_drops\": %llu, \"bridge_retries\": %llu, "
+            "\"bridge_giveups\": %llu, \"bridge_books_balance\": %s, "
+            "\"bridge_loss_identity\": %s, "
+            "\"channel_profile_differs\": %s}\n",
             grid.size(), threads, identical ? "true" : "false",
             all_completed ? "true" : "false", total_cores,
             intra_per_barrier, inter_per_barrier,
             static_cast<unsigned long long>(bridge_frames),
-            static_cast<unsigned long long>(stale_aborts));
+            static_cast<unsigned long long>(stale_aborts),
+            static_cast<unsigned long long>(bridge_drops),
+            static_cast<unsigned long long>(bridge_retries),
+            static_cast<unsigned long long>(bridge_giveups),
+            bridge_books_balance ? "true" : "false",
+            bridge_loss_identity ? "true" : "false",
+            channel_profile_differs ? "true" : "false");
         return ok ? 0 : 1;
     }
 
@@ -189,6 +280,33 @@ main(int argc, char **argv)
     std::printf("sync cost per barrier (64-core WiSync storm): "
                 "%.1f cycles on one die, %.1f across 4 chips\n",
                 intra_per_barrier, inter_per_barrier);
+
+    harness::TextTable rel("Bridge loss and channel profiles");
+    rel.header({"Point", "Chips", "Cycles", "Bridge drops", "Retries",
+                "Give-ups", "Wireless drops"});
+    for (std::size_t i = bridge_loss_idx; i < grid.size(); ++i) {
+        const auto &r = serial[i];
+        rel.row({grid[i].workload, std::to_string(grid[i].chips),
+                 r.completed ? std::to_string(r.cycles)
+                             : std::string("run limit"),
+                 std::to_string(r.bridgeDrops),
+                 std::to_string(r.bridgeRetransmits),
+                 std::to_string(r.bridgeGiveups),
+                 std::to_string(r.wirelessDrops)});
+    }
+    rel.print(std::cout);
+    std::cout << (bridge_books_balance
+                      ? "bridge drop accounting balances\n"
+                      : "ACCOUNTING VIOLATION: bridge drops != "
+                        "timeouts / retries + give-ups\n");
+    std::cout << (bridge_loss_identity
+                      ? "ideal-bridge reliability knobs are inert\n"
+                      : "IDENTITY VIOLATION: loss-free bridge knobs "
+                        "perturbed the run\n");
+    std::cout << (channel_profile_differs
+                      ? "per-channel loss profile shifts the run\n"
+                      : "SENSITIVITY VIOLATION: 8 dB profile step "
+                        "was invisible\n");
     std::cout << (identical ? "serial/parallel results identical\n"
                             : "DETERMINISM VIOLATION: serial and "
                               "parallel results differ\n");

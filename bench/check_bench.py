@@ -30,7 +30,11 @@ disabled, may not move a simulated cycle) and
 all_delivered_or_reported (under loss every kernel terminates and
 every drop is answered by a retransmission or a typed give-up — no
 silent loss, no hang), plus a sanity floor on lossy_drops (the loss
-model must actually drop packets at lossPct = 10).
+model must actually drop packets at lossPct = 10). The bursty-loss
+rows in the same record add burst_identity_off (a disabled
+Gilbert–Elliott chain may not move a cycle), a bursty_drops floor,
+and burst_vs_iid_differs (equal-mean correlated loss must be
+distinguishable from the i.i.d. draw).
 
 The multi-chip record ("multichip", emitted by bench_multichip
 --json) is gated the same way: serial/parallel identity of the chip
@@ -38,7 +42,12 @@ grid, every tiling completing, a scale-out sweep that actually
 reaches >= 256 total cores, an inter-chip barrier measurably more
 expensive than the intra-chip one (the bridge latency must show up,
 or the bridge model is vacuous), and at least one frame actually
-crossing the bridge.
+crossing the bridge. The lossy-bridge rows add a bridge_retries
+floor (the retry machinery must engage), bridge_books_balance (drops
+== timeouts == retransmits + give-ups at every point),
+bridge_loss_identity (reliability knobs on a loss-free bridge are
+inert) and channel_profile_differs (a per-slot loss profile step
+must visibly shift the run).
 
 Usage: bench/check_bench.py [BENCH_kernel.json] [--sweep BENCH_sweep.json]
 Exit status 0 = all gates pass.
@@ -215,6 +224,18 @@ def main():
                      f"mac_ablation lossy_drops = "
                      f"{mac.get('lossy_drops')} (gate: >= 1) — the "
                      "loss model must actually drop packets")
+            mac_gate(mac.get("burst_identity_off", False),
+                     "mac_ablation burst_identity_off — a disabled "
+                     "Gilbert–Elliott chain may not move a simulated "
+                     "cycle")
+            mac_gate(mac.get("bursty_drops", 0) >= 1,
+                     f"mac_ablation bursty_drops = "
+                     f"{mac.get('bursty_drops')} (gate: >= 1) — the "
+                     "burst chain must actually drop packets")
+            mac_gate(mac.get("burst_vs_iid_differs", False),
+                     "mac_ablation burst_vs_iid_differs — equal-mean "
+                     "bursty loss must be distinguishable from i.i.d. "
+                     "loss")
 
         mc = sweep.get("multichip")
         if mc is None:
@@ -246,6 +267,21 @@ def main():
                     f"multichip bridge_frames = "
                     f"{mc.get('bridge_frames')} (gate: >= 1) — global "
                     "BM traffic must actually cross the bridge")
+            mc_gate(mc.get("bridge_retries", 0) >= 1,
+                    f"multichip bridge_retries = "
+                    f"{mc.get('bridge_retries')} (gate: >= 1) — the "
+                    "lossy bridge's retry machinery must engage")
+            mc_gate(mc.get("bridge_books_balance", False),
+                    "multichip bridge_books_balance — every bridge "
+                    "drop must be answered by exactly one timeout and "
+                    "a retransmission or give-up")
+            mc_gate(mc.get("bridge_loss_identity", False),
+                    "multichip bridge_loss_identity — reliability "
+                    "knobs on a loss-free bridge may not move a "
+                    "simulated cycle")
+            mc_gate(mc.get("channel_profile_differs", False),
+                    "multichip channel_profile_differs — a per-slot "
+                    "loss profile step must visibly shift the run")
 
     for line in checks:
         print(" ", line)

@@ -23,6 +23,12 @@ BmSystem::BmSystem(sim::Engine &engine, std::uint32_t num_nodes,
             engine_, *channels_[channelIdxOf(n)],
             *macProtocols_[channelIdxOf(n)], channelLocalNode(n),
             rng.fork()));
+    // The bridge's loss stream forks AFTER every Mac (single-chip
+    // machines have no bridge, so the per-node streams stay identical
+    // across chip counts — and the parent rng is discarded here, so
+    // the extra fork perturbs nothing).
+    if (bridge_)
+        bridge_->setRng(rng.fork());
     toneEnabled_ = with_tone;
     pendingRmw_.resize(numNodes_);
     configureLoss(wcfg);
@@ -37,7 +43,9 @@ BmSystem::rebuildChipTopology(const wireless::WirelessConfig &wcfg,
     WISYNC_FATAL_IF(numNodes_ % numChips_ != 0,
                     "cores must divide evenly among chips");
     coresPerChip_ = numNodes_ / numChips_;
-    plan_ = wireless::FrequencyPlan(numChips_, wcfg.spectrumSlots);
+    plan_ = wireless::FrequencyPlan(numChips_, wcfg.spectrumSlots,
+                                    wcfg.channelLossBaseDb,
+                                    wcfg.channelLossStepDb);
     channels_.clear();
     macProtocols_.clear();
     for (std::uint32_t ch = 0; ch < plan_.channels(); ++ch) {
@@ -90,7 +98,9 @@ BmSystem::reset(const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
     cfg_ = cfg;
     store_.reset();
     const std::uint32_t chips = num_chips == 0 ? 1 : num_chips;
-    const wireless::FrequencyPlan plan(chips, wcfg.spectrumSlots);
+    const wireless::FrequencyPlan plan(chips, wcfg.spectrumSlots,
+                                       wcfg.channelLossBaseDb,
+                                       wcfg.channelLossStepDb);
     if (chips != numChips_ || !(plan == plan_)) {
         // Re-tiling the machine rebuilds the chip-topology objects —
         // the same license the macKind flip below already takes. MACs
@@ -104,6 +114,9 @@ BmSystem::reset(const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
                 engine_, *channels_[channelIdxOf(n)],
                 *macProtocols_[channelIdxOf(n)], channelLocalNode(n),
                 rng.fork()));
+        // Same fork order as construction: all Macs, then the bridge.
+        if (bridge_)
+            bridge_->setRng(rng.fork());
     } else {
         for (auto &channel : channels_)
             channel->reset(wcfg);
@@ -124,8 +137,12 @@ BmSystem::reset(const BmConfig &cfg, const wireless::WirelessConfig &wcfg,
             macs_[n]->reset(*macProtocols_[channelIdxOf(n)], rng.fork());
         for (auto &tone : tones_)
             tone->reset();
-        if (bridge_)
+        if (bridge_) {
             bridge_->reset(bridge_cfg);
+            // Same fork order as construction: Macs first, then the
+            // bridge's loss stream.
+            bridge_->setRng(rng.fork());
+        }
         bridgeCfg_ = bridge_cfg;
         std::fill(globalVersion_.begin(), globalVersion_.end(), 0);
         std::fill(appliedVersion_.begin(), appliedVersion_.end(), 0);
@@ -152,11 +169,15 @@ BmSystem::configureLoss(const wireless::WirelessConfig &wcfg)
     wireless::RfChannelConfig rc;
     rc.txPowerDbm = wcfg.txPowerDbm;
     // One attenuation matrix per chip: all dies share the geometry
-    // (coresPerChip transceivers each) but overrides stay per chip.
+    // (coresPerChip transceivers each) but each folds in its spectrum
+    // slot's loss profile — chips sharing a slot share its physics —
+    // and overrides stay per chip.
     rfModels_.clear();
-    for (std::uint32_t chip = 0; chip < numChips_; ++chip)
+    for (std::uint32_t chip = 0; chip < numChips_; ++chip) {
+        rc.extraLossDb = plan_.channelLossDb(plan_.channelOf(chip));
         rfModels_.push_back(
             std::make_unique<wireless::RfChannelModel>(coresPerChip_, rc));
+    }
     refreshDropTable();
 }
 

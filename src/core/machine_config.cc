@@ -97,8 +97,36 @@ MachineConfig::describe() const
     out += " cores=" + std::to_string(numCores);
     // Only off the default, so single-chip output stays byte-identical
     // to pre-multichip builds.
-    if (numChips > 1)
+    if (numChips > 1) {
         out += " chips=" + std::to_string(numChips);
+        // The bridge knobs change multi-chip behavior, so two sweep
+        // points differing only in bridge config must not print
+        // identical labels (they used to: the lossy-knob rule below
+        // had not been applied to the bridge).
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), " bridge=lat%llu,w%u",
+                      static_cast<unsigned long long>(
+                          bridge.latencyCycles),
+                      bridge.widthBits);
+        out += buf;
+        if (bridge.lossPct > 0.0 || bridge.burst.enabled) {
+            std::snprintf(
+                buf, sizeof(buf),
+                " bloss=%g%% back=%llu,%u,%u", bridge.lossPct,
+                static_cast<unsigned long long>(bridge.ackTimeoutCycles),
+                bridge.maxRetries, bridge.retryBackoffMaxExp);
+            out += buf;
+            if (bridge.burst.enabled) {
+                std::snprintf(buf, sizeof(buf),
+                              " bburst=g%g%%/b%g%%,pgb=%g,pbg=%g",
+                              bridge.burst.goodLossPct,
+                              bridge.burst.badLossPct,
+                              bridge.burst.pGoodToBad,
+                              bridge.burst.pBadToGood);
+                out += buf;
+            }
+        }
+    }
     out += " variant=";
     out += toString(variant);
     // Mentioned only off the default so pre-MAC-subsystem harness
@@ -119,6 +147,25 @@ MachineConfig::describe() const
                       wireless.lossPct, wireless.berFromSnr ? "+snr" : "",
                       wireless.ackTimeoutCycles, wireless.maxRetries,
                       wireless.retryBackoffMaxExp);
+        out += buf;
+    }
+    // Burst and per-channel-profile knobs, likewise only off their
+    // defaults (the i.i.d./flat-spectrum labels are unchanged).
+    if (wireless.burst.enabled) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      " burst=g%g%%/b%g%%,pgb=%g,pbg=%g",
+                      wireless.burst.goodLossPct,
+                      wireless.burst.badLossPct, wireless.burst.pGoodToBad,
+                      wireless.burst.pBadToGood);
+        out += buf;
+    }
+    if (wireless.channelLossBaseDb != 0.0 ||
+        wireless.channelLossStepDb != 0.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " chloss=%g+%gdB",
+                      wireless.channelLossBaseDb,
+                      wireless.channelLossStepDb);
         out += buf;
     }
     return out;

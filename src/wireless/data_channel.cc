@@ -7,30 +7,49 @@
 
 namespace wisync::wireless {
 
-DataChannel::DataChannel(sim::Engine &engine, const WirelessConfig &cfg)
-    : engine_(engine), cfg_(cfg)
-{
-    WISYNC_ASSERT(cfg_.collisionCycles < cfg_.dataCycles,
-                  "collision penalty must be below full transfer time");
-    WISYNC_ASSERT(cfg_.lossPct >= 0.0 && cfg_.lossPct <= 100.0,
-                  "lossPct is a percentage");
-    lossEnabled_ = cfg_.lossPct > 0.0;
-}
+namespace {
 
+/** Shared ctor/reset validation of the loss + burst knobs. */
 void
-DataChannel::reset(const WirelessConfig &cfg)
+validateLossConfig(const WirelessConfig &cfg)
 {
     WISYNC_ASSERT(cfg.collisionCycles < cfg.dataCycles,
                   "collision penalty must be below full transfer time");
     WISYNC_ASSERT(cfg.lossPct >= 0.0 && cfg.lossPct <= 100.0,
                   "lossPct is a percentage");
+    WISYNC_ASSERT(cfg.burst.goodLossPct >= 0.0 &&
+                      cfg.burst.goodLossPct <= 100.0 &&
+                      cfg.burst.badLossPct >= 0.0 &&
+                      cfg.burst.badLossPct <= 100.0,
+                  "burst state loss rates are percentages");
+    WISYNC_ASSERT(cfg.burst.pGoodToBad >= 0.0 &&
+                      cfg.burst.pGoodToBad <= 1.0 &&
+                      cfg.burst.pBadToGood >= 0.0 &&
+                      cfg.burst.pBadToGood <= 1.0,
+                  "burst transition probabilities live in [0, 1]");
+}
+
+} // namespace
+
+DataChannel::DataChannel(sim::Engine &engine, const WirelessConfig &cfg)
+    : engine_(engine), cfg_(cfg)
+{
+    validateLossConfig(cfg_);
+    lossEnabled_ = cfg_.lossPct > 0.0 || cfg_.burst.lossy();
+}
+
+void
+DataChannel::reset(const WirelessConfig &cfg)
+{
+    validateLossConfig(cfg);
     cfg_ = cfg;
     nextFree_ = 0;
     openSlot_ = sim::kCycleMax;
     slotAttempts_.clear();
     dropData_.clear();
     dropBulk_.clear();
-    lossEnabled_ = cfg_.lossPct > 0.0;
+    burstStates_.clear();
+    lossEnabled_ = cfg_.lossPct > 0.0 || cfg_.burst.lossy();
     stats_.reset();
 }
 
@@ -39,7 +58,8 @@ DataChannel::setDropTable(std::vector<double> data, std::vector<double> bulk)
 {
     dropData_ = std::move(data);
     dropBulk_ = std::move(bulk);
-    lossEnabled_ = cfg_.lossPct > 0.0 || !dropData_.empty();
+    lossEnabled_ =
+        cfg_.lossPct > 0.0 || !dropData_.empty() || cfg_.burst.lossy();
 }
 
 double
@@ -48,6 +68,23 @@ DataChannel::dropProbability(sim::NodeId src, bool bulk) const
     // The uniform knob and the SNR-derived per-link rate are
     // independent corruption sources; survival probabilities multiply.
     double ok = 1.0 - cfg_.lossPct / 100.0;
+    const auto &table = bulk ? dropBulk_ : dropData_;
+    if (src < table.size())
+        ok *= 1.0 - table[src];
+    const double per = 1.0 - ok;
+    return per < 0.0 ? 0.0 : (per > 1.0 ? 1.0 : per);
+}
+
+double
+DataChannel::burstDropProbability(sim::NodeId src, bool bulk, sim::Rng &rng)
+{
+    // The Gilbert–Elliott chain replaces the uniform lossPct knob: its
+    // per-state rate IS the "interference" corruption source. The
+    // SNR-derived per-link rate is still an independent source, so the
+    // survival probabilities multiply exactly as in dropProbability().
+    if (burstStates_.size() <= src)
+        burstStates_.resize(src + 1);
+    double ok = 1.0 - burstStates_[src].step(cfg_.burst, rng);
     const auto &table = bulk ? dropBulk_ : dropData_;
     if (src < table.size())
         ok *= 1.0 - table[src];
@@ -145,7 +182,14 @@ DataChannel::arbitrate()
         // drop no deliver runs and the sender learns of the loss when
         // its ack window expires. The ideal channel draws nothing.
         if (lossEnabled_ && p->rng != nullptr) {
-            const double per = dropProbability(p->src, p->bulk);
+            // Burst mode steps the transmitter's Gilbert–Elliott chain
+            // first (one extra draw per transmission — deterministic,
+            // from the same per-node stream), then performs the usual
+            // drop Bernoulli against the composed probability.
+            const double per =
+                cfg_.burst.enabled
+                    ? burstDropProbability(p->src, p->bulk, *p->rng)
+                    : dropProbability(p->src, p->bulk);
             if (per > 0.0 && p->rng->chance(per)) {
                 stats_.drops.inc();
                 engine_.scheduleIn(

@@ -32,6 +32,7 @@
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "wireless/burst.hh"
 #include "wireless/mac/mac_kind.hh"
 
 namespace wisync::wireless {
@@ -78,6 +79,18 @@ struct WirelessConfig
     /** Cap on the bounded exponential retransmission backoff: the
      *  i-th retry waits min(2^i, 2^retryBackoffMaxExp) extra cycles. */
     std::uint32_t retryBackoffMaxExp = 6;
+    /** Correlated (bursty) loss: a per-transmitter Gilbert–Elliott
+     *  chain replaces the i.i.d. lossPct draw when enabled. The
+     *  SNR-derived drop table still composes on top. Disabled (the
+     *  default) draws nothing — byte-identical to the i.i.d. model. */
+    BurstParams burst;
+    /** Per-frequency-channel loss profile: extra attenuation folded
+     *  into every link of spectrum slot s, channelLossBaseDb +
+     *  s * channelLossStepDb (carriers at different frequencies see
+     *  different path loss). Applied through the RF channel model, so
+     *  it requires berFromSnr; 0 keeps all slots identical. */
+    double channelLossBaseDb = 0.0;
+    double channelLossStepDb = 0.0;
 
     /** Multi-chip: spectrum slots the FrequencyPlan may hand out.
      *  Chips sharing a slot share one channel + MAC arbitration
@@ -279,8 +292,17 @@ class DataChannel
      *  an event stream identical to the pre-loss simulator. */
     bool lossy() const { return lossEnabled_; }
 
-    /** Probability a broadcast from @p src fails to reach every node. */
+    /** Probability a broadcast from @p src fails to reach every node
+     *  under the i.i.d. model (lossPct x SNR drop table). */
     double dropProbability(sim::NodeId src, bool bulk) const;
+
+    /** The Gilbert–Elliott state of transmitter @p src (Good until its
+     *  first burst-mode transmission). Test/introspection hook. */
+    bool
+    burstBad(sim::NodeId src) const
+    {
+        return src < burstStates_.size() && burstStates_[src].bad();
+    }
 
     /** Utilisation bookkeeping: total busy cycles / elapsed cycles. */
     double
@@ -306,6 +328,11 @@ class DataChannel
 
     void arbitrate();
 
+    /** Burst mode: step @p src's chain from @p rng and compose the
+     *  per-state rate with the SNR drop table for this transmission. */
+    double burstDropProbability(sim::NodeId src, bool bulk,
+                                sim::Rng &rng);
+
     sim::Engine &engine_;
     WirelessConfig cfg_;
     sim::Cycle nextFree_ = 0;
@@ -318,6 +345,9 @@ class DataChannel
     /** Per-tx SNR-derived packet-error rates (empty: uniform only). */
     std::vector<double> dropData_;
     std::vector<double> dropBulk_;
+    /** Per-transmitter Gilbert–Elliott states, grown on first use;
+     *  untouched (and empty) unless cfg_.burst.enabled. */
+    std::vector<BurstState> burstStates_;
     bool lossEnabled_ = false;
     DataChannelStats stats_;
 };

@@ -31,12 +31,14 @@ class FrequencyPlan
 {
   public:
     FrequencyPlan(std::uint32_t num_chips = 1,
-                  std::uint32_t spectrum_slots = 4)
+                  std::uint32_t spectrum_slots = 4,
+                  double loss_base_db = 0.0, double loss_step_db = 0.0)
         : numChips_(num_chips == 0 ? 1 : num_chips),
           channels_(spectrum_slots == 0
                         ? 1
                         : (spectrum_slots < numChips_ ? spectrum_slots
-                                                      : numChips_))
+                                                      : numChips_)),
+          lossBaseDb_(loss_base_db), lossStepDb_(loss_step_db)
     {}
 
     std::uint32_t chips() const { return numChips_; }
@@ -68,11 +70,27 @@ class FrequencyPlan
         return channel + index * channels_;
     }
 
+    /**
+     * Extra link attenuation of spectrum slot @p channel, dB: carriers
+     * at different frequencies see different path loss and dispersion
+     * (Timoneda et al.), so each slot gets its own profile,
+     * lossBaseDb + channel * lossStepDb. BmSystem folds this into the
+     * RF attenuation matrix of every chip on the slot — the chips
+     * sharing a slot (the far-apart pairs) share its physics. Both
+     * knobs default to 0: identical slots, the pre-profile model.
+     */
+    double channelLossDb(std::uint32_t channel) const
+    {
+        return lossBaseDb_ + channel * lossStepDb_;
+    }
+
     bool operator==(const FrequencyPlan &) const = default;
 
   private:
     std::uint32_t numChips_;
     std::uint32_t channels_;
+    double lossBaseDb_ = 0.0;
+    double lossStepDb_ = 0.0;
 };
 
 } // namespace wisync::wireless

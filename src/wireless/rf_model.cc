@@ -83,7 +83,21 @@ RfChannelModel::RfChannelModel(std::uint32_t num_nodes,
     for (std::uint32_t tx = 0; tx < numNodes_; ++tx)
         for (std::uint32_t rx = 0; rx < numNodes_; ++rx)
             pathLossDb_[idx(tx, rx)] =
-                cfg_.plRefDb + cfg_.plSlopeDbPerMm * distanceMm(tx, rx);
+                cfg_.plRefDb + cfg_.extraLossDb +
+                cfg_.plSlopeDbPerMm * distanceMm(tx, rx);
+}
+
+void
+RfChannelModel::overridePathLoss(std::uint32_t tx, std::uint32_t rx,
+                                 double db)
+{
+    // A silent out-of-bounds write would corrupt a neighbouring link's
+    // attenuation (or the heap) — same guard style as frameCycles.
+    WISYNC_FATAL_IF(tx >= numNodes_ || rx >= numNodes_,
+                    "overridePathLoss link (%u, %u) out of range for %u "
+                    "nodes",
+                    tx, rx, numNodes_);
+    pathLossDb_[idx(tx, rx)] = db;
 }
 
 double

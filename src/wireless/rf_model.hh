@@ -111,6 +111,10 @@ struct RfChannelConfig
     double plRefDb = 30.0;
     /** Path-loss slope, dB per mm of straight-line distance. */
     double plSlopeDbPerMm = 1.0;
+    /** Flat extra attenuation on every link, dB — the frequency-
+     *  channel profile (FrequencyPlan::channelLossDb) of the spectrum
+     *  slot this die transmits on. 0 keeps the slot-agnostic model. */
+    double extraLossDb = 0.0;
     /** Transmit power, dBm. */
     double txPowerDbm = 10.0;
     /** Receiver noise floor over the 16 GHz band incl. noise figure,
@@ -145,12 +149,9 @@ class RfChannelModel
         return pathLossDb_[idx(tx, rx)];
     }
 
-    /** Pin one link's attenuation (both directions stay independent). */
-    void
-    overridePathLoss(std::uint32_t tx, std::uint32_t rx, double db)
-    {
-        pathLossDb_[idx(tx, rx)] = db;
-    }
+    /** Pin one link's attenuation (both directions stay independent).
+     *  Out-of-range endpoints are a fatal configuration error. */
+    void overridePathLoss(std::uint32_t tx, std::uint32_t rx, double db);
 
     /** Received signal-to-noise ratio on the link, dB. */
     double snrDb(std::uint32_t tx, std::uint32_t rx) const;

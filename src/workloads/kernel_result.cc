@@ -45,6 +45,11 @@ captureChannelStats(KernelResult &result, core::Machine &machine)
         if (const noc::ChipBridge *bridge = bm->bridge()) {
             result.bridgeFrames = bridge->stats().frames.value();
             result.bridgeBusyCycles = bridge->stats().busyCycles.value();
+            result.bridgeDrops = bridge->stats().drops.value();
+            result.bridgeAckTimeouts = bridge->stats().ackTimeouts.value();
+            result.bridgeRetransmits =
+                bridge->stats().retransmits.value();
+            result.bridgeGiveups = bridge->stats().giveUps.value();
         }
         result.staleRmwAborts = bm->stats().staleRmwAborts.value();
     }
@@ -68,7 +73,11 @@ bitIdentical(const KernelResult &a, const KernelResult &b)
            a.macGiveups == b.macGiveups &&
            a.bridgeFrames == b.bridgeFrames &&
            a.bridgeBusyCycles == b.bridgeBusyCycles &&
-           a.staleRmwAborts == b.staleRmwAborts;
+           a.staleRmwAborts == b.staleRmwAborts &&
+           a.bridgeDrops == b.bridgeDrops &&
+           a.bridgeAckTimeouts == b.bridgeAckTimeouts &&
+           a.bridgeRetransmits == b.bridgeRetransmits &&
+           a.bridgeGiveups == b.bridgeGiveups;
 }
 
 } // namespace wisync::workloads

@@ -64,6 +64,20 @@ struct KernelResult
     /** RMWs aborted because a bridged update had not landed yet. */
     std::uint64_t staleRmwAborts = 0;
 
+    // Lossy-bridge reliability telemetry (all 0 on an ideal bridge —
+    // the multi-chip default — which keeps these fields from
+    // perturbing the ideal-bridge identity gate). Simulated
+    // observables: included in bitIdentical().
+    /** Bridge serializations corrupted by the lossy link. */
+    std::uint64_t bridgeDrops = 0;
+    /** Bridge ack windows that expired (one per drop). */
+    std::uint64_t bridgeAckTimeouts = 0;
+    /** Bridge retransmissions within a frame's retry budget. */
+    std::uint64_t bridgeRetransmits = 0;
+    /** Bridge retry budgets exhausted (each triggers a re-issue, so
+     *  no global BM update is ever lost). */
+    std::uint64_t bridgeGiveups = 0;
+
     // Host-side fast-path telemetry, aggregated over the mesh, memory
     // and wireless layers. Deliberately NOT part of bitIdentical():
     // the fast paths are cycle-exact but these counters describe which

@@ -483,6 +483,99 @@ TEST(FuzzLossyChannel, Loss0KnobsNeverPerturbTheIdealChannel)
     }
 }
 
+/**
+ * Bursty-channel dimension: random Gilbert–Elliott parametrizations
+ * (via BurstParams::fromMean, mean bounded far below the 100%-forever
+ * corner) x numChips x MacKind, every round run twice — on one
+ * persistent reset-reused machine and on a fresh build. Invariants:
+ * the run terminates (correlated drops ride the same bounded give-up
+ * / re-issue machinery as i.i.d. ones), replicas stay coherent across
+ * chips, and the two legs are bit-identical. Rounds with multiple
+ * chips also randomly arm the bridge's own burst chain.
+ */
+TEST(FuzzBurstyChannel, RandomBurstGridsThroughResetMatchFresh)
+{
+    constexpr std::uint32_t kCores = 16;
+    constexpr std::uint32_t kChipChoices[] = {1, 2, 4};
+    Machine persistent(MachineConfig::make(ConfigKind::WiSync, kCores));
+    wisync::sim::Rng pick(0xB095B095);
+    int multichip_rounds = 0, bridge_burst_rounds = 0;
+    for (int i = 0; i < 10; ++i) {
+        // Mean loss 5..30%, mean burst length 1..8 transmissions.
+        const double mean = 5.0 + static_cast<double>(pick.below(26));
+        const double len = 1.0 + static_cast<double>(pick.below(8));
+        const std::uint32_t chips = kChipChoices[pick.below(3)];
+        const MacKind mac = kMacKinds[pick.below(4)];
+        const bool bridge_burst = chips > 1 && pick.chance(0.5);
+        const std::uint64_t seed = 0xB0B0 + static_cast<std::uint64_t>(i);
+        multichip_rounds += chips > 1 ? 1 : 0;
+        bridge_burst_rounds += bridge_burst ? 1 : 0;
+        const auto tweak = [&](MachineConfig &cfg) {
+            cfg.numChips = chips;
+            cfg.wireless.burst =
+                wisync::wireless::BurstParams::fromMean(mean, len);
+            if (bridge_burst)
+                cfg.bridge.burst =
+                    wisync::wireless::BurstParams::fromMean(mean, len);
+        };
+        const auto fresh = fuzzRun(ConfigKind::WiSync, seed, kCores, 12,
+                                   nullptr, mac, true, 0.0, false, 10.0,
+                                   tweak);
+        const auto reused = fuzzRun(ConfigKind::WiSync, seed, kCores, 12,
+                                    &persistent, mac, true, 0.0, false,
+                                    10.0, tweak);
+        ASSERT_TRUE(fresh.completed)
+            << "round " << i << " mean " << mean << " len " << len;
+        ASSERT_TRUE(reused.completed) << "round " << i;
+        EXPECT_EQ(fresh.cycles, reused.cycles) << "round " << i;
+        EXPECT_EQ(fresh.counter, reused.counter) << "round " << i;
+        EXPECT_EQ(fresh.bmCounter, reused.bmCounter) << "round " << i;
+        EXPECT_TRUE(persistent.bm()->storeArray().replicasConsistent(
+            kCores / chips))
+            << "round " << i;
+    }
+    // The deterministic pick stream exercises both extensions.
+    EXPECT_GT(multichip_rounds, 0);
+    EXPECT_GT(bridge_burst_rounds, 0);
+}
+
+TEST(FuzzBurstyChannel, BurstOffKnobsNeverPerturbTheIdealChannel)
+{
+    // Random burst parameters with the enable gate off (and random
+    // per-channel profile knobs on a single-slot machine with no SNR
+    // model, where they cannot matter) must replay the ideal channel
+    // bit-for-bit — the knobs are dead state until enabled.
+    wisync::sim::Rng rng(0x0B057);
+    for (int iter = 0; iter < 6; ++iter) {
+        const auto mac = kMacKinds[rng.below(4)];
+        const std::uint64_t seed =
+            0x0B0500 + static_cast<std::uint64_t>(iter);
+        const auto ideal =
+            fuzzRun(ConfigKind::WiSync, seed, 8, 15, nullptr, mac);
+        ASSERT_TRUE(ideal.completed);
+        const double good = static_cast<double>(rng.below(100));
+        const double bad = static_cast<double>(rng.below(100));
+        const double pgb = rng.uniform();
+        const double pbg = rng.uniform();
+        const auto odd = fuzzRun(
+            ConfigKind::WiSync, seed, 8, 15, nullptr, mac, true, 0.0,
+            false, 10.0, [&](MachineConfig &cfg) {
+                cfg.wireless.burst.enabled = false;
+                cfg.wireless.burst.goodLossPct = good;
+                cfg.wireless.burst.badLossPct = bad;
+                cfg.wireless.burst.pGoodToBad = pgb;
+                cfg.wireless.burst.pBadToGood = pbg;
+                cfg.wireless.channelLossBaseDb =
+                    static_cast<double>(rng.below(20));
+                cfg.wireless.channelLossStepDb =
+                    static_cast<double>(rng.below(10));
+            });
+        EXPECT_EQ(ideal.cycles, odd.cycles) << "iter " << iter;
+        EXPECT_EQ(ideal.counter, odd.counter) << "iter " << iter;
+        EXPECT_EQ(ideal.bmCounter, odd.bmCounter) << "iter " << iter;
+    }
+}
+
 /** Heavier sweep: more threads and ops, both wireless configs. */
 class FuzzScale
     : public ::testing::TestWithParam<std::tuple<ConfigKind, int>>

@@ -184,6 +184,19 @@ TEST(RfChannel, LinkOverrideIsDirectional)
               1e-6);
 }
 
+TEST(RfChannelDeathTest, LinkOverrideRejectsOutOfRangeEndpoints)
+{
+    // An out-of-range endpoint used to index past the attenuation
+    // matrix (silent corruption, or a crash far from the cause); it
+    // must die loudly at the configuration site instead.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    RfChannelModel m(16);
+    EXPECT_EXIT(m.overridePathLoss(16, 0, 150.0),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(m.overridePathLoss(0, 99, 150.0),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
 TEST(RfChannel, NonSquareNodeCountsGetTheEnclosingGrid)
 {
     // 6 nodes -> a 3x3 grid with the last cells empty; distances stay
