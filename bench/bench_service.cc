@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Sweep-service throughput: cold vs warm batches on a duplicate-heavy
+ * grid.
+ *
+ * The service's value proposition is that determinism makes results
+ * reusable: a batch full of repeated points (parameter sweeps from
+ * many users overlap heavily) should cost one simulation per *unique*
+ * point, and a repeated batch should cost no simulation at all. This
+ * bench measures exactly that on a duplicate-heavy TightLoop/CAS
+ * grid:
+ *
+ *  - service_identity: the cold service run (deduped, cached, N
+ *    worker threads) and a 2-way ShardPlanner split of the same
+ *    request merge bit-identically to a serial, cache-disabled run —
+ *    the subsystem's correctness bar, verified in-process;
+ *  - cache_hits vs duplicates: every injected duplicate must be
+ *    answered by the result cache (hits >= duplicates);
+ *  - warm_speedup: the same batch re-run against the warm cache must
+ *    be at least 2x faster than the cold run (it simulates nothing —
+ *    in practice the ratio is orders of magnitude).
+ *
+ * With --json the bench emits only the machine-readable record (for
+ * bench/run_bench.sh --sweep, gated by bench/check_bench.py as
+ * "service" in BENCH_sweep.json); by default it prints a small table.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hh"
+#include "service/config_codec.hh"
+#include "service/shard_planner.hh"
+#include "service/sweep_service.hh"
+#include "workloads/kernel_result.hh"
+
+using namespace wisync;
+
+namespace {
+
+/**
+ * 6 unique points (kind x MAC x workload), each repeated 4x: 24
+ * points, 18 duplicates — the overlap profile the cache exists for.
+ */
+service::SweepRequest
+duplicateHeavyGrid()
+{
+    const std::string request_json = R"({"points": [
+        {"config": {"kind": "Baseline", "cores": 16},
+         "workload": {"kind": "tightloop", "iterations": 12}},
+        {"config": {"kind": "WiSync", "cores": 16},
+         "workload": {"kind": "tightloop", "iterations": 12}},
+        {"config": {"kind": "WiSync", "cores": 16,
+                    "wireless": {"mac": "Token"}},
+         "workload": {"kind": "tightloop", "iterations": 12}},
+        {"config": {"kind": "WiSyncNoT", "cores": 16},
+         "workload": {"kind": "tightloop", "iterations": 12}},
+        {"config": {"kind": "WiSync", "cores": 16},
+         "workload": {"kind": "cas", "kernel": "lifo",
+                      "duration": 20000}},
+        {"config": {"kind": "WiSync", "cores": 16},
+         "workload": {"kind": "cas", "kernel": "add",
+                      "duration": 20000}}
+    ]})";
+    service::SweepRequest unique =
+        service::ConfigCodec::parseRequest(request_json);
+    service::SweepRequest grid;
+    for (int rep = 0; rep < 4; ++rep)
+        for (const auto &p : unique.points)
+            grid.points.push_back(p);
+    return grid;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool json_only =
+        argc > 1 && std::strcmp(argv[1], "--json") == 0;
+
+    const auto request = duplicateHeavyGrid();
+    const std::size_t n = request.points.size();
+    const std::size_t unique = 6;
+    const std::size_t duplicates = n - unique;
+    const unsigned threads = harness::ParallelSweep::threads();
+
+    // Reference: serial, cache disabled — the identity yardstick.
+    service::SweepService reference(0);
+    const auto expect = reference.runBatch(request, 1);
+
+    // Cold batch: dedupe + cache through N workers.
+    service::SweepService svc(256);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto cold = svc.runBatch(request, threads);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t cold_hits = svc.lastBatch().cacheHits;
+    const std::size_t cold_simulated = svc.lastBatch().simulated;
+
+    // Warm batch: the same request again — zero simulations expected.
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto warm = svc.runBatch(request, threads);
+    const auto t3 = std::chrono::steady_clock::now();
+    const std::size_t warm_simulated = svc.lastBatch().simulated;
+
+    // 2-way shard split on cold per-shard services, merged by index.
+    std::vector<service::ServiceOutcome> merged(n);
+    for (unsigned s = 0; s < 2; ++s) {
+        service::SweepService shard_svc(256);
+        const auto idx = service::ShardPlanner::shardIndices(n, s, 2);
+        auto part = shard_svc.runBatch(
+            service::ShardPlanner::shardRequest(request, s, 2),
+            threads);
+        service::ShardPlanner::mergeByIndex(merged, idx,
+                                            std::move(part));
+    }
+
+    bool identical = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        identical = identical && cold[i].ok && warm[i].ok &&
+                    merged[i].ok &&
+                    workloads::bitIdentical(expect[i].result,
+                                            cold[i].result) &&
+                    workloads::bitIdentical(expect[i].result,
+                                            warm[i].result) &&
+                    workloads::bitIdentical(expect[i].result,
+                                            merged[i].result);
+    }
+
+    const double cold_s = seconds(t0, t1);
+    // The warm batch routinely finishes below timer resolution; the
+    // 1 us floor keeps the ratio finite without flattering it.
+    const double warm_s = std::max(seconds(t2, t3), 1e-6);
+    const double speedup = cold_s / warm_s;
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"points\": %zu, \"unique\": %zu, \"duplicates\": %zu, "
+        "\"threads\": %u, \"service_identity\": %s, "
+        "\"cold_simulated\": %zu, \"warm_simulated\": %zu, "
+        "\"cache_hits\": %llu, \"cold_seconds\": %.4f, "
+        "\"warm_seconds\": %.6f, \"warm_speedup\": %.1f}",
+        n, unique, duplicates, threads, identical ? "true" : "false",
+        cold_simulated, warm_simulated,
+        static_cast<unsigned long long>(cold_hits), cold_s, warm_s,
+        speedup);
+
+    if (json_only) {
+        std::printf("%s\n", buf);
+    } else {
+        std::printf("sweep service, %zu-point batch (%zu unique):\n",
+                    n, unique);
+        std::printf("  cold: %.4f s (%zu simulated, %llu cache hits)\n",
+                    cold_s, cold_simulated,
+                    static_cast<unsigned long long>(cold_hits));
+        std::printf("  warm: %.6f s (%zu simulated) — %.1fx\n", warm_s,
+                    warm_simulated, speedup);
+        std::printf("  identity (serial == cold == warm == sharded): "
+                    "%s\n",
+                    identical ? "yes" : "NO");
+        std::printf("%s\n", buf);
+    }
+    // Nonzero exit on a determinism violation, like
+    // bench_sweep_parallel: CI must not need to parse the table.
+    return identical ? 0 : 1;
+}

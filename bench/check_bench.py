@@ -49,6 +49,15 @@ bridge_loss_identity (reliability knobs on a loss-free bridge are
 inert) and channel_profile_differs (a per-slot loss profile step
 must visibly shift the run).
 
+The sweep-service record ("service", emitted by bench_service
+--json) gates the service subsystem's contracts: service_identity
+(cold, warm and 2-way-sharded batches bit-identical to a serial
+uncached run), cache_hits >= duplicates (every injected duplicate
+answered by the fingerprint-keyed result cache), warm_simulated == 0
+(a repeated batch simulates nothing) and warm_speedup >= 2x (the
+cache must clearly beat re-simulating; in practice it is orders of
+magnitude).
+
 Usage: bench/check_bench.py [BENCH_kernel.json] [--sweep BENCH_sweep.json]
 Exit status 0 = all gates pass.
 """
@@ -282,6 +291,36 @@ def main():
             mc_gate(mc.get("channel_profile_differs", False),
                     "multichip channel_profile_differs — a per-slot "
                     "loss profile step must visibly shift the run")
+
+        svc = sweep.get("service")
+        if svc is None:
+            failures.append(f"missing 'service' record in "
+                            f"{sweep_path}")
+        else:
+            def svc_gate(cond, line):
+                checks.append(line)
+                if not cond:
+                    failures.append(f"FAIL {line}")
+
+            svc_gate(svc.get("service_identity", False),
+                     "service service_identity — cold, warm and "
+                     "sharded batches must be bit-identical to a "
+                     "serial uncached run")
+            svc_gate(svc.get("cache_hits", 0) >=
+                     svc.get("duplicates", 1),
+                     f"service cache_hits = {svc.get('cache_hits')} "
+                     f"(gate: >= duplicates = "
+                     f"{svc.get('duplicates')}) — every duplicate "
+                     "must be answered by the result cache")
+            svc_gate(svc.get("warm_simulated", -1) == 0,
+                     f"service warm_simulated = "
+                     f"{svc.get('warm_simulated')} (gate: == 0) — a "
+                     "warm batch may not simulate anything")
+            speedup = svc.get("warm_speedup", 0.0)
+            svc_gate(speedup >= 2.0,
+                     f"service warm_speedup = {speedup} (gate: >= "
+                     "2.0) — answering from the cache must clearly "
+                     "beat re-simulating")
 
     for line in checks:
         print(" ", line)

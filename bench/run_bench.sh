@@ -123,16 +123,24 @@ if [[ $SWEEP -eq 1 ]]; then
     echo "== bench_multichip (chip grid, serial vs N threads)"
     MC_JSON=$("$MC_EXE" --json)
     echo "   $MC_JSON"
+    # Sweep-service record: cold vs warm batch on a duplicate-heavy
+    # grid, identity vs a serial uncached run verified in-process.
+    SVC_EXE="$BUILD_DIR/bench/bench_service"
+    require_exe "$SVC_EXE"
+    echo "== bench_service (cold vs warm duplicate-heavy batch)"
+    SVC_JSON=$("$SVC_EXE" --json)
+    echo "   $SVC_JSON"
     ROWFILE=$(mktemp)
     trap 'rm -f "$ROWFILE"' EXIT
     printf '%s' "$ROWS" >"$ROWFILE"
     python3 - "$SWEEP_OUT" "$MODE" "$ROWFILE" "$BASELINE_NAME" \
-        "$PARALLEL_JSON" "$MAC_JSON" "$MC_JSON" <<'EOF'
+        "$PARALLEL_JSON" "$MAC_JSON" "$MC_JSON" "$SVC_JSON" <<'EOF'
 import json, sys
 out, mode, name = sys.argv[1], sys.argv[2], sys.argv[4]
 parallel = json.loads(sys.argv[5])
 mac = json.loads(sys.argv[6])
 multichip = json.loads(sys.argv[7])
+serviced = json.loads(sys.argv[8])
 rows = []
 for line in open(sys.argv[3]):
     parts = line.split()
@@ -180,6 +188,14 @@ doc = {
                         "cost pair measures a 64-core barrier storm on "
                         "one die vs tiled over 4 chips",
     "multichip": multichip,
+    "service_method": "duplicate-heavy batch (6 unique points x 4 "
+                      "repeats) through SweepService: cold batch "
+                      "(dedupe + fingerprint-keyed result cache, "
+                      "WISYNC_SWEEP_THREADS workers) vs the same "
+                      "batch warm; identity vs a serial uncached run "
+                      "and a 2-way ShardPlanner split verified "
+                      "in-process",
+    "service": serviced,
     "benches": rows,
 }
 with open(out, "w") as f:
@@ -201,6 +217,11 @@ print(f"  multichip: {multichip['points']} points, identical="
       f"{multichip['intra_cycles_per_barrier']} intra vs "
       f"{multichip['inter_cycles_per_barrier']} inter cycles/barrier, "
       f"bridge_frames={multichip['bridge_frames']}")
+print(f"  service: {serviced['points']} points "
+      f"({serviced['duplicates']} duplicates), identity="
+      f"{serviced['service_identity']}, cache_hits="
+      f"{serviced['cache_hits']}, warm speedup "
+      f"{serviced['warm_speedup']}x")
 for r in rows:
     extra = ""
     k = f"speedup_{name}_over_reuse"

@@ -79,6 +79,9 @@ struct BmConfig
     /** AllocB/ActiveB capacity for tone barriers. */
     std::uint32_t allocSlots = 16;
 
+    /** Field-wise equality (MachineConfig::operator== / fingerprint). */
+    bool operator==(const BmConfig &) const = default;
+
     std::uint32_t words() const { return bmBytes / 8; }
 };
 

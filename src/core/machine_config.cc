@@ -1,5 +1,6 @@
 #include "core/machine_config.hh"
 
+#include <bit>
 #include <cstdio>
 
 #include "sim/logging.hh"
@@ -88,6 +89,116 @@ MachineConfig::compatibleShape(const MachineConfig &other) const
            mem.dramOutstanding == other.mem.dramOutstanding &&
            bm.bmBytes == other.bm.bmBytes &&
            bm.allocSlots == other.bm.allocSlots;
+}
+
+namespace {
+
+/**
+ * FNV-1a over a canonical little-endian byte stream. Every field is
+ * widened to a fixed 8-byte representation first, so the fingerprint
+ * never depends on host struct layout, padding or endianness of
+ * in-memory representations — only on the declared field order below.
+ */
+struct Fnv1a
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xFF;
+            h *= 0x100000001B3ull;
+        }
+    }
+    void dbl(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void b(bool v) { u64(v ? 1 : 0); }
+};
+
+} // namespace
+
+std::uint64_t
+MachineConfig::fingerprint() const
+{
+    Fnv1a f;
+    // Version tag: bump when the stream layout below changes, so stale
+    // persisted fingerprints (a named follow-up: on-disk result cache)
+    // can never alias a new layout.
+    f.u64(0x5753464701ull); // "WSFG" 01
+
+    f.u64(static_cast<std::uint64_t>(kind));
+    f.u64(static_cast<std::uint64_t>(variant));
+    f.u64(numCores);
+    f.u64(numChips);
+    f.u64(issueWidth);
+    f.u64(seed);
+
+    f.u64(mem.lineBytes);
+    f.u64(mem.l1SizeBytes);
+    f.u64(mem.l1Assoc);
+    f.u64(mem.l1RtCycles);
+    f.u64(mem.l2BankSizeBytes);
+    f.u64(mem.l2Assoc);
+    f.u64(mem.l2RtCycles);
+    f.u64(mem.dramRtCycles);
+    f.u64(mem.numMemCtrls);
+    f.u64(mem.dramOutstanding);
+    f.u64(mem.ctrlBits);
+    f.u64(mem.dataBits);
+    f.b(mem.fastpath);
+
+    f.u64(mesh.numNodes);
+    f.u64(mesh.hopCycles);
+    f.u64(mesh.linkBits);
+    f.b(mesh.treeMulticast);
+    f.b(mesh.fastpath);
+
+    f.u64(wireless.dataCycles);
+    f.u64(wireless.bulkCycles);
+    f.u64(wireless.collisionCycles);
+    f.b(wireless.fastpath);
+    f.dbl(wireless.lossPct);
+    f.b(wireless.berFromSnr);
+    f.dbl(wireless.txPowerDbm);
+    f.u64(wireless.ackTimeoutCycles);
+    f.u64(wireless.maxRetries);
+    f.u64(wireless.retryBackoffMaxExp);
+    f.b(wireless.burst.enabled);
+    f.dbl(wireless.burst.goodLossPct);
+    f.dbl(wireless.burst.badLossPct);
+    f.dbl(wireless.burst.pGoodToBad);
+    f.dbl(wireless.burst.pBadToGood);
+    f.dbl(wireless.channelLossBaseDb);
+    f.dbl(wireless.channelLossStepDb);
+    f.u64(wireless.spectrumSlots);
+    f.u64(static_cast<std::uint64_t>(wireless.macKind));
+    f.u64(wireless.maxBackoffExp);
+    f.u64(wireless.tokenPassCycles);
+    f.u64(wireless.tokenFrameBits);
+    f.u64(wireless.tokenHoldCycles);
+    f.u64(wireless.adaptWindowEvents);
+    f.u64(wireless.adaptHiPct);
+    f.u64(wireless.adaptLoPct);
+
+    f.u64(bm.bmBytes);
+    f.u64(bm.bmRtCycles);
+    f.u64(bm.rmwModifyCycles);
+    f.u64(bm.allocSlots);
+
+    f.u64(bridge.latencyCycles);
+    f.u64(bridge.widthBits);
+    f.u64(bridge.headerBits);
+    f.dbl(bridge.lossPct);
+    f.b(bridge.burst.enabled);
+    f.dbl(bridge.burst.goodLossPct);
+    f.dbl(bridge.burst.badLossPct);
+    f.dbl(bridge.burst.pGoodToBad);
+    f.dbl(bridge.burst.pBadToGood);
+    f.u64(bridge.ackTimeoutCycles);
+    f.u64(bridge.maxRetries);
+    f.u64(bridge.retryBackoffMaxExp);
+
+    return f.h;
 }
 
 std::string

@@ -112,6 +112,30 @@ struct MachineConfig
      */
     bool compatibleShape(const MachineConfig &other) const;
 
+    /**
+     * Full field-wise equality over every knob, including the
+     * sub-configs. Two equal configs simulate bit-identically (the
+     * determinism contract), which is what makes the service result
+     * cache exact.
+     */
+    bool operator==(const MachineConfig &) const = default;
+
+    /**
+     * Canonical 64-bit fingerprint of the whole config: FNV-1a over a
+     * fixed-order, fixed-width serialization of every field (doubles
+     * by bit pattern). Process-stable and run-stable — no addresses,
+     * no unordered iteration — so it can key the service ResultCache,
+     * name shard work items across worker processes, and be compared
+     * between hosts. operator== equal configs always fingerprint
+     * equal; the service additionally verifies equality on cache hits
+     * so a (astronomically unlikely) 64-bit collision degrades to a
+     * miss, never a wrong result. Adding a MachineConfig field
+     * requires extending the fingerprint stream in machine_config.cc
+     * (the FuzzSweepService tests catch a field that changes results
+     * without changing the fingerprint).
+     */
+    std::uint64_t fingerprint() const;
+
     /** Human-readable one-liner for harness output. */
     std::string describe() const;
 };

@@ -96,10 +96,32 @@ ParallelSweep::run()
     return run(threads());
 }
 
+std::vector<PointOutcome>
+ParallelSweep::runCaptured()
+{
+    return runCaptured(threads());
+}
+
 std::vector<workloads::KernelResult>
 ParallelSweep::run(unsigned threads)
 {
-    std::vector<workloads::KernelResult> results(points_.size());
+    std::vector<PointOutcome> outcomes = execute(threads, false);
+    std::vector<workloads::KernelResult> results(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        results[i] = outcomes[i].result;
+    return results;
+}
+
+std::vector<PointOutcome>
+ParallelSweep::runCaptured(unsigned threads)
+{
+    return execute(threads, true);
+}
+
+std::vector<PointOutcome>
+ParallelSweep::execute(unsigned threads, bool capture)
+{
+    std::vector<PointOutcome> results(points_.size());
     if (points_.empty())
         return results;
 
@@ -113,16 +135,39 @@ ParallelSweep::run(unsigned threads)
     std::mutex emit_mutex;
     std::size_t emitted = 0;
     auto emit = [&](std::size_t index) {
-        if (!progress && !onPoint_)
+        if (!progress && !onPoint_ && !onOutcome_)
             return;
         std::lock_guard<std::mutex> g(emit_mutex);
         ++emitted;
-        if (onPoint_)
-            onPoint_(index, results[index]);
+        // onPoint_ streams results: a captured failure has none, so
+        // only the outcome observer (and the progress line) sees it.
+        if (onPoint_ && results[index].ok)
+            onPoint_(index, results[index].result);
+        if (onOutcome_)
+            onOutcome_(index, results[index]);
         if (progress)
             std::fprintf(stderr, "[wisync-sweep] %zu/%zu points done "
                                  "(point %zu)\n",
                          emitted, points_.size(), index);
+    };
+
+    // Runs one point's body, routing exceptions per mode: capture
+    // records the typed per-point failure and lets the sweep continue;
+    // the default rethrows, making the failure batch-fatal.
+    auto runPoint = [&](SweepHarness &machines, std::size_t i) {
+        try {
+            results[i].result =
+                points_[i].body(machines.acquire(points_[i].config));
+            results[i].ok = true;
+        } catch (const std::exception &e) {
+            if (!capture)
+                throw;
+            results[i].error = e.what();
+        } catch (...) {
+            if (!capture)
+                throw;
+            results[i].error = "unknown exception";
+        }
     };
 
     if (nworkers == 1) {
@@ -130,7 +175,7 @@ ParallelSweep::run(unsigned threads)
         // order — exactly the pre-parallel benches.
         SweepHarness machines;
         for (std::size_t i = 0; i < points_.size(); ++i) {
-            results[i] = points_[i].body(machines.acquire(points_[i].config));
+            runPoint(machines, i);
             emit(i);
         }
         return results;
@@ -174,11 +219,12 @@ ParallelSweep::run(unsigned threads)
                 return;
             }
             try {
-                results[*job] =
-                    points_[*job].body(machines.acquire(points_[*job].config));
+                runPoint(machines, *job);
                 // Inside the try: an observer that throws must stop
                 // the sweep like a failing body, not terminate the
-                // process from a worker thread.
+                // process from a worker thread (in capture mode the
+                // body's exception never reaches here — only observer
+                // failures stay batch-fatal).
                 emit(*job);
             } catch (...) {
                 // Record the first error and stop every worker before

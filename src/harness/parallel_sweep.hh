@@ -44,6 +44,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/machine_config.hh"
@@ -63,6 +64,22 @@ struct SweepPoint
 {
     core::MachineConfig config;
     std::function<workloads::KernelResult(core::Machine &)> body;
+};
+
+/**
+ * One point's outcome under the error-capturing run mode
+ * (runCaptured): either a result (ok == true) or the typed per-point
+ * failure that produced it (ok == false, result zero-initialized,
+ * error holding the exception's what()). A long-lived sweep service
+ * must answer "this one point failed" per point, not abandon a
+ * thousand-point batch because one config livelocked.
+ */
+struct PointOutcome
+{
+    workloads::KernelResult result;
+    bool ok = false;
+    /** Empty when ok; the body exception's what() otherwise. */
+    std::string error;
 };
 
 /** A declarative sweep grid plus the work-stealing driver over it. */
@@ -98,6 +115,22 @@ class ParallelSweep
         onPoint_ = std::move(fn);
     }
 
+    /**
+     * As onPointComplete, but observing the full PointOutcome —
+     * including captured per-point failures under runCaptured(),
+     * which onPointComplete never sees (it only streams successful
+     * results). Same threading contract: completion order, completing
+     * worker's thread, serialized with onPointComplete by the same
+     * internal mutex.
+     */
+    void
+    onOutcomeComplete(
+        std::function<void(std::size_t index, const PointOutcome &outcome)>
+            fn)
+    {
+        onOutcome_ = std::move(fn);
+    }
+
     /** WISYNC_SWEEP_PROGRESS=1: stderr line per completed point. */
     static bool progressEnabled();
 
@@ -106,19 +139,43 @@ class ParallelSweep
      * size) and return the results in add() order. The grid is left
      * intact, so the same sweep can be re-run — tests use that for
      * cross-thread-count comparisons.
+     *
+     * A throwing point body is batch-fatal: the first exception stops
+     * every worker before its next point and is rethrown here — the
+     * right behavior for benches, where a failing point means the
+     * whole figure is wrong. Service front-ends use runCaptured().
      */
     std::vector<workloads::KernelResult> run(unsigned threads);
 
     /** run(threads()) — the environment-selected width. */
     std::vector<workloads::KernelResult> run();
 
+    /**
+     * As run(), but a throwing point body is captured as a typed
+     * per-point error in the merged outcomes instead of stopping the
+     * batch: the worker records what(), marks the point failed and
+     * moves on to its next job. Successful points are bit-identical
+     * to what run() would have produced — capture changes error
+     * routing only, never simulation. Observer (onPointComplete)
+     * exceptions remain batch-fatal in both modes: the observer is
+     * harness code, not a sweep point.
+     */
+    std::vector<PointOutcome> runCaptured(unsigned threads);
+
+    /** runCaptured(threads()) — the environment-selected width. */
+    std::vector<PointOutcome> runCaptured();
+
     /** WISYNC_SWEEP_THREADS, default hardware concurrency (min 1). */
     static unsigned threads();
 
   private:
+    /** Shared driver behind run()/runCaptured(); see their docs. */
+    std::vector<PointOutcome> execute(unsigned threads, bool capture);
+
     std::vector<SweepPoint> points_;
     std::function<void(std::size_t, const workloads::KernelResult &)>
         onPoint_;
+    std::function<void(std::size_t, const PointOutcome &)> onOutcome_;
 };
 
 } // namespace wisync::harness

@@ -68,6 +68,9 @@ struct MemConfig
     std::uint32_t dataBits = 64 * 8 + 80;
     /** Frameless L1-hit fast path (host-time only; cycle-exact). */
     bool fastpath = sim::fastpathDefault();
+
+    /** Field-wise equality (MachineConfig::operator== / fingerprint). */
+    bool operator==(const MemConfig &) const = default;
 };
 
 /** Result of a compare-and-swap. */

@@ -70,6 +70,9 @@ struct BridgeConfig
     std::uint32_t maxRetries = 8;
     /** Cap on the bounded exponential retransmission backoff. */
     std::uint32_t retryBackoffMaxExp = 6;
+
+    /** Field-wise equality (MachineConfig::operator== / fingerprint). */
+    bool operator==(const BridgeConfig &) const = default;
 };
 
 /** Bridge statistics. */

@@ -65,6 +65,9 @@ struct MeshConfig
     bool treeMulticast = false;
     /** Uncontended-route fast path (host-time only; cycle-exact). */
     bool fastpath = sim::fastpathDefault();
+
+    /** Field-wise equality (MachineConfig::operator== / fingerprint). */
+    bool operator==(const MeshConfig &) const = default;
 };
 
 /** Aggregated network statistics. */

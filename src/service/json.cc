@@ -1,0 +1,370 @@
+#include "service/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wisync::service {
+
+const char *
+Json::typeName() const
+{
+    switch (type_) {
+      case Type::Null:
+        return "null";
+      case Type::Bool:
+        return "bool";
+      case Type::Number:
+        return "number";
+      case Type::String:
+        return "string";
+      case Type::Array:
+        return "array";
+      case Type::Object:
+        return "object";
+    }
+    return "?";
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    for (const auto &[k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+/** Recursive-descent parser over the whole input string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json
+    parseDocument()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw JsonError(message, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+          case 'n':
+            return parseWord();
+          default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        Json v;
+        v.type_ = Json::Type::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected object key string");
+            Json key = parseString();
+            skipWs();
+            expect(':');
+            Json member = parseValue();
+            v.object_.emplace_back(key.string_, std::move(member));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        Json v;
+        v.type_ = Json::Type::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array_.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Json
+    parseString()
+    {
+        Json v;
+        v.type_ = Json::Type::String;
+        expect('"');
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                v.string_ += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                v.string_ += '"';
+                break;
+              case '\\':
+                v.string_ += '\\';
+                break;
+              case '/':
+                v.string_ += '/';
+                break;
+              case 'b':
+                v.string_ += '\b';
+                break;
+              case 'f':
+                v.string_ += '\f';
+                break;
+              case 'n':
+                v.string_ += '\n';
+                break;
+              case 'r':
+                v.string_ += '\r';
+                break;
+              case 't':
+                v.string_ += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= h - 'A' + 10;
+                    else
+                        fail("invalid \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // out of scope for config text; reject them loudly).
+                if (cp >= 0xD800 && cp <= 0xDFFF)
+                    fail("surrogate \\u escapes are not supported");
+                if (cp < 0x80) {
+                    v.string_ += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    v.string_ += static_cast<char>(0xC0 | (cp >> 6));
+                    v.string_ += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    v.string_ += static_cast<char>(0xE0 | (cp >> 12));
+                    v.string_ +=
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    v.string_ += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    Json
+    parseWord()
+    {
+        Json v;
+        if (consumeWord("true")) {
+            v.type_ = Json::Type::Bool;
+            v.bool_ = true;
+        } else if (consumeWord("false")) {
+            v.type_ = Json::Type::Bool;
+            v.bool_ = false;
+        } else if (consumeWord("null")) {
+            v.type_ = Json::Type::Null;
+        } else {
+            fail("invalid literal");
+        }
+        return v;
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("invalid JSON value");
+        Json v;
+        v.type_ = Json::Type::Number;
+        v.raw_ = text_.substr(start, pos_ - start);
+        const char *first = v.raw_.data();
+        const char *last = first + v.raw_.size();
+        const auto [end, ec] = std::from_chars(first, last, v.number_);
+        if (ec != std::errc() || end != last) {
+            pos_ = start;
+            fail("malformed number");
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+Json
+Json::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc())
+        return "0";
+    return std::string(buf, end);
+}
+
+std::string
+jsonNumber(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace wisync::service

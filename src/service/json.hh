@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Minimal JSON for the sweep service: a recursive-descent parser into
+ * an ordered value tree, plus canonical emission helpers.
+ *
+ * Deliberately not a general-purpose library — it supports exactly
+ * what the service front-end needs and nothing the container lacks:
+ *
+ *  - parse() accepts standard JSON (objects, arrays, strings with
+ *    escapes, numbers, true/false/null) and reports errors with a
+ *    byte offset, which ConfigCodec turns into field-path errors;
+ *  - object members preserve source order and are probed by find(),
+ *    so the codec can both walk every key (unknown-key hard errors)
+ *    and look up the ones it knows;
+ *  - numbers keep their raw token next to the double so 64-bit seeds
+ *    round-trip exactly (a double-only representation silently
+ *    corrupts integers above 2^53);
+ *  - the emit helpers produce the service's canonical form: fixed
+ *    field order is the caller's job, escaping and shortest
+ *    round-trip number formatting are handled here.
+ */
+
+#ifndef WISYNC_SERVICE_JSON_HH
+#define WISYNC_SERVICE_JSON_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wisync::service {
+
+/** Malformed JSON text: message plus byte offset into the input. */
+class JsonError : public std::runtime_error
+{
+  public:
+    JsonError(const std::string &message, std::size_t offset)
+        : std::runtime_error(message + " at byte " +
+                             std::to_string(offset)),
+          offset_(offset)
+    {}
+
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_;
+};
+
+/** One parsed JSON value (see file comment for the design limits). */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Parse @p text (the whole string must be one value). */
+    static Json parse(const std::string &text);
+
+    Type type() const { return type_; }
+    const char *typeName() const;
+
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isBool() const { return type_ == Type::Bool; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return number_; }
+    /** The number's source token (exact u64 parsing; numbers only). */
+    const std::string &rawNumber() const { return raw_; }
+    const std::string &str() const { return string_; }
+
+    const std::vector<Json> &array() const { return array_; }
+    /** Members in source order. */
+    const std::vector<std::pair<std::string, Json>> &
+    object() const
+    {
+        return object_;
+    }
+
+    /** First member named @p key, or nullptr. */
+    const Json *find(const std::string &key) const;
+
+  private:
+    friend class JsonParser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string raw_;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+// ---- Canonical emission helpers ----------------------------------
+
+/** @p s quoted and escaped as a JSON string literal. */
+std::string jsonQuote(const std::string &s);
+
+/** Shortest round-trip decimal form of @p v (to_chars). */
+std::string jsonNumber(double v);
+
+/** Exact decimal form of @p v. */
+std::string jsonNumber(std::uint64_t v);
+
+} // namespace wisync::service
+
+#endif // WISYNC_SERVICE_JSON_HH

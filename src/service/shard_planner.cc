@@ -1,0 +1,35 @@
+#include "service/shard_planner.hh"
+
+#include "sim/logging.hh"
+
+namespace wisync::service {
+
+std::vector<std::size_t>
+ShardPlanner::shardIndices(std::size_t points, unsigned shard,
+                           unsigned num_shards)
+{
+    WISYNC_FATAL_IF(num_shards == 0, "need at least one shard");
+    WISYNC_FATAL_IF(shard >= num_shards,
+                    "shard %u out of range (have %u shards)", shard,
+                    num_shards);
+    std::vector<std::size_t> indices;
+    indices.reserve(points / num_shards + 1);
+    for (std::size_t i = shard; i < points; i += num_shards)
+        indices.push_back(i);
+    return indices;
+}
+
+SweepRequest
+ShardPlanner::shardRequest(const SweepRequest &request, unsigned shard,
+                           unsigned num_shards)
+{
+    SweepRequest out;
+    const auto indices =
+        shardIndices(request.points.size(), shard, num_shards);
+    out.points.reserve(indices.size());
+    for (const std::size_t i : indices)
+        out.points.push_back(request.points[i]);
+    return out;
+}
+
+} // namespace wisync::service

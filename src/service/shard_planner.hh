@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic partitioning of a sweep grid across worker processes.
+ *
+ * ParallelSweep scales one process over host threads; multi-host
+ * scale-out means carving one request into K independent shards that
+ * separate processes (wisync_sweepd --shard i/k) can run and a shell
+ * loop can merge. The plan must be a pure function of (points, i, k)
+ * — every shard computes its own slice from the full request with no
+ * coordination — and the merge must reassemble exactly the serial
+ * order.
+ *
+ * The partition is strided: shard i of k owns points i, i+k, i+2k...
+ * Sweep grids are usually sorted along a cost axis (core count,
+ * chips), so striding deals every shard the same cost mixture where
+ * contiguous blocks would hand the last shard all the big machines.
+ * Results merge back by global point index, so any shard count
+ * reproduces the serial output byte-for-byte — the same by-index
+ * merge argument ParallelSweep makes for threads, one level up.
+ */
+
+#ifndef WISYNC_SERVICE_SHARD_PLANNER_HH
+#define WISYNC_SERVICE_SHARD_PLANNER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "service/config_codec.hh"
+
+namespace wisync::service {
+
+/** See the file comment. */
+class ShardPlanner
+{
+  public:
+    /**
+     * Global indices owned by shard @p shard of @p num_shards over a
+     * @p points -point grid, in increasing order. Shards must be
+     * disjoint and cover: the union over shard = 0..k-1 is exactly
+     * [0, points). @p shard must be < @p num_shards, and
+     * @p num_shards >= 1.
+     */
+    static std::vector<std::size_t> shardIndices(std::size_t points,
+                                                 unsigned shard,
+                                                 unsigned num_shards);
+
+    /** The sub-request holding exactly shardIndices()'s points. */
+    static SweepRequest shardRequest(const SweepRequest &request,
+                                     unsigned shard,
+                                     unsigned num_shards);
+
+    /**
+     * Scatter a shard's outcomes back into the full-grid vector:
+     * @p merged[indices[j]] = outcomes[j]. @p merged must already be
+     * sized to the full grid; @p indices is the same vector
+     * shardIndices() handed the shard (the merge is by-index, so
+     * shard completion order cannot reorder it).
+     */
+    template <typename Outcome>
+    static void
+    mergeByIndex(std::vector<Outcome> &merged,
+                 const std::vector<std::size_t> &indices,
+                 std::vector<Outcome> outcomes)
+    {
+        for (std::size_t j = 0; j < indices.size(); ++j)
+            merged[indices[j]] = std::move(outcomes[j]);
+    }
+};
+
+} // namespace wisync::service
+
+#endif // WISYNC_SERVICE_SHARD_PLANNER_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * wisync_sweepd — the sweep service as a process.
+ *
+ * Reads one JSON sweep request (stdin or --input), answers it through
+ * SweepService (dedupe + result cache + ParallelSweep) and writes one
+ * JSON response (stdout or --output). --shard I/K makes the process
+ * simulate only its strided slice of the grid while still reporting
+ * results under *global* point indices, so a shell loop can run K
+ * daemons on K hosts and merge their "results" arrays by index into
+ * exactly the serial output:
+ *
+ *   for i in 0 1 2 3; do
+ *       wisync_sweepd --shard $i/4 < request.json > part$i.json &
+ *   done; wait   # then concatenate the results arrays, sort by index
+ *
+ * Request schema: see src/service/config_codec.hh. Response:
+ *
+ *   {"points": N, "shard": {"index": I, "shards": K},
+ *    "stats": {"simulated":.., "cacheHits":.., "errors":..},
+ *    "cache": {"hits":.., "misses":.., "insertions":..,
+ *              "evictions":.., "collisions":..},
+ *    "results": [{"index":.., "fingerprint":.., "ok":..,
+ *                 "cacheHit":.., "result":{...} | "error":".."}]}
+ *
+ * A malformed request produces {"error": {...}} on the output stream
+ * and exit code 1; the error object names the offending field path
+ * and point index (ConfigCodec's strictness contract).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hh"
+#include "service/config_codec.hh"
+#include "service/shard_planner.hh"
+#include "service/sweep_service.hh"
+#include "workloads/kernel_result.hh"
+
+namespace {
+
+using namespace wisync;
+using namespace wisync::service;
+
+struct Options
+{
+    std::string input;  // empty = stdin
+    std::string output; // empty = stdout
+    unsigned shard = 0;
+    unsigned numShards = 1;
+    unsigned threads = harness::ParallelSweep::threads();
+    std::size_t cacheCapacity = 256;
+    bool selfTest = false;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--input FILE] [--output FILE] [--shard I/K]\n"
+        "          [--threads N] [--cache-capacity N] [--self-test]\n"
+        "Reads a JSON sweep request, writes a JSON response.\n"
+        "--shard I/K simulates only shard I of K (strided; results\n"
+        "keep global point indices so shard outputs merge by index).\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--input") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.input = v;
+        } else if (arg == "--output") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.output = v;
+        } else if (arg == "--shard") {
+            const char *v = value();
+            unsigned i_part = 0, k_part = 0;
+            if (!v || std::sscanf(v, "%u/%u", &i_part, &k_part) != 2 ||
+                k_part == 0 || i_part >= k_part) {
+                std::fprintf(stderr,
+                             "--shard wants I/K with I < K, got '%s'\n",
+                             v ? v : "");
+                return false;
+            }
+            opt.shard = i_part;
+            opt.numShards = k_part;
+        } else if (arg == "--threads") {
+            const char *v = value();
+            if (!v || std::sscanf(v, "%u", &opt.threads) != 1 ||
+                opt.threads == 0) {
+                std::fprintf(stderr, "--threads wants a count >= 1\n");
+                return false;
+            }
+        } else if (arg == "--cache-capacity") {
+            const char *v = value();
+            unsigned long long cap = 0;
+            if (!v || std::sscanf(v, "%llu", &cap) != 1) {
+                std::fprintf(stderr,
+                             "--cache-capacity wants a count\n");
+                return false;
+            }
+            opt.cacheCapacity = static_cast<std::size_t>(cap);
+        } else if (arg == "--self-test") {
+            opt.selfTest = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+shardResponse(const Options &opt, std::size_t total_points,
+              const std::vector<std::size_t> &indices,
+              const std::vector<ServiceOutcome> &outcomes,
+              const SweepService &svc)
+{
+    const BatchStats &stats = svc.lastBatch();
+    const ResultCache::Stats &cs = svc.cache().stats();
+    std::string out = "{";
+    out += "\"points\":" + jsonNumber(std::uint64_t(total_points));
+    out += ",\"shard\":{\"index\":" + jsonNumber(std::uint64_t(opt.shard)) +
+           ",\"shards\":" + jsonNumber(std::uint64_t(opt.numShards)) + "}";
+    out += ",\"stats\":{\"simulated\":" +
+           jsonNumber(std::uint64_t(stats.simulated)) +
+           ",\"cacheHits\":" + jsonNumber(std::uint64_t(stats.cacheHits)) +
+           ",\"errors\":" + jsonNumber(std::uint64_t(stats.errors)) + "}";
+    out += ",\"cache\":{\"hits\":" + jsonNumber(cs.hits) +
+           ",\"misses\":" + jsonNumber(cs.misses) +
+           ",\"insertions\":" + jsonNumber(cs.insertions) +
+           ",\"evictions\":" + jsonNumber(cs.evictions) +
+           ",\"collisions\":" + jsonNumber(cs.collisions) + "}";
+    out += ",\"results\":[";
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+        const ServiceOutcome &o = outcomes[j];
+        if (j)
+            out += ",";
+        out += "{\"index\":" + jsonNumber(std::uint64_t(indices[j]));
+        out += ",\"fingerprint\":" + jsonNumber(o.fingerprint);
+        out += ",\"ok\":" + std::string(o.ok ? "true" : "false");
+        out += ",\"cacheHit\":" + std::string(o.cacheHit ? "true"
+                                                         : "false");
+        if (o.ok)
+            out += ",\"result\":" + ConfigCodec::serializeResult(o.result);
+        else
+            out += ",\"error\":" + jsonQuote(o.error);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+errorResponse(const ParseError &e)
+{
+    std::string out = "{\"error\":{";
+    out += "\"message\":" + jsonQuote(e.what());
+    out += ",\"field\":" + jsonQuote(e.field());
+    if (e.pointIndex() != ParseError::kNoPoint)
+        out += ",\"point\":" +
+               jsonNumber(std::uint64_t(e.pointIndex()));
+    out += "}}";
+    return out;
+}
+
+bool
+writeOut(const Options &opt, const std::string &text)
+{
+    if (opt.output.empty()) {
+        std::cout << text << "\n";
+        return bool(std::cout);
+    }
+    std::ofstream f(opt.output);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", opt.output.c_str());
+        return false;
+    }
+    f << text << "\n";
+    return bool(f);
+}
+
+/**
+ * Built-in smoke batch for ctest: a duplicate-heavy request run
+ * through parse -> shard(2) -> merge must be bit-identical to a
+ * serial uncached run, with cache hits accounting for every
+ * duplicate.
+ */
+int
+selfTest()
+{
+    const std::string request_json = R"({"points": [
+        {"config": {"kind": "WiSync", "cores": 16},
+         "workload": {"kind": "tightloop", "iterations": 40}},
+        {"config": {"kind": "Baseline", "cores": 16},
+         "workload": {"kind": "tightloop", "iterations": 40}},
+        {"config": {"kind": "WiSync", "cores": 16},
+         "workload": {"kind": "tightloop", "iterations": 40}},
+        {"config": {"kind": "WiSync", "cores": 16, "wireless":
+            {"mac": "Token"}},
+         "workload": {"kind": "cas", "kernel": "add",
+                      "duration": 3000}},
+        {"config": {"kind": "WiSync", "cores": 16},
+         "workload": {"kind": "tightloop", "iterations": 40}}
+    ]})";
+
+    const SweepRequest request = ConfigCodec::parseRequest(request_json);
+    const std::size_t n = request.points.size();
+
+    // Reference: serial, cache disabled.
+    SweepService reference(0);
+    const auto expect = reference.runBatch(request, 1);
+
+    // Shard 2 ways, merge by index, compare bits.
+    std::vector<ServiceOutcome> merged(n);
+    std::size_t cache_hits = 0;
+    for (unsigned s = 0; s < 2; ++s) {
+        SweepService svc(64);
+        const auto indices = ShardPlanner::shardIndices(n, s, 2);
+        const auto part = svc.runBatch(
+            ShardPlanner::shardRequest(request, s, 2), 2);
+        ShardPlanner::mergeByIndex(merged, indices, part);
+        cache_hits += svc.lastBatch().cacheHits;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!merged[i].ok || !expect[i].ok ||
+            !workloads::bitIdentical(merged[i].result,
+                                     expect[i].result)) {
+            std::fprintf(stderr, "self-test: point %zu diverged\n", i);
+            return 1;
+        }
+    }
+    // Points 0, 2 and 4 are identical; both duplicates land in shard
+    // 0 (indices 0, 2, 4) and must be answered by its cache.
+    if (cache_hits != 2) {
+        std::fprintf(stderr,
+                     "self-test: expected 2 cache hits, got %zu\n",
+                     cache_hits);
+        return 1;
+    }
+    std::printf("SWEEPD SELF-TEST PASS (%zu points, %zu hits)\n", n,
+                cache_hits);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return usage(argv[0]);
+    if (opt.selfTest)
+        return selfTest();
+
+    std::string text;
+    if (opt.input.empty()) {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        text = ss.str();
+    } else {
+        std::ifstream f(opt.input);
+        if (!f) {
+            std::fprintf(stderr, "cannot read %s\n", opt.input.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        text = ss.str();
+    }
+
+    try {
+        const SweepRequest request = ConfigCodec::parseRequest(text);
+        const auto indices = ShardPlanner::shardIndices(
+            request.points.size(), opt.shard, opt.numShards);
+        const SweepRequest slice =
+            ShardPlanner::shardRequest(request, opt.shard,
+                                       opt.numShards);
+        SweepService svc(opt.cacheCapacity);
+        const auto outcomes = svc.runBatch(slice, opt.threads);
+        const std::string response = shardResponse(
+            opt, request.points.size(), indices, outcomes, svc);
+        return writeOut(opt, response) ? 0 : 2;
+    } catch (const ParseError &e) {
+        writeOut(opt, errorResponse(e));
+        return 1;
+    } catch (const JsonError &e) {
+        writeOut(opt, errorResponse(ParseError(
+                          "request", ParseError::kNoPoint, e.what())));
+        return 1;
+    }
+}

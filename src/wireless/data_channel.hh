@@ -117,6 +117,9 @@ struct WirelessConfig
     std::uint32_t adaptHiPct = 25;
     /** Adaptive: switch token->BRS at <= this token-wait percentage. */
     std::uint32_t adaptLoPct = 25;
+
+    /** Field-wise equality (MachineConfig::operator== / fingerprint). */
+    bool operator==(const WirelessConfig &) const = default;
 };
 
 /** Channel-level statistics. */

@@ -44,6 +44,9 @@ struct CasKernelParams
     std::uint32_t criticalSectionInstr = 1024;
     /** Simulated cycles to run (throughput window). */
     sim::Cycle duration = 300'000;
+
+    /** Field-wise equality (service WorkloadSpec dedupe). */
+    bool operator==(const CasKernelParams &) const = default;
 };
 
 /**

@@ -31,6 +31,9 @@ struct TightLoopParams
     std::uint32_t arrayElems = 50;
     /** Abort horizon (degenerate MAC policies can livelock). */
     sim::Cycle runLimit = 4'000'000'000ull;
+
+    /** Field-wise equality (service WorkloadSpec dedupe). */
+    bool operator==(const TightLoopParams &) const = default;
 };
 
 /**

@@ -10,11 +10,14 @@
 
 #include <bit>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <vector>
 
 #include "core/machine.hh"
 #include "harness/parallel_sweep.hh"
+#include "service/shard_planner.hh"
+#include "service/sweep_service.hh"
 #include "sim/rng.hh"
 #include "sync/factory.hh"
 #include "workloads/tight_loop.hh"
@@ -603,6 +606,116 @@ TEST_P(FuzzScale, ScalesWithoutInvariantViolations)
     EXPECT_EQ(r.cycles, again.cycles);
     EXPECT_EQ(r.counter, again.counter);
     EXPECT_EQ(r.bmCounter, again.bmCounter);
+}
+
+/**
+ * Sweep-service dimension: random grids with injected duplicates x
+ * shard counts {1, 2, 4} x thread counts {1, 4}. Invariants: the
+ * by-index merge of per-shard SweepService runs is bit-identical to
+ * a serial, cache-disabled run of the full request; on cold caches
+ * the summed cache hits equal exactly the number of within-shard
+ * duplicates (for one shard: exactly the injected duplicate count);
+ * evictions never drive the cache past its capacity bound.
+ */
+TEST(FuzzSweepService, RandomDuplicateGridsAcrossShardsAndThreads)
+{
+    using wisync::service::RequestPoint;
+    using wisync::service::ServiceOutcome;
+    using wisync::service::ShardPlanner;
+    using wisync::service::SweepRequest;
+    using wisync::service::SweepService;
+    using wisync::service::WorkloadSpec;
+
+    wisync::sim::Rng rng(0x5EC0FFEE);
+    constexpr ConfigKind kKinds[] = {ConfigKind::Baseline,
+                                     ConfigKind::WiSyncNoT,
+                                     ConfigKind::WiSync};
+    constexpr unsigned kShardChoices[] = {1, 2, 4};
+    constexpr unsigned kThreadChoices[] = {1, 4};
+
+    for (int iter = 0; iter < 4; ++iter) {
+        // Unique base points (distinct seeds guarantee distinctness),
+        // then injected duplicates of random earlier points.
+        SweepRequest request;
+        const int base = 3 + static_cast<int>(rng.below(4));
+        for (int p = 0; p < base; ++p) {
+            RequestPoint point;
+            point.config = MachineConfig::make(kKinds[rng.below(3)],
+                                               4u << rng.below(2));
+            point.config.seed = 0xF00D0000u + static_cast<unsigned>(p);
+            point.config.wireless.macKind = kMacKinds[rng.below(4)];
+            if (rng.below(2))
+                point.config.wireless.lossPct = 0.5;
+            point.workload.tightLoop.iterations =
+                1 + static_cast<std::uint32_t>(rng.below(3));
+            request.points.push_back(point);
+        }
+        const std::size_t duplicates = 1 + rng.below(4);
+        for (std::size_t d = 0; d < duplicates; ++d) {
+            const std::size_t victim = rng.below(request.points.size());
+            const std::size_t at = rng.below(request.points.size() + 1);
+            request.points.insert(request.points.begin() +
+                                      static_cast<std::ptrdiff_t>(at),
+                                  request.points[victim]);
+        }
+        const std::size_t n = request.points.size();
+
+        // Reference: serial, cache disabled — every point simulated.
+        SweepService reference(0);
+        const auto expect = reference.runBatch(request, 1);
+
+        const unsigned shards =
+            kShardChoices[rng.below(std::size(kShardChoices))];
+        const unsigned threads =
+            kThreadChoices[rng.below(std::size(kThreadChoices))];
+        // Small enough that grids overflow it: evictions must fire
+        // without ever breaking the capacity bound or costing a
+        // duplicate its hit (duplicates resolve at representative
+        // completion, while the entry is most-recently-used).
+        constexpr std::size_t kCapacity = 4;
+
+        std::vector<ServiceOutcome> merged(n);
+        std::size_t hits = 0;
+        std::size_t expected_hits = 0;
+        for (unsigned s = 0; s < shards; ++s) {
+            SweepService svc(kCapacity); // cold, per "process"
+            const auto idx = ShardPlanner::shardIndices(n, s, shards);
+            const auto slice =
+                ShardPlanner::shardRequest(request, s, shards);
+            auto part = svc.runBatch(slice, threads);
+            ShardPlanner::mergeByIndex(merged, idx, std::move(part));
+            hits += svc.lastBatch().cacheHits;
+
+            // Within this shard's slice, every occurrence beyond a
+            // point's first is a duplicate the cache must answer.
+            std::size_t unique = 0;
+            for (std::size_t j = 0; j < slice.points.size(); ++j) {
+                bool first = true;
+                for (std::size_t m = 0; m < j; ++m)
+                    if (slice.points[m] == slice.points[j])
+                        first = false;
+                unique += first ? 1 : 0;
+            }
+            expected_hits += slice.points.size() - unique;
+
+            EXPECT_LE(svc.cache().size(), kCapacity);
+            EXPECT_EQ(svc.cache().stats().evictions,
+                      svc.cache().stats().insertions -
+                          svc.cache().size());
+            EXPECT_EQ(svc.cache().stats().collisions, 0u);
+        }
+
+        EXPECT_EQ(hits, expected_hits) << "iter " << iter;
+        if (shards == 1)
+            EXPECT_EQ(hits, duplicates) << "iter " << iter;
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_TRUE(merged[i].ok);
+            EXPECT_TRUE(wisync::workloads::bitIdentical(
+                merged[i].result, expect[i].result))
+                << "iter " << iter << " point " << i << " shards "
+                << shards << " threads " << threads;
+        }
+    }
 }
 
 } // namespace

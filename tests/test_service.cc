@@ -1,0 +1,690 @@
+/**
+ * @file
+ * Sweep-service subsystem tests: the codec's round-trip /
+ * canonicalization / strictness contracts, MachineConfig equality and
+ * fingerprint stability, the exact LRU result cache, deterministic
+ * sharding with by-index merge, ParallelSweep's captured-error mode,
+ * and the SweepService identity bar — every batch byte-identical to a
+ * serial, cache-disabled run at any thread count, cache warmth or
+ * shard split.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/machine.hh"
+#include "core/machine_config.hh"
+#include "harness/parallel_sweep.hh"
+#include "service/config_codec.hh"
+#include "service/result_cache.hh"
+#include "service/shard_planner.hh"
+#include "service/sweep_service.hh"
+#include "workloads/kernel_result.hh"
+#include "workloads/tight_loop.hh"
+
+namespace {
+
+using wisync::core::ConfigKind;
+using wisync::core::Machine;
+using wisync::core::MachineConfig;
+using wisync::core::Variant;
+using wisync::harness::ParallelSweep;
+using wisync::service::ConfigCodec;
+using wisync::service::ParseError;
+using wisync::service::RequestPoint;
+using wisync::service::ResultCache;
+using wisync::service::ServiceOutcome;
+using wisync::service::ShardPlanner;
+using wisync::service::SweepRequest;
+using wisync::service::SweepService;
+using wisync::service::WorkloadSpec;
+using wisync::wireless::MacKind;
+using wisync::workloads::KernelResult;
+using wisync::workloads::bitIdentical;
+
+// ---- Codec: round-trip ------------------------------------------
+
+/** A config exercising every codec-covered knob off its default. */
+MachineConfig
+kitchenSinkConfig()
+{
+    auto cfg = MachineConfig::make(ConfigKind::WiSync, 32,
+                                   Variant::SlowNet);
+    cfg.numChips = 2;
+    cfg.issueWidth = 2;
+    cfg.seed = 0xDEADBEEFCAFEF00Dull;
+    cfg.wireless.macKind = MacKind::Adaptive;
+    cfg.wireless.maxBackoffExp = 9;
+    cfg.wireless.tokenPassCycles = 2;
+    cfg.wireless.tokenFrameBits = 96;
+    cfg.wireless.tokenHoldCycles = 5;
+    cfg.wireless.adaptWindowEvents = 48;
+    cfg.wireless.adaptHiPct = 37.5;
+    cfg.wireless.adaptLoPct = 8.25;
+    cfg.wireless.lossPct = 2.5;
+    cfg.wireless.berFromSnr = true;
+    cfg.wireless.txPowerDbm = -9.5;
+    cfg.wireless.ackTimeoutCycles = 21;
+    cfg.wireless.maxRetries = 6;
+    cfg.wireless.retryBackoffMaxExp = 4;
+    cfg.wireless.burst.enabled = true;
+    cfg.wireless.burst.goodLossPct = 0.25;
+    cfg.wireless.burst.badLossPct = 42.0;
+    cfg.wireless.burst.pGoodToBad = 0.0125;
+    cfg.wireless.burst.pBadToGood = 0.375;
+    cfg.wireless.channelLossBaseDb = 1.5;
+    cfg.wireless.channelLossStepDb = 0.25;
+    cfg.wireless.spectrumSlots = 2;
+    cfg.bridge.latencyCycles = 11;
+    cfg.bridge.widthBits = 64;
+    cfg.bridge.headerBits = 16;
+    cfg.bridge.lossPct = 1.25;
+    cfg.bridge.burst.enabled = true;
+    cfg.bridge.burst.goodLossPct = 0.5;
+    cfg.bridge.burst.badLossPct = 31.0;
+    cfg.bridge.burst.pGoodToBad = 0.03125;
+    cfg.bridge.burst.pBadToGood = 0.25;
+    cfg.bridge.ackTimeoutCycles = 64;
+    cfg.bridge.maxRetries = 5;
+    cfg.bridge.retryBackoffMaxExp = 3;
+    return cfg;
+}
+
+MachineConfig
+parseConfigString(const std::string &json)
+{
+    return ConfigCodec::parseConfig(wisync::service::Json::parse(json));
+}
+
+TEST(ServiceCodec, RoundTripsMakeDefaults)
+{
+    for (const auto kind :
+         {ConfigKind::Baseline, ConfigKind::BaselinePlus,
+          ConfigKind::WiSyncNoT, ConfigKind::WiSync}) {
+        for (const auto variant :
+             {Variant::Default, Variant::SlowNet, Variant::SlowNetL2,
+              Variant::FastNet, Variant::SlowBmem}) {
+            const auto cfg = MachineConfig::make(kind, 16, variant);
+            const auto back =
+                parseConfigString(ConfigCodec::serialize(cfg));
+            EXPECT_EQ(cfg, back)
+                << cfg.describe() << " did not round-trip";
+            EXPECT_EQ(cfg.fingerprint(), back.fingerprint());
+        }
+    }
+}
+
+TEST(ServiceCodec, RoundTripsEveryKnob)
+{
+    const auto cfg = kitchenSinkConfig();
+    const std::string json = ConfigCodec::serialize(cfg);
+    const auto back = parseConfigString(json);
+    EXPECT_EQ(cfg, back) << json;
+    EXPECT_EQ(cfg.fingerprint(), back.fingerprint());
+    // Canonical form is a fixed point of parse -> serialize.
+    EXPECT_EQ(json, ConfigCodec::serialize(back));
+}
+
+TEST(ServiceCodec, CanonicalFormIgnoresSpellingOfTheSameRequest)
+{
+    // Same point three ways: key order shuffled, whitespace changed,
+    // defaults spelled out vs omitted, numbers respelled.
+    const std::string a = R"({"points":[{"config":
+        {"kind":"WiSync","cores":16,"wireless":{"lossPct":0.5}},
+        "workload":{"kind":"tightloop","iterations":7}}]})";
+    const std::string b = R"({ "points" : [ { "workload" :
+        { "iterations" : 7, "kind" : "tightloop", "arrayElems" : 50 },
+        "config" : { "wireless" : { "lossPct" : 5e-1 },
+        "cores" : 16, "variant" : "Default", "kind" : "WiSync",
+        "chips" : 1 } } ] })";
+    const auto ra = ConfigCodec::parseRequest(a);
+    const auto rb = ConfigCodec::parseRequest(b);
+    ASSERT_EQ(ra.points.size(), 1u);
+    EXPECT_EQ(ra.points[0], rb.points[0]);
+    EXPECT_EQ(ra.points[0].fingerprint(), rb.points[0].fingerprint());
+    EXPECT_EQ(ConfigCodec::serializeRequest(ra),
+              ConfigCodec::serializeRequest(rb));
+}
+
+TEST(ServiceCodec, SeedRoundTripsAllSixtyFourBits)
+{
+    // A double-typed parse would round 2^64-1 to 2^64 silently; the
+    // codec parses integers off the raw token instead.
+    const auto req = ConfigCodec::parseRequest(
+        R"({"points":[{"config":{"kind":"Baseline","cores":8,
+            "seed":18446744073709551615},
+            "workload":{"kind":"tightloop"}}]})");
+    EXPECT_EQ(req.points[0].config.seed, 0xFFFFFFFFFFFFFFFFull);
+    const auto back = ConfigCodec::parseRequest(
+        ConfigCodec::serializeRequest(req));
+    EXPECT_EQ(req.points[0], back.points[0]);
+}
+
+// ---- Codec: strictness ------------------------------------------
+
+/** EXPECT a ParseError whose field/pointIndex match. */
+void
+expectParseError(const std::string &request, const std::string &field,
+                 std::size_t point)
+{
+    try {
+        ConfigCodec::parseRequest(request);
+        FAIL() << "no ParseError for " << request;
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.field(), field) << e.what();
+        EXPECT_EQ(e.pointIndex(), point) << e.what();
+        // what() must carry the path so the daemon's error response
+        // is actionable without parsing our exception type.
+        EXPECT_NE(std::string(e.what()).find(field), std::string::npos);
+    }
+}
+
+constexpr std::size_t kNoPoint = ParseError::kNoPoint;
+
+TEST(ServiceCodec, UnknownKeysAreHardErrorsAtEveryLevel)
+{
+    expectParseError(R"({"points":[],"extra":1})", "extra", kNoPoint);
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WiSync","cores":16,
+            "coresX":8},"workload":{"kind":"tightloop"}}]})",
+        "points[0].config.coresX", 0);
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WiSync","cores":16,
+            "wireless":{"lossPt":1}},
+            "workload":{"kind":"tightloop"}}]})",
+        "points[0].config.wireless.lossPt", 0);
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WiSync","cores":16,
+            "wireless":{"burst":{"enable":true}}},
+            "workload":{"kind":"tightloop"}}]})",
+        "points[0].config.wireless.burst.enable", 0);
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WiSync","cores":16,"chips":2,
+            "bridge":{"latency":3}},
+            "workload":{"kind":"tightloop"}}]})",
+        "points[0].config.bridge.latency", 0);
+    expectParseError(
+        R"({"points":[
+            {"config":{"kind":"WiSync","cores":16},
+             "workload":{"kind":"tightloop"}},
+            {"config":{"kind":"WiSync","cores":16},
+             "workload":{"kind":"cas","iterations":5}}]})",
+        "points[1].workload.iterations", 1);
+}
+
+TEST(ServiceCodec, MalformedAndPartialRequestsNameTheField)
+{
+    // Not JSON at all.
+    expectParseError("{nope", "<request>", kNoPoint);
+    // Wrong root type.
+    expectParseError(R"([1,2,3])", "<request>", kNoPoint);
+    // Missing required keys.
+    expectParseError(R"({})", "points", kNoPoint);
+    expectParseError(
+        R"({"points":[{"workload":{"kind":"tightloop"}}]})",
+        "points[0].config", 0);
+    expectParseError(
+        R"({"points":[{"config":{"cores":16},
+            "workload":{"kind":"tightloop"}}]})",
+        "points[0].config.kind", 0);
+    // Type and range violations.
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WiSync","cores":"16"},
+            "workload":{"kind":"tightloop"}}]})",
+        "points[0].config.cores", 0);
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WiSync","cores":16,
+            "seed":-1},"workload":{"kind":"tightloop"}}]})",
+        "points[0].config.seed", 0);
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WiSync","cores":16,
+            "wireless":{"lossPct":150}},
+            "workload":{"kind":"tightloop"}}]})",
+        "points[0].config.wireless.lossPct", 0);
+    // Structurally invalid machine (would fatal inside Machine).
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WiSync","cores":16,
+            "chips":3},"workload":{"kind":"tightloop"}}]})",
+        "points[0].config.chips", 0);
+    // Bad enum spellings.
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WySink","cores":16},
+            "workload":{"kind":"tightloop"}}]})",
+        "points[0].config.kind", 0);
+    expectParseError(
+        R"({"points":[{"config":{"kind":"WiSync","cores":16},
+            "workload":{"kind":"cas","kernel":"stack"}}]})",
+        "points[0].workload.kernel", 0);
+}
+
+// ---- MachineConfig equality + fingerprint ------------------------
+
+TEST(ServiceFingerprint, EqualConfigsShareItDifferingConfigsDoNot)
+{
+    const auto base = MachineConfig::make(ConfigKind::WiSync, 16);
+    auto same = MachineConfig::make(ConfigKind::WiSync, 16);
+    EXPECT_EQ(base, same);
+    EXPECT_EQ(base.fingerprint(), same.fingerprint());
+
+    // Flip one knob at a time — each must break equality AND move the
+    // fingerprint (the cache key may never alias distinct configs
+    // through a knob the hash forgot).
+    std::vector<MachineConfig> mutants;
+    for (int i = 0; i < 10; ++i)
+        mutants.push_back(MachineConfig::make(ConfigKind::WiSync, 16));
+    mutants[0].seed = 99;
+    mutants[1].issueWidth = 4;
+    mutants[2].wireless.macKind = MacKind::Token;
+    mutants[3].wireless.lossPct = 0.001;
+    mutants[4].wireless.burst.enabled = true;
+    mutants[5].wireless.spectrumSlots = 2;
+    mutants[6].wireless.tokenHoldCycles += 1;
+    mutants[7].bridge.latencyCycles += 1;
+    mutants[8].mem.lineBytes *= 2;
+    mutants[9].bm.bmRtCycles += 1;
+    for (std::size_t i = 0; i < mutants.size(); ++i) {
+        EXPECT_NE(base, mutants[i]) << "mutant " << i;
+        EXPECT_NE(base.fingerprint(), mutants[i].fingerprint())
+            << "mutant " << i;
+    }
+}
+
+TEST(ServiceFingerprint, WorkloadSpecSeparatesKindsAndParams)
+{
+    WorkloadSpec tl;
+    WorkloadSpec cas;
+    cas.kind = WorkloadSpec::Kind::Cas;
+    EXPECT_NE(tl.fingerprint(), cas.fingerprint());
+    WorkloadSpec tl2 = tl;
+    tl2.tightLoop.iterations += 1;
+    EXPECT_NE(tl.fingerprint(), tl2.fingerprint());
+
+    RequestPoint a{MachineConfig::make(ConfigKind::WiSync, 16), tl};
+    RequestPoint b{MachineConfig::make(ConfigKind::WiSync, 16), tl2};
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.fingerprint(),
+              (RequestPoint{a.config, a.workload}).fingerprint());
+}
+
+/**
+ * describe() may only collide where fingerprints collide: over a grid
+ * varying describe-visible knobs, two points printing the same label
+ * must BE the same point. Guards the bug class where a new behavioral
+ * knob is added without extending describe() — sweep tables would
+ * print indistinguishable rows for different machines.
+ */
+TEST(ServiceFingerprint, DescribeCollisionsImplyFingerprintCollisions)
+{
+    std::vector<MachineConfig> grid;
+    for (const auto kind : {ConfigKind::Baseline, ConfigKind::WiSync}) {
+        for (const auto cores : {8u, 16u}) {
+            for (const auto mac : {MacKind::Brs, MacKind::Token}) {
+                for (const double loss : {0.0, 1.0}) {
+                    for (const auto chips : {1u, 2u}) {
+                        auto cfg = MachineConfig::make(kind, cores);
+                        cfg.wireless.macKind = mac;
+                        cfg.wireless.lossPct = loss;
+                        cfg.numChips = chips;
+                        grid.push_back(cfg);
+                        if (loss > 0.0) {
+                            cfg.wireless.maxRetries += 2;
+                            grid.push_back(cfg);
+                        }
+                        if (chips > 1) {
+                            cfg.bridge.latencyCycles += 5;
+                            grid.push_back(cfg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    std::unordered_map<std::string, std::uint64_t> seen;
+    for (const auto &cfg : grid) {
+        const auto [it, fresh] =
+            seen.emplace(cfg.describe(), cfg.fingerprint());
+        if (!fresh) {
+            EXPECT_EQ(it->second, cfg.fingerprint())
+                << "describe() label '" << it->first
+                << "' names two behaviorally different configs";
+        }
+    }
+}
+
+// ---- ResultCache -------------------------------------------------
+
+RequestPoint
+pointWithSeed(std::uint64_t seed)
+{
+    RequestPoint p;
+    p.config = MachineConfig::make(ConfigKind::WiSync, 8);
+    p.config.seed = seed;
+    return p;
+}
+
+KernelResult
+resultWithCycles(std::uint64_t cycles)
+{
+    KernelResult r;
+    r.cycles = cycles;
+    r.completed = true;
+    return r;
+}
+
+TEST(ServiceResultCache, ExactHitsAndCounters)
+{
+    ResultCache cache(4);
+    const auto p1 = pointWithSeed(1);
+    EXPECT_EQ(cache.lookup(p1), nullptr);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    cache.insert(p1, resultWithCycles(123));
+    const auto *hit = cache.lookup(p1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_TRUE(bitIdentical(*hit, resultWithCycles(123)));
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+
+    // Equality is on the whole point: same config, different
+    // workload is a different key.
+    auto p2 = p1;
+    p2.workload.tightLoop.iterations += 1;
+    EXPECT_EQ(cache.lookup(p2), nullptr);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().collisions, 0u);
+}
+
+TEST(ServiceResultCache, LruEvictionRespectsRecency)
+{
+    ResultCache cache(2);
+    const auto pa = pointWithSeed(10);
+    const auto pb = pointWithSeed(11);
+    const auto pc = pointWithSeed(12);
+    cache.insert(pa, resultWithCycles(1));
+    cache.insert(pb, resultWithCycles(2));
+    // Touch A so B is the LRU entry when C arrives.
+    ASSERT_NE(cache.lookup(pa), nullptr);
+    cache.insert(pc, resultWithCycles(3));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.lookup(pb), nullptr) << "LRU entry must go first";
+    EXPECT_NE(cache.lookup(pa), nullptr);
+    EXPECT_NE(cache.lookup(pc), nullptr);
+}
+
+TEST(ServiceResultCache, CapacityZeroDisablesStorage)
+{
+    ResultCache cache(0);
+    const auto p = pointWithSeed(7);
+    cache.insert(p, resultWithCycles(9));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.lookup(p), nullptr);
+    EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ServiceResultCache, ClearDropsEntriesKeepsCounters)
+{
+    ResultCache cache(4);
+    const auto p = pointWithSeed(3);
+    cache.insert(p, resultWithCycles(5));
+    ASSERT_NE(cache.lookup(p), nullptr);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.lookup(p), nullptr);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+// ---- ShardPlanner ------------------------------------------------
+
+TEST(ServiceShardPlan, StridedShardsAreDisjointAndCover)
+{
+    for (const std::size_t points : {0u, 1u, 5u, 8u, 13u}) {
+        for (const unsigned k : {1u, 2u, 3u, 4u}) {
+            std::set<std::size_t> all;
+            for (unsigned s = 0; s < k; ++s) {
+                const auto idx =
+                    ShardPlanner::shardIndices(points, s, k);
+                for (std::size_t j = 0; j < idx.size(); ++j) {
+                    EXPECT_EQ(idx[j], s + j * k) << "strided contract";
+                    EXPECT_TRUE(all.insert(idx[j]).second)
+                        << "shards must be disjoint";
+                }
+            }
+            EXPECT_EQ(all.size(), points) << "shards must cover";
+        }
+    }
+}
+
+TEST(ServiceShardPlan, MergeByIndexReassemblesSerialOrder)
+{
+    const std::size_t n = 11;
+    std::vector<int> merged(n, -1);
+    for (const unsigned s : {2u, 0u, 1u}) { // out-of-order completion
+        const auto idx = ShardPlanner::shardIndices(n, s, 3);
+        std::vector<int> part;
+        for (const auto i : idx)
+            part.push_back(static_cast<int>(i) * 10);
+        ShardPlanner::mergeByIndex(merged, idx, std::move(part));
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(merged[i], static_cast<int>(i) * 10);
+}
+
+// ---- ParallelSweep captured-error mode ---------------------------
+
+wisync::workloads::KernelResult
+tinyTightLoop(Machine &m)
+{
+    wisync::workloads::TightLoopParams params;
+    params.iterations = 2;
+    return wisync::workloads::runTightLoopOn(m, params);
+}
+
+TEST(ServiceCapturedErrors, RunStaysBatchFatalRunCapturedDoesNot)
+{
+    for (const unsigned threads : {1u, 4u}) {
+        ParallelSweep sweep;
+        for (int i = 0; i < 4; ++i)
+            sweep.add(MachineConfig::make(ConfigKind::WiSync, 8),
+                      tinyTightLoop);
+        sweep.add(MachineConfig::make(ConfigKind::WiSync, 8),
+                  [](Machine &) -> KernelResult {
+                      throw std::runtime_error("point 4 livelocked");
+                  });
+
+        // Bench path: first body exception aborts the batch.
+        EXPECT_THROW(sweep.run(threads), std::runtime_error);
+
+        // Service path: the failure is a typed per-point outcome and
+        // every healthy point still matches the clean serial run.
+        const auto outcomes = sweep.runCaptured(threads);
+        ASSERT_EQ(outcomes.size(), 5u);
+        EXPECT_FALSE(outcomes[4].ok);
+        EXPECT_EQ(outcomes[4].error, "point 4 livelocked");
+
+        ParallelSweep clean;
+        for (int i = 0; i < 4; ++i)
+            clean.add(MachineConfig::make(ConfigKind::WiSync, 8),
+                      tinyTightLoop);
+        const auto expect = clean.run(1);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_TRUE(outcomes[i].ok);
+            EXPECT_TRUE(bitIdentical(outcomes[i].result, expect[i]))
+                << "threads " << threads << " point " << i;
+        }
+    }
+}
+
+TEST(ServiceCapturedErrors, OutcomeObserverSeesFailuresResultObserverDoesNot)
+{
+    ParallelSweep sweep;
+    sweep.add(MachineConfig::make(ConfigKind::Baseline, 8),
+              tinyTightLoop);
+    sweep.add(MachineConfig::make(ConfigKind::Baseline, 8),
+              [](Machine &) -> KernelResult {
+                  throw std::runtime_error("boom");
+              });
+
+    std::mutex mu;
+    std::vector<std::size_t> resultSeen;
+    std::vector<std::pair<std::size_t, bool>> outcomeSeen;
+    sweep.onPointComplete([&](std::size_t i, const KernelResult &) {
+        std::lock_guard<std::mutex> lock(mu);
+        resultSeen.push_back(i);
+    });
+    sweep.onOutcomeComplete(
+        [&](std::size_t i, const wisync::harness::PointOutcome &o) {
+            std::lock_guard<std::mutex> lock(mu);
+            outcomeSeen.emplace_back(i, o.ok);
+        });
+    const auto outcomes = sweep.runCaptured(2);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(resultSeen, (std::vector<std::size_t>{0}))
+        << "onPointComplete must only stream successes";
+    ASSERT_EQ(outcomeSeen.size(), 2u);
+    for (const auto &[i, ok] : outcomeSeen)
+        EXPECT_EQ(ok, i == 0);
+}
+
+// ---- SweepService ------------------------------------------------
+
+/** A small duplicate-heavy request: 8 points, 3 duplicates. */
+SweepRequest
+duplicateHeavyRequest()
+{
+    return ConfigCodec::parseRequest(R"({"points":[
+        {"config":{"kind":"WiSync","cores":8},
+         "workload":{"kind":"tightloop","iterations":5}},
+        {"config":{"kind":"Baseline","cores":8},
+         "workload":{"kind":"tightloop","iterations":5}},
+        {"config":{"kind":"WiSync","cores":8},
+         "workload":{"kind":"tightloop","iterations":5}},
+        {"config":{"kind":"WiSync","cores":8,
+                   "wireless":{"mac":"Token"}},
+         "workload":{"kind":"tightloop","iterations":5}},
+        {"config":{"kind":"Baseline","cores":8},
+         "workload":{"kind":"tightloop","iterations":5}},
+        {"config":{"kind":"WiSync","cores":8},
+         "workload":{"kind":"cas","kernel":"add","duration":2000}},
+        {"config":{"kind":"WiSync","cores":8},
+         "workload":{"kind":"tightloop","iterations":5}},
+        {"config":{"kind":"WiSync","cores":16},
+         "workload":{"kind":"tightloop","iterations":5}}
+    ]})");
+}
+
+void
+expectSameOutcomes(const std::vector<ServiceOutcome> &expect,
+                   const std::vector<ServiceOutcome> &got)
+{
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(expect[i].ok, got[i].ok) << "point " << i;
+        EXPECT_TRUE(bitIdentical(expect[i].result, got[i].result))
+            << "point " << i;
+        EXPECT_EQ(expect[i].fingerprint, got[i].fingerprint)
+            << "point " << i;
+    }
+}
+
+TEST(ServiceSweepService, BatchIsByteIdenticalToSerialUncachedRun)
+{
+    const auto request = duplicateHeavyRequest();
+    SweepService reference(0);
+    const auto expect = reference.runBatch(request, 1);
+    ASSERT_EQ(expect.size(), 8u);
+    EXPECT_EQ(reference.lastBatch().simulated, 5u);
+
+    for (const unsigned threads : {1u, 4u}) {
+        SweepService svc(32);
+        const auto got = svc.runBatch(request, threads);
+        expectSameOutcomes(expect, got);
+        // 3 duplicates (points 2, 4, 6) answer from the entry their
+        // representative inserted — literal, counted cache hits.
+        EXPECT_EQ(svc.lastBatch().points, 8u);
+        EXPECT_EQ(svc.lastBatch().simulated, 5u);
+        EXPECT_EQ(svc.lastBatch().cacheHits, 3u);
+        EXPECT_EQ(svc.lastBatch().errors, 0u);
+        EXPECT_EQ(svc.cache().stats().hits, 3u);
+        EXPECT_FALSE(got[0].cacheHit);
+        EXPECT_TRUE(got[2].cacheHit && got[4].cacheHit &&
+                    got[6].cacheHit);
+
+        // Warm rerun: nothing simulates, every point is a hit, bits
+        // unchanged.
+        const auto warm = svc.runBatch(request, threads);
+        expectSameOutcomes(expect, warm);
+        EXPECT_EQ(svc.lastBatch().simulated, 0u);
+        EXPECT_EQ(svc.lastBatch().cacheHits, 8u);
+        for (const auto &o : warm)
+            EXPECT_TRUE(o.cacheHit);
+    }
+}
+
+TEST(ServiceSweepService, CacheDisabledStillDedupesAndMatches)
+{
+    const auto request = duplicateHeavyRequest();
+    SweepService reference(0);
+    const auto expect = reference.runBatch(request, 1);
+
+    SweepService svc(0);
+    const auto got = svc.runBatch(request, 4);
+    expectSameOutcomes(expect, got);
+    EXPECT_EQ(svc.lastBatch().simulated, 5u);
+    EXPECT_EQ(svc.lastBatch().cacheHits, 3u)
+        << "duplicates still dedupe (copied from the representative)";
+    EXPECT_EQ(svc.cache().stats().hits, 0u);
+    EXPECT_EQ(svc.cache().size(), 0u);
+}
+
+TEST(ServiceSweepService, ObserverStreamsEveryPointExactlyOnce)
+{
+    const auto request = duplicateHeavyRequest();
+    SweepService svc(32);
+    std::mutex mu;
+    std::vector<int> count(request.points.size(), 0);
+    std::vector<ServiceOutcome> streamed(request.points.size());
+    const auto got = svc.runBatch(
+        request, 4, [&](std::size_t i, const ServiceOutcome &o) {
+            std::lock_guard<std::mutex> lock(mu);
+            count[i] += 1;
+            streamed[i] = o;
+        });
+    for (std::size_t i = 0; i < request.points.size(); ++i) {
+        EXPECT_EQ(count[i], 1) << "point " << i;
+        EXPECT_TRUE(bitIdentical(streamed[i].result, got[i].result));
+        EXPECT_EQ(streamed[i].cacheHit, got[i].cacheHit);
+    }
+}
+
+TEST(ServiceSweepService, ShardedRunMergesToTheSerialAnswer)
+{
+    const auto request = duplicateHeavyRequest();
+    SweepService reference(0);
+    const auto expect = reference.runBatch(request, 1);
+    const std::size_t n = request.points.size();
+
+    for (const unsigned k : {2u, 3u}) {
+        std::vector<ServiceOutcome> merged(n);
+        for (unsigned s = 0; s < k; ++s) {
+            SweepService svc(32); // one independent process's view
+            const auto idx = ShardPlanner::shardIndices(n, s, k);
+            auto part = svc.runBatch(
+                ShardPlanner::shardRequest(request, s, k), 2);
+            ShardPlanner::mergeByIndex(merged, idx, std::move(part));
+        }
+        expectSameOutcomes(expect, merged);
+    }
+}
+
+} // namespace
