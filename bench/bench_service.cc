@@ -18,7 +18,14 @@
  *    answered by the result cache (hits >= duplicates);
  *  - warm_speedup: the same batch re-run against the warm cache must
  *    be at least 2x faster than the cold run (it simulates nothing —
- *    in practice the ratio is orders of magnitude).
+ *    in practice the ratio is orders of magnitude);
+ *  - warm_from_disk_identical: the warm cache spilled through
+ *    CacheStore and reloaded into a fresh service must answer the
+ *    whole batch without simulating, bit-identical to the reference;
+ *  - salvaged_prefix_hits: the same file truncated mid-record must
+ *    still salvage its valid prefix, and every salvaged record must
+ *    answer its point warm (>= 1 unique point served from the
+ *    damaged file).
  *
  * With --json the bench emits only the machine-readable record (for
  * bench/run_bench.sh --sweep, gated by bench/check_bench.py as
@@ -29,11 +36,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "harness/parallel_sweep.hh"
+#include "service/cache_store.hh"
 #include "service/config_codec.hh"
+#include "service/fault.hh"
 #include "service/shard_planner.hh"
 #include "service/sweep_service.hh"
 #include "workloads/kernel_result.hh"
@@ -138,24 +149,88 @@ main(int argc, char **argv)
                                             merged[i].result);
     }
 
+    // Persistence: spill the warm cache through CacheStore, warm a
+    // fresh service from the file, and re-answer the whole batch
+    // without simulating; then truncate the file mid-record and show
+    // the salvaged prefix still serves its points.
+    const std::string store_path =
+        "/tmp/wisync_bench_service_" +
+        std::to_string(static_cast<long long>(::getpid())) + ".bin";
+    bool warm_from_disk_identical = false;
+    std::size_t salvaged_loaded = 0;
+    std::size_t salvaged_prefix_hits = 0;
+    {
+        std::string error;
+        if (service::CacheStore::save(svc.cache(), store_path,
+                                      &error)) {
+            service::SweepService disk_svc(256);
+            const auto stats = service::CacheStore::load(
+                disk_svc.cache(), store_path);
+            const auto from_disk = disk_svc.runBatch(request, threads);
+            warm_from_disk_identical =
+                stats.loaded == unique && stats.discarded == 0 &&
+                disk_svc.lastBatch().simulated == 0;
+            for (std::size_t i = 0; i < n; ++i)
+                warm_from_disk_identical =
+                    warm_from_disk_identical && from_disk[i].ok &&
+                    workloads::bitIdentical(expect[i].result,
+                                            from_disk[i].result);
+
+            // Cut the last record's tail: the prefix must salvage and
+            // every salvaged record must answer its point warm.
+            std::uint64_t file_size = 0;
+            {
+                std::ifstream f(store_path,
+                                std::ios::binary | std::ios::ate);
+                file_size = static_cast<std::uint64_t>(f.tellg());
+            }
+            service::FaultPlan::truncateFile(store_path,
+                                             file_size - 10);
+            service::SweepService salvage_svc(256);
+            const auto salvage = service::CacheStore::load(
+                salvage_svc.cache(), store_path);
+            salvaged_loaded = salvage.loaded;
+            const auto salvaged =
+                salvage_svc.runBatch(request, threads);
+            salvaged_prefix_hits =
+                unique - salvage_svc.lastBatch().simulated;
+            bool salvaged_identical =
+                salvaged_prefix_hits == salvage.loaded;
+            for (std::size_t i = 0; i < n; ++i)
+                salvaged_identical =
+                    salvaged_identical && salvaged[i].ok &&
+                    workloads::bitIdentical(expect[i].result,
+                                            salvaged[i].result);
+            if (!salvaged_identical)
+                salvaged_prefix_hits = 0; // fail the gate loudly
+        } else {
+            std::fprintf(stderr, "cache spill failed: %s\n",
+                         error.c_str());
+        }
+        std::remove(store_path.c_str());
+    }
+
     const double cold_s = seconds(t0, t1);
     // The warm batch routinely finishes below timer resolution; the
     // 1 us floor keeps the ratio finite without flattering it.
     const double warm_s = std::max(seconds(t2, t3), 1e-6);
     const double speedup = cold_s / warm_s;
 
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "{\"points\": %zu, \"unique\": %zu, \"duplicates\": %zu, "
         "\"threads\": %u, \"service_identity\": %s, "
         "\"cold_simulated\": %zu, \"warm_simulated\": %zu, "
         "\"cache_hits\": %llu, \"cold_seconds\": %.4f, "
-        "\"warm_seconds\": %.6f, \"warm_speedup\": %.1f}",
+        "\"warm_seconds\": %.6f, \"warm_speedup\": %.1f, "
+        "\"warm_from_disk_identical\": %s, "
+        "\"salvaged_loaded\": %zu, \"salvaged_prefix_hits\": %zu}",
         n, unique, duplicates, threads, identical ? "true" : "false",
         cold_simulated, warm_simulated,
         static_cast<unsigned long long>(cold_hits), cold_s, warm_s,
-        speedup);
+        speedup, warm_from_disk_identical ? "true" : "false",
+        salvaged_loaded, salvaged_prefix_hits);
 
     if (json_only) {
         std::printf("%s\n", buf);
@@ -170,9 +245,16 @@ main(int argc, char **argv)
         std::printf("  identity (serial == cold == warm == sharded): "
                     "%s\n",
                     identical ? "yes" : "NO");
+        std::printf("  disk: warm-from-file identical %s, salvage "
+                    "after truncation %zu/%zu warm\n",
+                    warm_from_disk_identical ? "yes" : "NO",
+                    salvaged_prefix_hits, unique);
         std::printf("%s\n", buf);
     }
-    // Nonzero exit on a determinism violation, like
+    // Nonzero exit on a determinism or persistence violation, like
     // bench_sweep_parallel: CI must not need to parse the table.
-    return identical ? 0 : 1;
+    return identical && warm_from_disk_identical &&
+                   salvaged_prefix_hits >= 1
+               ? 0
+               : 1;
 }

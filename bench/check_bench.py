@@ -56,7 +56,11 @@ uncached run), cache_hits >= duplicates (every injected duplicate
 answered by the fingerprint-keyed result cache), warm_simulated == 0
 (a repeated batch simulates nothing) and warm_speedup >= 2x (the
 cache must clearly beat re-simulating; in practice it is orders of
-magnitude).
+magnitude). The persistence rows gate the durable cache:
+warm_from_disk_identical (a CacheStore spill reloaded into a fresh
+service answers the whole batch warm and bit-identical) and
+salvaged_prefix_hits >= 1 (a file truncated mid-record salvages its
+valid prefix and those records still serve their points).
 
 Usage: bench/check_bench.py [BENCH_kernel.json] [--sweep BENCH_sweep.json]
 Exit status 0 = all gates pass.
@@ -321,6 +325,16 @@ def main():
                      f"service warm_speedup = {speedup} (gate: >= "
                      "2.0) — answering from the cache must clearly "
                      "beat re-simulating")
+            svc_gate(svc.get("warm_from_disk_identical", False),
+                     "service warm_from_disk_identical — a cache "
+                     "spilled to disk and reloaded into a fresh "
+                     "service must answer the batch without "
+                     "simulating, bit-identical to the reference")
+            svc_gate(svc.get("salvaged_prefix_hits", 0) >= 1,
+                     f"service salvaged_prefix_hits = "
+                     f"{svc.get('salvaged_prefix_hits')} (gate: >= 1) "
+                     "— a truncated cache file must salvage its valid "
+                     "prefix and serve those points warm")
 
     for line in checks:
         print(" ", line)

@@ -121,10 +121,10 @@ std::uint64_t
 MachineConfig::fingerprint() const
 {
     Fnv1a f;
-    // Version tag: bump when the stream layout below changes, so stale
-    // persisted fingerprints (a named follow-up: on-disk result cache)
-    // can never alias a new layout.
-    f.u64(0x5753464701ull); // "WSFG" 01
+    // Version tag: kFingerprintVersion is bumped when the stream
+    // layout below changes, so stale persisted fingerprints (the
+    // on-disk result cache) can never alias a new layout.
+    f.u64(0x5753464700ull + kFingerprintVersion); // "WSFG" NN
 
     f.u64(static_cast<std::uint64_t>(kind));
     f.u64(static_cast<std::uint64_t>(variant));

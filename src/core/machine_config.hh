@@ -136,6 +136,15 @@ struct MachineConfig
      */
     std::uint64_t fingerprint() const;
 
+    /**
+     * Version of the fingerprint stream layout. Bumped whenever the
+     * field stream in machine_config.cc changes shape, so anything
+     * persisted under an old layout (the on-disk result cache) can
+     * never alias a new one. Folded into the stream's leading tag and
+     * into service::CacheStore's file-format version.
+     */
+    static constexpr std::uint64_t kFingerprintVersion = 1;
+
     /** Human-readable one-liner for harness output. */
     std::string describe() const;
 };

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/machine.hh"
+#include "sim/engine.hh"
 
 namespace wisync::service {
 
@@ -304,7 +305,8 @@ std::uint64_t
 WorkloadSpec::fingerprint() const
 {
     Fnv1a f;
-    f.u64(0x57534657ull); // "WSWF": the workload stream tag
+    // "WSWF" tag + stream version (v2 added maxCycles).
+    f.u64(0x5753465700ull + kFingerprintVersion);
     f.u64(static_cast<std::uint64_t>(kind));
     switch (kind) {
       case Kind::TightLoop:
@@ -318,8 +320,37 @@ WorkloadSpec::fingerprint() const
         f.u64(cas.duration);
         break;
     }
+    f.u64(maxCycles);
     return f.h;
 }
+
+std::uint64_t
+WorkloadSpec::lengthEstimate() const
+{
+    std::uint64_t length = 1;
+    switch (kind) {
+      case Kind::TightLoop:
+        length = tightLoop.lengthEstimate();
+        break;
+      case Kind::Cas:
+        length = cas.lengthEstimate();
+        break;
+    }
+    // A budget caps the point regardless of its nominal length.
+    if (maxCycles != 0 && maxCycles < length)
+        length = maxCycles;
+    return length == 0 ? 1 : length;
+}
+
+DeadlineExceeded::DeadlineExceeded(std::uint64_t max_cycles,
+                                   std::uint64_t at_cycle)
+    : std::runtime_error("DeadlineExceeded: maxCycles=" +
+                         std::to_string(max_cycles) +
+                         " exhausted at cycle " +
+                         std::to_string(at_cycle) +
+                         " with work still pending"),
+      maxCycles_(max_cycles), atCycle_(at_cycle)
+{}
 
 std::uint64_t
 RequestPoint::fingerprint() const
@@ -416,6 +447,9 @@ ConfigCodec::parseWorkload(const Json &v, std::size_t point_index,
         const std::string sub = path + "." + key;
         if (key == "kind") {
             continue;
+        } else if (key == "maxCycles") {
+            // Kind-independent: the budget bounds the whole point.
+            spec.maxCycles = asU64(member, sub, point_index);
         } else if (spec.kind == WorkloadSpec::Kind::TightLoop &&
                    key == "iterations") {
             spec.tightLoop.iterations = asU32(member, sub, point_index);
@@ -590,6 +624,7 @@ ConfigCodec::serialize(const WorkloadSpec &w)
         out += ",\"duration\":" + jsonNumber(w.cas.duration);
         break;
     }
+    out += ",\"maxCycles\":" + jsonNumber(w.maxCycles);
     out += "}";
     return out;
 }
@@ -647,15 +682,34 @@ ConfigCodec::serializeResult(const workloads::KernelResult &r)
 workloads::KernelResult
 runWorkload(const WorkloadSpec &spec, core::Machine &machine)
 {
+    sim::Engine &engine = machine.engine();
+    if (spec.maxCycles != 0)
+        engine.setDeadline(spec.maxCycles);
+    // The machine goes back to a pooled-reuse path after this point; a
+    // deadline leaking past the run would silently truncate whatever
+    // point the machine serves next.
+    struct DisarmOnExit
+    {
+        sim::Engine &engine;
+        ~DisarmOnExit() { engine.clearDeadline(); }
+    } disarm{engine};
+
+    workloads::KernelResult result;
     switch (spec.kind) {
       case WorkloadSpec::Kind::TightLoop:
-        return workloads::runTightLoopOn(machine, spec.tightLoop);
+        result = workloads::runTightLoopOn(machine, spec.tightLoop);
+        break;
       case WorkloadSpec::Kind::Cas:
-        return workloads::runCasKernelOn(spec.casKernel, machine,
-                                         spec.cas);
+        result = workloads::runCasKernelOn(spec.casKernel, machine,
+                                           spec.cas);
+        break;
+      default:
+        fail("workload.kind", ParseError::kNoPoint,
+             "unhandled workload kind");
     }
-    fail("workload.kind", ParseError::kNoPoint,
-         "unhandled workload kind");
+    if (spec.maxCycles != 0 && engine.deadlineHit())
+        throw DeadlineExceeded(spec.maxCycles, engine.now());
+    return result;
 }
 
 } // namespace wisync::service

@@ -81,6 +81,27 @@ class ParseError : public std::runtime_error
     std::size_t pointIndex_;
 };
 
+/**
+ * A point's simulated-cycle budget was exhausted: the engine parked at
+ * exactly maxCycles with work still pending, the run was abandoned and
+ * this typed error captured instead (through ParallelSweep's
+ * runCaptured path — the batch keeps going). Deterministic: the same
+ * point always fails at the same cycle with the same message.
+ */
+class DeadlineExceeded : public std::runtime_error
+{
+  public:
+    DeadlineExceeded(std::uint64_t max_cycles, std::uint64_t at_cycle);
+
+    std::uint64_t maxCycles() const { return maxCycles_; }
+    /** The exact simulated cycle the engine parked at (== maxCycles). */
+    std::uint64_t atCycle() const { return atCycle_; }
+
+  private:
+    std::uint64_t maxCycles_;
+    std::uint64_t atCycle_;
+};
+
 /** Which kernel a request point runs on its machine. */
 struct WorkloadSpec
 {
@@ -94,12 +115,29 @@ struct WorkloadSpec
     workloads::TightLoopParams tightLoop;
     workloads::CasKernel casKernel = workloads::CasKernel::Lifo;
     workloads::CasKernelParams cas;
+    /**
+     * Simulated-cycle budget for the whole point; 0 = unlimited. A
+     * point that is still running at this cycle aborts with a typed
+     * DeadlineExceeded (never a hang, never a partial result) —
+     * unlike tightloop's runLimit, which yields a completed=false
+     * result. Enforced by the engine's deadline park, so the abort
+     * cycle is exact and deterministic.
+     */
+    std::uint64_t maxCycles = 0;
 
     bool operator==(const WorkloadSpec &) const = default;
 
     /** Canonical, process-stable hash (same contract as
      *  MachineConfig::fingerprint). */
     std::uint64_t fingerprint() const;
+
+    /** Version of the workload fingerprint stream layout (same bump
+     *  discipline as MachineConfig::kFingerprintVersion). */
+    static constexpr std::uint64_t kFingerprintVersion = 2;
+
+    /** Relative cost estimate for shard planning: cores x workload
+     *  length (see ShardPlanner::planByCost). */
+    std::uint64_t lengthEstimate() const;
 };
 
 /** One point of a sweep request. */

@@ -1,0 +1,143 @@
+#include "service/fault.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace wisync::service {
+
+FaultPlan
+FaultPlan::make(std::uint64_t seed, std::size_t points)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    sim::Rng rng(seed);
+    for (std::size_t i = 0; i < points; ++i) {
+        switch (rng.below(6)) {
+          case 0:
+            plan.throwPoints.push_back(i);
+            break;
+          case 1:
+            plan.deadlinePoints.push_back(i);
+            break;
+          default:
+            break; // clean point
+        }
+    }
+    return plan;
+}
+
+bool
+FaultPlan::throwsAt(std::size_t index) const
+{
+    return std::find(throwPoints.begin(), throwPoints.end(), index) !=
+           throwPoints.end();
+}
+
+bool
+FaultPlan::deadlineAt(std::size_t index) const
+{
+    return std::find(deadlinePoints.begin(), deadlinePoints.end(),
+                     index) != deadlinePoints.end();
+}
+
+void
+FaultPlan::arm(SweepService &svc) const
+{
+    const std::vector<std::size_t> targets = throwPoints;
+    svc.setBodyProbe([targets](std::size_t index) {
+        if (std::find(targets.begin(), targets.end(), index) !=
+            targets.end())
+            throw WorkerFault(index);
+    });
+}
+
+void
+FaultPlan::applyDeadlines(SweepRequest &request,
+                          std::uint64_t max_cycles) const
+{
+    for (const std::size_t i : deadlinePoints)
+        if (i < request.points.size())
+            request.points[i].workload.maxCycles = max_cycles;
+}
+
+bool
+FaultPlan::flipBit(const std::string &path, std::uint64_t bit_index)
+{
+    std::string data;
+    {
+        std::ifstream f(path, std::ios::binary);
+        if (!f)
+            return false;
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        data = ss.str();
+    }
+    if (data.empty())
+        return false;
+    const std::uint64_t bit = bit_index % (data.size() * 8);
+    data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    f.write(data.data(), static_cast<std::streamsize>(data.size()));
+    return bool(f);
+}
+
+bool
+FaultPlan::truncateFile(const std::string &path,
+                        std::uint64_t keep_bytes)
+{
+    std::string data;
+    {
+        std::ifstream f(path, std::ios::binary);
+        if (!f)
+            return false;
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        data = ss.str();
+    }
+    if (keep_bytes < data.size())
+        data.resize(keep_bytes);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    f.write(data.data(), static_cast<std::streamsize>(data.size()));
+    return bool(f);
+}
+
+std::string
+FaultPlan::mutateLine(std::string line, sim::Rng &rng)
+{
+    const std::size_t mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+        if (line.empty()) {
+            line.push_back(static_cast<char>(rng.below(256)));
+            continue;
+        }
+        const std::size_t pos = rng.below(line.size());
+        switch (rng.below(4)) {
+          case 0: // overwrite with an arbitrary byte
+            line[pos] = static_cast<char>(rng.below(256));
+            break;
+          case 1: // insert an arbitrary byte
+            line.insert(line.begin() + static_cast<std::ptrdiff_t>(pos),
+                        static_cast<char>(rng.below(256)));
+            break;
+          case 2: // delete one byte
+            line.erase(line.begin() + static_cast<std::ptrdiff_t>(pos));
+            break;
+          case 3: // truncate (a partial write / cut connection)
+            line.resize(pos);
+            break;
+        }
+    }
+    // A mutated line must stay a *line*: the daemon protocol frames
+    // requests by newline, so injected newlines would split this into
+    // two lines and change the response count the fuzz asserts on.
+    std::replace(line.begin(), line.end(), '\n', ' ');
+    std::replace(line.begin(), line.end(), '\r', ' ');
+    return line;
+}
+
+} // namespace wisync::service

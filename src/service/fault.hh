@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic fault injection for the service layer.
+ *
+ * The robustness claim this repo makes is concrete: every failure
+ * mode we can inject is either isolated to its point (a typed
+ * per-point error through runCaptured) or reported loudly (salvage
+ * counts, error responses) — and every SURVIVING result stays
+ * bit-identical to a fault-free serial run. FaultPlan is the
+ * injection side of that claim: given a seed it deterministically
+ * picks
+ *
+ *  - worker-body exceptions (a probe throwing WorkerFault inside the
+ *    sweep body, through SweepService::setBodyProbe),
+ *  - mid-batch deadline hits (clamping chosen points' maxCycles so
+ *    the engine parks and DeadlineExceeded fires),
+ *
+ * and provides the file/byte corruption primitives the fuzz dimension
+ * aims at the other surfaces:
+ *
+ *  - cache-file bit flips and truncations (against CacheStore's
+ *    salvage-loading),
+ *  - malformed request lines (against the daemon's per-line error
+ *    containment and the JSON parser's crash-freedom).
+ *
+ * Everything is a pure function of the seed: a failing fuzz iteration
+ * replays exactly.
+ */
+
+#ifndef WISYNC_SERVICE_FAULT_HH
+#define WISYNC_SERVICE_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/config_codec.hh"
+#include "service/sweep_service.hh"
+#include "sim/rng.hh"
+
+namespace wisync::service {
+
+/** See the file comment. */
+struct FaultPlan
+{
+    /** The typed error an injected worker-body fault raises. */
+    class WorkerFault : public std::runtime_error
+    {
+      public:
+        explicit WorkerFault(std::size_t index)
+            : std::runtime_error("injected worker fault at point " +
+                                 std::to_string(index))
+        {}
+    };
+
+    std::uint64_t seed = 0;
+    /** Request indices whose worker body throws WorkerFault. */
+    std::vector<std::size_t> throwPoints;
+    /** Request indices whose maxCycles gets clamped to a budget that
+     *  trips mid-run. */
+    std::vector<std::size_t> deadlinePoints;
+
+    /**
+     * Derive a plan for a @p points -point request from @p seed:
+     * each index independently becomes a throw point, a deadline
+     * point, or (mostly) stays clean. Disjoint by construction.
+     */
+    static FaultPlan make(std::uint64_t seed, std::size_t points);
+
+    bool throwsAt(std::size_t index) const;
+    bool deadlineAt(std::size_t index) const;
+
+    /** Install a body probe on @p svc that throws WorkerFault at
+     *  every throw point. */
+    void arm(SweepService &svc) const;
+
+    /** Clamp every deadline point's workload.maxCycles to
+     *  @p max_cycles (pick it far below the point's natural length
+     *  so the deadline actually trips). */
+    void applyDeadlines(SweepRequest &request,
+                        std::uint64_t max_cycles) const;
+
+    // ---- corruption primitives (deterministic, file-level) -----------
+
+    /** Flip one bit of @p path (bit_index wraps modulo the file's
+     *  bit count). @return false if the file is missing/empty. */
+    static bool flipBit(const std::string &path,
+                        std::uint64_t bit_index);
+
+    /** Truncate @p path to @p keep_bytes (clamped to its size). */
+    static bool truncateFile(const std::string &path,
+                             std::uint64_t keep_bytes);
+
+    /**
+     * Deterministically mangle one request line with 1–4 byte-level
+     * mutations (overwrite / insert / delete / truncate) drawn from
+     * @p rng. May return text that still parses — the caller must
+     * accept either a valid response or a typed error, never a crash.
+     */
+    static std::string mutateLine(std::string line, sim::Rng &rng);
+};
+
+} // namespace wisync::service
+
+#endif // WISYNC_SERVICE_FAULT_HH

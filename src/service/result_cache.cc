@@ -5,7 +5,7 @@ namespace wisync::service {
 const workloads::KernelResult *
 ResultCache::lookup(const RequestPoint &point)
 {
-    const std::uint64_t key = point.fingerprint();
+    const std::uint64_t key = this->key(point);
     const auto it = index_.find(key);
     if (it == index_.end()) {
         ++stats_.misses;
@@ -29,14 +29,17 @@ ResultCache::insert(const RequestPoint &point,
 {
     if (capacity_ == 0)
         return;
-    const std::uint64_t key = point.fingerprint();
+    const std::uint64_t key = this->key(point);
     if (const auto it = index_.find(key); it != index_.end()) {
         // Deterministic results make a value refresh a no-op for
         // same-point reinserts; for a colliding point, last writer
         // wins (the collision counter already flagged it on lookup).
+        const bool samePoint = it->second->point == point;
         it->second->point = point;
         it->second->result = result;
         entries_.splice(entries_.begin(), entries_, it->second);
+        if (!samePoint && spillHook_)
+            spillHook_(point, result);
         return;
     }
     entries_.push_front(Entry{key, point, result});
@@ -47,6 +50,17 @@ ResultCache::insert(const RequestPoint &point,
         entries_.pop_back();
         ++stats_.evictions;
     }
+    if (spillHook_)
+        spillHook_(point, result);
+}
+
+void
+ResultCache::visitLruToMru(
+    const std::function<void(const RequestPoint &,
+                             const workloads::KernelResult &)> &fn) const
+{
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
+        fn(it->point, it->result);
 }
 
 void

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <unordered_map>
 
@@ -53,8 +54,17 @@ class ResultCache
         std::uint64_t collisions = 0;
     };
 
-    explicit ResultCache(std::size_t capacity = 256)
-        : capacity_(capacity)
+    /**
+     * Key derivation override (tests only): maps a point to its
+     * 64-bit cache key. The default is RequestPoint::fingerprint();
+     * a degenerate hasher (e.g. a constant) forces the collision
+     * path — same key, different point — which is unreachable through
+     * real fingerprints in any practical test.
+     */
+    using Hasher = std::function<std::uint64_t(const RequestPoint &)>;
+
+    explicit ResultCache(std::size_t capacity = 256, Hasher hasher = {})
+        : capacity_(capacity), hasher_(std::move(hasher))
     {}
 
     /**
@@ -80,7 +90,41 @@ class ResultCache
     /** Drop every entry (counters keep accumulating). */
     void clear();
 
+    /**
+     * Visit every entry, least-recently-used first. Written in that
+     * order to a CacheStore file, a sequential re-insert replay
+     * reconstructs both contents and recency exactly. The callback
+     * must not mutate the cache.
+     */
+    void visitLruToMru(
+        const std::function<void(const RequestPoint &,
+                                 const workloads::KernelResult &)> &fn)
+        const;
+
+    /**
+     * Streaming persistence hook: called after every insert() that
+     * stored a new point (fresh entries and collision overwrites; a
+     * same-point refresh is skipped — deterministic results make it a
+     * value no-op). Runs under whatever serialization insert() itself
+     * runs under (SweepService: the sweep emit mutex). The daemon
+     * appends each record to the cache file here, so a kill at any
+     * instant loses at most the record being written.
+     */
+    void setSpillHook(
+        std::function<void(const RequestPoint &,
+                           const workloads::KernelResult &)>
+            hook)
+    {
+        spillHook_ = std::move(hook);
+    }
+
   private:
+    std::uint64_t
+    key(const RequestPoint &point) const
+    {
+        return hasher_ ? hasher_(point) : point.fingerprint();
+    }
+
     struct Entry
     {
         std::uint64_t key;
@@ -92,6 +136,10 @@ class ResultCache
     std::list<Entry> entries_;
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
     std::size_t capacity_;
+    Hasher hasher_;
+    std::function<void(const RequestPoint &,
+                       const workloads::KernelResult &)>
+        spillHook_;
     Stats stats_;
 };
 

@@ -10,13 +10,24 @@
  * coordination — and the merge must reassemble exactly the serial
  * order.
  *
- * The partition is strided: shard i of k owns points i, i+k, i+2k...
- * Sweep grids are usually sorted along a cost axis (core count,
- * chips), so striding deals every shard the same cost mixture where
- * contiguous blocks would hand the last shard all the big machines.
- * Results merge back by global point index, so any shard count
- * reproduces the serial output byte-for-byte — the same by-index
- * merge argument ParallelSweep makes for threads, one level up.
+ * Two plans, both pure functions with the same merge contract:
+ *
+ *  - Strided: shard i of k owns points i, i+k, i+2k... Sweep grids
+ *    are usually sorted along a cost axis (core count, chips), so
+ *    striding deals every shard the same cost mixture where
+ *    contiguous blocks would hand the last shard all the big
+ *    machines.
+ *  - Cost-weighted (planByCost): each point gets a deterministic cost
+ *    estimate — cores x workload-length — and points are bin-packed
+ *    greedily (longest-processing-time first) onto the k shards. On
+ *    grids whose cost pattern happens to resonate with the stride
+ *    (every k-th point heavy), the strided plan loads one shard with
+ *    all the heavy points; the packed plan balances them.
+ *
+ * Results merge back by global point index, so any shard count and
+ * either plan reproduces the serial output byte-for-byte — the same
+ * by-index merge argument ParallelSweep makes for threads, one level
+ * up.
  */
 
 #ifndef WISYNC_SERVICE_SHARD_PLANNER_HH
@@ -48,6 +59,30 @@ class ShardPlanner
     static SweepRequest shardRequest(const SweepRequest &request,
                                      unsigned shard,
                                      unsigned num_shards);
+
+    /**
+     * Deterministic relative cost of one point: cores x the
+     * workload's length estimate. Not a cycle prediction — only the
+     * ratios between points matter for balancing.
+     */
+    static std::uint64_t pointCost(const RequestPoint &point);
+
+    /**
+     * Cost-weighted plan: global indices owned by @p shard of
+     * @p num_shards, bin-packed by pointCost (LPT greedy with
+     * deterministic tie-breaks — a pure function of the request and
+     * (shard, num_shards), like shardIndices). Returned in increasing
+     * order; disjoint and covering across shards, so mergeByIndex
+     * reassembles exactly the serial output.
+     */
+    static std::vector<std::size_t>
+    planByCost(const SweepRequest &request, unsigned shard,
+               unsigned num_shards);
+
+    /** The sub-request holding exactly @p indices' points (pair with
+     *  planByCost the way shardRequest pairs with shardIndices). */
+    static SweepRequest subRequest(const SweepRequest &request,
+                                   const std::vector<std::size_t> &indices);
 
     /**
      * Scatter a shard's outcomes back into the full-grid vector:

@@ -62,8 +62,11 @@ SweepService::runBatch(const SweepRequest &request, unsigned threads,
             continue;
 
         const WorkloadSpec workload = point.workload;
+        const BodyProbe probe = bodyProbe_;
         const std::size_t sj =
-            sweep.add(point.config, [workload](core::Machine &m) {
+            sweep.add(point.config, [workload, probe, i](core::Machine &m) {
+                if (probe)
+                    probe(i);
                 return runWorkload(workload, m);
             });
         seen[fp].push_back(sj);

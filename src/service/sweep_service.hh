@@ -78,10 +78,13 @@ class SweepService
      * @p cache_capacity bounds the result cache (entries, LRU);
      * 0 disables caching — every batch simulates all unique points
      * and duplicates are copied from the representative's outcome
-     * instead of read back from the cache.
+     * instead of read back from the cache. @p hasher overrides the
+     * cache's key derivation (tests only — forces the collision
+     * path).
      */
-    explicit SweepService(std::size_t cache_capacity = 256)
-        : cache_(cache_capacity)
+    explicit SweepService(std::size_t cache_capacity = 256,
+                          ResultCache::Hasher hasher = {})
+        : cache_(cache_capacity, std::move(hasher))
     {}
 
     /**
@@ -114,9 +117,22 @@ class SweepService
     /** Accounting for the most recent runBatch call. */
     const BatchStats &lastBatch() const { return lastBatch_; }
 
+    /**
+     * Fault-injection seam (FaultPlan / tests): called on the worker
+     * thread at the start of every *simulated* point's body — cache
+     * hits and in-batch duplicates never reach it — with the point's
+     * request index. A probe that throws aborts exactly that point
+     * through runCaptured's captured-error path, like any workload
+     * failure. Empty by default (and the default costs nothing on the
+     * hot path beyond one bool test per simulated point).
+     */
+    using BodyProbe = std::function<void(std::size_t request_index)>;
+    void setBodyProbe(BodyProbe probe) { bodyProbe_ = std::move(probe); }
+
   private:
     ResultCache cache_;
     BatchStats lastBatch_;
+    BodyProbe bodyProbe_;
 };
 
 } // namespace wisync::service

@@ -2,21 +2,41 @@
  * @file
  * wisync_sweepd — the sweep service as a process.
  *
- * Reads one JSON sweep request (stdin or --input), answers it through
- * SweepService (dedupe + result cache + ParallelSweep) and writes one
- * JSON response (stdout or --output). --shard I/K makes the process
- * simulate only its strided slice of the grid while still reporting
- * results under *global* point indices, so a shell loop can run K
- * daemons on K hosts and merge their "results" arrays by index into
- * exactly the serial output:
+ * One-shot mode (default): reads one JSON sweep request (stdin or
+ * --input), answers it through SweepService (dedupe + result cache +
+ * ParallelSweep) and writes one JSON response (stdout or --output;
+ * --output writes via temp file + atomic rename, so a killed process
+ * never leaves a truncated response behind).
+ *
+ * Daemon mode (--serve): a persistent loop — one JSON request per
+ * input line, one JSON response per output line — sharing a single
+ * SweepService/ResultCache across requests. A malformed request
+ * answers {"error":{...}} on its line and the loop continues; lines
+ * longer than --max-request-bytes are rejected before parsing. See
+ * src/service/daemon.hh for the containment contract.
+ *
+ * --cache-file FILE makes the result cache durable: salvage-loaded at
+ * startup (corrupt/truncated records are counted and dropped, the
+ * valid prefix survives), compacted, then streamed record-by-record
+ * as points complete — so a kill -9 mid-batch loses at most one
+ * record and a restarted daemon answers the finished points warm.
+ *
+ * --shard I/K makes the process simulate only its slice of the grid
+ * while still reporting results under *global* point indices, so a
+ * shell loop can run K daemons on K hosts and merge their "results"
+ * arrays by index into exactly the serial output:
  *
  *   for i in 0 1 2 3; do
  *       wisync_sweepd --shard $i/4 < request.json > part$i.json &
  *   done; wait   # then concatenate the results arrays, sort by index
  *
+ * --plan cost swaps the strided slice for ShardPlanner::planByCost's
+ * bin-packed one (same merge contract, balanced when the grid's cost
+ * pattern resonates with the stride).
+ *
  * Request schema: see src/service/config_codec.hh. Response:
  *
- *   {"points": N, "shard": {"index": I, "shards": K},
+ *   {"points": N, "shard": {"index": I, "shards": K, "plan": "..."},
  *    "stats": {"simulated":.., "cacheHits":.., "errors":..},
  *    "cache": {"hits":.., "misses":.., "insertions":..,
  *              "evictions":.., "collisions":..},
@@ -24,8 +44,9 @@
  *                 "cacheHit":.., "result":{...} | "error":".."}]}
  *
  * A malformed request produces {"error": {...}} on the output stream
- * and exit code 1; the error object names the offending field path
- * and point index (ConfigCodec's strictness contract).
+ * and (in one-shot mode) exit code 1; the error object names the
+ * offending field path and point index (ConfigCodec's strictness
+ * contract).
  */
 
 #include <cstdio>
@@ -37,7 +58,9 @@
 #include <vector>
 
 #include "harness/parallel_sweep.hh"
+#include "service/cache_store.hh"
 #include "service/config_codec.hh"
+#include "service/daemon.hh"
 #include "service/shard_planner.hh"
 #include "service/sweep_service.hh"
 #include "workloads/kernel_result.hh"
@@ -51,10 +74,8 @@ struct Options
 {
     std::string input;  // empty = stdin
     std::string output; // empty = stdout
-    unsigned shard = 0;
-    unsigned numShards = 1;
-    unsigned threads = harness::ParallelSweep::threads();
-    std::size_t cacheCapacity = 256;
+    bool serve = false;
+    DaemonOptions daemon;
     bool selfTest = false;
 };
 
@@ -64,10 +85,16 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--input FILE] [--output FILE] [--shard I/K]\n"
-        "          [--threads N] [--cache-capacity N] [--self-test]\n"
+        "          [--plan strided|cost] [--threads N]\n"
+        "          [--cache-capacity N] [--cache-file FILE]\n"
+        "          [--serve] [--max-request-bytes N] [--self-test]\n"
         "Reads a JSON sweep request, writes a JSON response.\n"
-        "--shard I/K simulates only shard I of K (strided; results\n"
-        "keep global point indices so shard outputs merge by index).\n",
+        "--serve loops: one request per input line, one response per\n"
+        "output line; bad lines answer {\"error\":...} and the loop\n"
+        "continues. --cache-file makes the result cache durable\n"
+        "(salvage-loaded at startup, streamed as points complete).\n"
+        "--shard I/K simulates only shard I of K (results keep global\n"
+        "point indices so shard outputs merge by index).\n",
         argv0);
     return 2;
 }
@@ -104,12 +131,21 @@ parseArgs(int argc, char **argv, Options &opt)
                              v ? v : "");
                 return false;
             }
-            opt.shard = i_part;
-            opt.numShards = k_part;
+            opt.daemon.shard = i_part;
+            opt.daemon.numShards = k_part;
+        } else if (arg == "--plan") {
+            const char *v = value();
+            if (!v || (std::strcmp(v, "strided") != 0 &&
+                       std::strcmp(v, "cost") != 0)) {
+                std::fprintf(stderr,
+                             "--plan wants 'strided' or 'cost'\n");
+                return false;
+            }
+            opt.daemon.planByCost = std::strcmp(v, "cost") == 0;
         } else if (arg == "--threads") {
             const char *v = value();
-            if (!v || std::sscanf(v, "%u", &opt.threads) != 1 ||
-                opt.threads == 0) {
+            if (!v || std::sscanf(v, "%u", &opt.daemon.threads) != 1 ||
+                opt.daemon.threads == 0) {
                 std::fprintf(stderr, "--threads wants a count >= 1\n");
                 return false;
             }
@@ -121,7 +157,23 @@ parseArgs(int argc, char **argv, Options &opt)
                              "--cache-capacity wants a count\n");
                 return false;
             }
-            opt.cacheCapacity = static_cast<std::size_t>(cap);
+            opt.daemon.cacheCapacity = static_cast<std::size_t>(cap);
+        } else if (arg == "--cache-file") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.daemon.cacheFile = v;
+        } else if (arg == "--max-request-bytes") {
+            const char *v = value();
+            unsigned long long n = 0;
+            if (!v || std::sscanf(v, "%llu", &n) != 1 || n == 0) {
+                std::fprintf(stderr,
+                             "--max-request-bytes wants a count >= 1\n");
+                return false;
+            }
+            opt.daemon.maxRequestBytes = static_cast<std::size_t>(n);
+        } else if (arg == "--serve") {
+            opt.serve = true;
         } else if (arg == "--self-test") {
             opt.selfTest = true;
         } else {
@@ -132,60 +184,6 @@ parseArgs(int argc, char **argv, Options &opt)
     return true;
 }
 
-std::string
-shardResponse(const Options &opt, std::size_t total_points,
-              const std::vector<std::size_t> &indices,
-              const std::vector<ServiceOutcome> &outcomes,
-              const SweepService &svc)
-{
-    const BatchStats &stats = svc.lastBatch();
-    const ResultCache::Stats &cs = svc.cache().stats();
-    std::string out = "{";
-    out += "\"points\":" + jsonNumber(std::uint64_t(total_points));
-    out += ",\"shard\":{\"index\":" + jsonNumber(std::uint64_t(opt.shard)) +
-           ",\"shards\":" + jsonNumber(std::uint64_t(opt.numShards)) + "}";
-    out += ",\"stats\":{\"simulated\":" +
-           jsonNumber(std::uint64_t(stats.simulated)) +
-           ",\"cacheHits\":" + jsonNumber(std::uint64_t(stats.cacheHits)) +
-           ",\"errors\":" + jsonNumber(std::uint64_t(stats.errors)) + "}";
-    out += ",\"cache\":{\"hits\":" + jsonNumber(cs.hits) +
-           ",\"misses\":" + jsonNumber(cs.misses) +
-           ",\"insertions\":" + jsonNumber(cs.insertions) +
-           ",\"evictions\":" + jsonNumber(cs.evictions) +
-           ",\"collisions\":" + jsonNumber(cs.collisions) + "}";
-    out += ",\"results\":[";
-    for (std::size_t j = 0; j < outcomes.size(); ++j) {
-        const ServiceOutcome &o = outcomes[j];
-        if (j)
-            out += ",";
-        out += "{\"index\":" + jsonNumber(std::uint64_t(indices[j]));
-        out += ",\"fingerprint\":" + jsonNumber(o.fingerprint);
-        out += ",\"ok\":" + std::string(o.ok ? "true" : "false");
-        out += ",\"cacheHit\":" + std::string(o.cacheHit ? "true"
-                                                         : "false");
-        if (o.ok)
-            out += ",\"result\":" + ConfigCodec::serializeResult(o.result);
-        else
-            out += ",\"error\":" + jsonQuote(o.error);
-        out += "}";
-    }
-    out += "]}";
-    return out;
-}
-
-std::string
-errorResponse(const ParseError &e)
-{
-    std::string out = "{\"error\":{";
-    out += "\"message\":" + jsonQuote(e.what());
-    out += ",\"field\":" + jsonQuote(e.field());
-    if (e.pointIndex() != ParseError::kNoPoint)
-        out += ",\"point\":" +
-               jsonNumber(std::uint64_t(e.pointIndex()));
-    out += "}}";
-    return out;
-}
-
 bool
 writeOut(const Options &opt, const std::string &text)
 {
@@ -193,20 +191,37 @@ writeOut(const Options &opt, const std::string &text)
         std::cout << text << "\n";
         return bool(std::cout);
     }
-    std::ofstream f(opt.output);
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", opt.output.c_str());
+    // Atomic: a reader polling the output path (or a kill mid-write)
+    // sees either nothing or the whole response, never a prefix.
+    std::string error;
+    if (!writeFileAtomic(opt.output, text + "\n", &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
         return false;
     }
-    f << text << "\n";
-    return bool(f);
+    return true;
+}
+
+void
+reportCacheLoad(const Daemon &daemon,
+                const CacheStore::LoadStats &stats)
+{
+    if (daemon.options().cacheFile.empty())
+        return;
+    std::fprintf(stderr,
+                 "wisync_sweepd: cache-file '%s': %zu records loaded, "
+                 "%zu discarded%s\n",
+                 daemon.options().cacheFile.c_str(), stats.loaded,
+                 stats.discarded,
+                 stats.versionMismatch ? " (format version mismatch)"
+                                       : "");
 }
 
 /**
  * Built-in smoke batch for ctest: a duplicate-heavy request run
  * through parse -> shard(2) -> merge must be bit-identical to a
  * serial uncached run, with cache hits accounting for every
- * duplicate.
+ * duplicate. Then the same request drives the serve loop and a
+ * cache-file round trip, which must answer warm and identical.
  */
 int
 selfTest()
@@ -260,6 +275,34 @@ selfTest()
                      cache_hits);
         return 1;
     }
+
+    // Serve loop: a bad line must answer an error and keep the loop
+    // alive; the same request twice must answer the rerun warm.
+    {
+        DaemonOptions dopt;
+        dopt.threads = 2;
+        Daemon daemon(dopt);
+        const std::string line =
+            ConfigCodec::serializeRequest(request);
+        std::istringstream in("this is not json\n" + line + "\n" +
+                              line + "\n");
+        std::ostringstream out;
+        const std::size_t served = daemon.serve(in, out);
+        if (served != 3 ||
+            out.str().find("\"error\"") == std::string::npos) {
+            std::fprintf(stderr,
+                         "self-test: serve loop misbehaved "
+                         "(%zu responses)\n",
+                         served);
+            return 1;
+        }
+        if (daemon.service().lastBatch().cacheHits != n) {
+            std::fprintf(stderr,
+                         "self-test: rerun not fully warm (%zu/%zu)\n",
+                         daemon.service().lastBatch().cacheHits, n);
+            return 1;
+        }
+    }
     std::printf("SWEEPD SELF-TEST PASS (%zu points, %zu hits)\n", n,
                 cache_hits);
     return 0;
@@ -275,6 +318,44 @@ main(int argc, char **argv)
         return usage(argv[0]);
     if (opt.selfTest)
         return selfTest();
+
+    Daemon daemon(opt.daemon);
+    std::string start_error;
+    const CacheStore::LoadStats load = daemon.start(&start_error);
+    reportCacheLoad(daemon, load);
+    if (!start_error.empty())
+        std::fprintf(stderr, "wisync_sweepd: cache-file: %s\n",
+                     start_error.c_str());
+
+    if (opt.serve) {
+        std::istream *in = &std::cin;
+        std::ifstream fin;
+        if (!opt.input.empty()) {
+            fin.open(opt.input);
+            if (!fin) {
+                std::fprintf(stderr, "cannot read %s\n",
+                             opt.input.c_str());
+                return 2;
+            }
+            in = &fin;
+        }
+        std::ostream *out = &std::cout;
+        std::ofstream fout;
+        if (!opt.output.empty()) {
+            // Serve mode streams responses as they complete, so the
+            // atomic-rename contract doesn't apply — it is about the
+            // one-shot "whole response or nothing" file.
+            fout.open(opt.output);
+            if (!fout) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             opt.output.c_str());
+                return 2;
+            }
+            out = &fout;
+        }
+        daemon.serve(*in, *out);
+        return 0;
+    }
 
     std::string text;
     if (opt.input.empty()) {
@@ -292,24 +373,9 @@ main(int argc, char **argv)
         text = ss.str();
     }
 
-    try {
-        const SweepRequest request = ConfigCodec::parseRequest(text);
-        const auto indices = ShardPlanner::shardIndices(
-            request.points.size(), opt.shard, opt.numShards);
-        const SweepRequest slice =
-            ShardPlanner::shardRequest(request, opt.shard,
-                                       opt.numShards);
-        SweepService svc(opt.cacheCapacity);
-        const auto outcomes = svc.runBatch(slice, opt.threads);
-        const std::string response = shardResponse(
-            opt, request.points.size(), indices, outcomes, svc);
-        return writeOut(opt, response) ? 0 : 2;
-    } catch (const ParseError &e) {
-        writeOut(opt, errorResponse(e));
-        return 1;
-    } catch (const JsonError &e) {
-        writeOut(opt, errorResponse(ParseError(
-                          "request", ParseError::kNoPoint, e.what())));
-        return 1;
-    }
+    bool ok = false;
+    const std::string response = daemon.handleRequest(text, &ok);
+    if (!writeOut(opt, response))
+        return 2;
+    return ok ? 0 : 1;
 }

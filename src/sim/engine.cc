@@ -173,6 +173,8 @@ Engine::reset()
     currentSeq_ = 0;
     eventsExecuted_ = 0;
     stopped_ = false;
+    deadline_ = kCycleMax;
+    deadlineHit_ = false;
     tierStats_ = TierStats{};
 }
 
@@ -400,13 +402,19 @@ Engine::run(Cycle limit)
         const Cycle next = peekNext();
         if (next == kCycleMax && pendingEvents() == 0)
             return true;
-        if (next > limit) {
-            // Park at the limit so a later run() can resume; pending
-            // events stay in their tiers. Parking never crosses a
-            // window boundary ahead of a pending event (limit < next),
-            // so the wheel invariants hold.
-            if (limit > now_)
-                now_ = limit;
+        const Cycle effective = limit < deadline_ ? limit : deadline_;
+        if (next > effective) {
+            // Park at the effective limit so a later run() can resume;
+            // pending events stay in their tiers. Parking never
+            // crosses a window boundary ahead of a pending event
+            // (effective < next), so the wheel invariants hold. A park
+            // forced by the deadline (not the caller's limit) is
+            // flagged so the service layer can distinguish "budget
+            // exhausted" from "workload's own horizon".
+            if (effective == deadline_)
+                deadlineHit_ = true;
+            if (effective > now_)
+                now_ = effective;
             return false;
         }
         now_ = next;

@@ -172,6 +172,39 @@ class Engine
     /** Request that run() return after the current event. */
     void stop() { stopped_ = true; }
 
+    // ---- Simulated-cycle deadline ------------------------------------
+    //
+    // A hard budget on simulated time, enforced inside run()'s park
+    // decision: the effective limit of every run() call is
+    // min(limit, deadline), and parking *because of the deadline* is
+    // recorded in deadlineHit(). Unlike a workload's own run limit
+    // (which legitimately produces a completed=false result), a
+    // deadline hit means the caller imposed an external budget — the
+    // service layer turns it into a typed DeadlineExceeded error at
+    // exactly now() == deadline, deterministically: the park never
+    // executes a single event past the budget cycle.
+
+    /** Arm a deadline at absolute cycle @p deadline (clears any
+     *  previous hit flag). kCycleMax disarms. */
+    void
+    setDeadline(Cycle deadline)
+    {
+        deadline_ = deadline;
+        deadlineHit_ = false;
+    }
+
+    /** Disarm the deadline and clear the hit flag. */
+    void
+    clearDeadline()
+    {
+        deadline_ = kCycleMax;
+        deadlineHit_ = false;
+    }
+
+    /** True iff the last run() parked because of the deadline (work
+     *  was still pending at the budget cycle). */
+    bool deadlineHit() const { return deadlineHit_; }
+
     /** Number of events executed so far (for micro-benchmarks). */
     std::uint64_t eventsExecuted() const { return eventsExecuted_; }
 
@@ -511,6 +544,8 @@ class Engine
     std::uint64_t currentSeq_ = 0;
     std::uint64_t eventsExecuted_ = 0;
     bool stopped_ = false;
+    Cycle deadline_ = kCycleMax;
+    bool deadlineHit_ = false;
     TierStats tierStats_;
 };
 

@@ -47,6 +47,11 @@ struct CasKernelParams
 
     /** Field-wise equality (service WorkloadSpec dedupe). */
     bool operator==(const CasKernelParams &) const = default;
+
+    /** Relative length estimate for shard cost-planning: the kernel
+     *  runs for a fixed simulated window, so the window is the
+     *  length. Only ratios between points matter. */
+    std::uint64_t lengthEstimate() const { return duration; }
 };
 
 /**

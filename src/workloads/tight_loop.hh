@@ -34,6 +34,15 @@ struct TightLoopParams
 
     /** Field-wise equality (service WorkloadSpec dedupe). */
     bool operator==(const TightLoopParams &) const = default;
+
+    /** Relative length estimate for shard cost-planning: work per
+     *  thread scales with iterations x per-iteration compute. Not a
+     *  cycle prediction — only ratios between points matter. */
+    std::uint64_t
+    lengthEstimate() const
+    {
+        return std::uint64_t(iterations) * (std::uint64_t(arrayElems) + 1);
+    }
 };
 
 /**

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Kill/restart durability test for wisync_sweepd --serve --cache-file.
+
+Scenario:
+  1. Run the request once in one-shot mode: the cold reference.
+  2. Start a daemon with a cache file, send the request, and SIGKILL
+     the process as soon as the first result record hits the disk --
+     usually mid-batch, always mid-lifetime.
+  3. Restart the daemon on the same cache file. The salvage load must
+     recover at least one record (kill -9 loses at most the record
+     being written), the rerun must report those records as cache
+     hits, and every per-point result must be bit-identical to the
+     cold reference (the JSON response carries exact fingerprints and
+     canonically formatted result fields, so dict equality is bit
+     equality).
+  4. Closing stdin must end the serve loop with exit code 0.
+
+Usage: daemon_restart_test.py /path/to/wisync_sweepd
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(message):
+    print("FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def request_line(num_points):
+    points = []
+    for seed in range(1, num_points + 1):
+        points.append({
+            "config": {"kind": "WiSync", "cores": 4, "seed": seed},
+            "workload": {"kind": "tightloop", "iterations": 2},
+        })
+    return json.dumps({"points": points}, separators=(",", ":"))
+
+
+def results_by_index(response):
+    results = {}
+    for entry in response["results"]:
+        if not entry["ok"]:
+            fail("point %d errored: %s" % (entry["index"],
+                                           entry.get("error")))
+        results[entry["index"]] = (entry["fingerprint"], entry["result"])
+    return results
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: daemon_restart_test.py /path/to/wisync_sweepd")
+    sweepd = sys.argv[1]
+    num_points = 6
+    line = request_line(num_points)
+
+    with tempfile.TemporaryDirectory(prefix="wisync_restart_") as tmp:
+        cache = os.path.join(tmp, "cache.bin")
+        req = os.path.join(tmp, "request.json")
+        ref = os.path.join(tmp, "reference.json")
+        with open(req, "w") as f:
+            f.write(line + "\n")
+
+        # 1. Cold one-shot reference.
+        proc = subprocess.run(
+            [sweepd, "--threads", "1", "--input", req, "--output", ref],
+            capture_output=True, timeout=120)
+        if proc.returncode != 0:
+            fail("reference run failed: " + proc.stderr.decode())
+        with open(ref) as f:
+            reference = results_by_index(json.load(f))
+        if len(reference) != num_points:
+            fail("reference answered %d/%d points" %
+                 (len(reference), num_points))
+
+        # 2. Daemon, killed as soon as a record lands on disk.
+        serve_cmd = [sweepd, "--serve", "--cache-file", cache,
+                     "--threads", "1"]
+        daemon = subprocess.Popen(
+            serve_cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL)
+        daemon.stdin.write((line + "\n").encode())
+        daemon.stdin.flush()
+        header_bytes = 16
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                if os.path.getsize(cache) > header_bytes:
+                    break
+            except OSError:
+                pass
+            time.sleep(0.01)
+        else:
+            daemon.kill()
+            fail("no record reached the cache file within 60s")
+        daemon.send_signal(signal.SIGKILL)
+        daemon.wait(timeout=60)
+
+        # 3. Restart on the same cache file, rerun, compare.
+        daemon = subprocess.Popen(
+            serve_cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL)
+        try:
+            daemon.stdin.write((line + "\n").encode())
+            daemon.stdin.flush()
+            raw = daemon.stdout.readline()
+            if not raw:
+                fail("restarted daemon closed stdout without answering")
+            response = json.loads(raw)
+            if "error" in response and "results" not in response:
+                fail("restarted daemon errored: %s" % response["error"])
+            hits = response["stats"]["cacheHits"]
+            if hits < 1:
+                fail("restart answered 0 cache hits; the salvaged "
+                     "records were lost")
+            warm = results_by_index(response)
+            if warm != reference:
+                fail("warm restart results diverged from the cold "
+                     "reference")
+        finally:
+            # 4. EOF on stdin ends the loop gracefully.
+            daemon.stdin.close()
+            if daemon.wait(timeout=60) != 0:
+                fail("daemon exit code %d after stdin EOF" %
+                     daemon.returncode)
+
+        print("DAEMON RESTART TEST PASS (%d points, %d warm hits)" %
+              (num_points, hits))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,13 +9,23 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <iterator>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "core/machine.hh"
 #include "harness/parallel_sweep.hh"
+#include "service/cache_store.hh"
+#include "service/config_codec.hh"
+#include "service/daemon.hh"
+#include "service/fault.hh"
+#include "service/json.hh"
 #include "service/shard_planner.hh"
 #include "service/sweep_service.hh"
 #include "sim/rng.hh"
@@ -716,6 +726,272 @@ TEST(FuzzSweepService, RandomDuplicateGridsAcrossShardsAndThreads)
                 << shards << " threads " << threads;
         }
     }
+}
+
+// ---- Fault-injection dimension ----------------------------------
+
+/** A request of @p n distinct points (unique seeds), cheap to
+ *  simulate. */
+wisync::service::SweepRequest
+faultFuzzRequest(wisync::sim::Rng &rng, std::size_t n)
+{
+    using wisync::service::RequestPoint;
+    wisync::service::SweepRequest request;
+    constexpr ConfigKind kKinds[] = {ConfigKind::Baseline,
+                                     ConfigKind::WiSyncNoT,
+                                     ConfigKind::WiSync};
+    for (std::size_t i = 0; i < n; ++i) {
+        RequestPoint point;
+        point.config = MachineConfig::make(kKinds[rng.below(3)],
+                                           4u << rng.below(2));
+        point.config.seed = 0xFA010000u + i;
+        point.config.wireless.macKind = kMacKinds[rng.below(4)];
+        point.workload.tightLoop.iterations =
+            1 + static_cast<std::uint32_t>(rng.below(3));
+        request.points.push_back(point);
+    }
+    return request;
+}
+
+/**
+ * The robustness claim, fuzzed: every injected fault — a worker-body
+ * exception or a mid-batch deadline hit — must surface as a typed
+ * per-point error isolated to its point, and every surviving result
+ * must stay bit-identical to a fault-free serial run. Afterwards the
+ * same service, disarmed, must heal completely.
+ */
+TEST(FuzzFaultInjection, FaultsAreIsolatedTypedAndSurvivorsBitIdentical)
+{
+    using wisync::service::FaultPlan;
+    using wisync::service::SweepRequest;
+    using wisync::service::SweepService;
+
+    wisync::sim::Rng rng(0xFA017);
+    for (int iter = 0; iter < 6; ++iter) {
+        const std::size_t n = 4 + rng.below(5);
+        const SweepRequest request = faultFuzzRequest(rng, n);
+        SweepService reference(0);
+        const auto expect = reference.runBatch(request, 1);
+
+        const FaultPlan plan = FaultPlan::make(rng.next(), n);
+        SweepRequest faulted = request;
+        // Budget 5 cycles: every workload is still starting up then,
+        // so each deadline point deterministically trips mid-run.
+        plan.applyDeadlines(faulted, 5);
+
+        SweepService svc(64);
+        plan.arm(svc);
+        const unsigned threads = rng.below(2) ? 4 : 1;
+        const auto got = svc.runBatch(faulted, threads);
+        ASSERT_EQ(got.size(), n);
+        std::size_t failed = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (plan.throwsAt(i)) {
+                EXPECT_FALSE(got[i].ok) << "iter " << iter;
+                EXPECT_NE(got[i].error.find("injected worker fault"),
+                          std::string::npos)
+                    << got[i].error;
+                ++failed;
+            } else if (plan.deadlineAt(i)) {
+                EXPECT_FALSE(got[i].ok) << "iter " << iter;
+                EXPECT_NE(got[i].error.find("DeadlineExceeded"),
+                          std::string::npos)
+                    << got[i].error;
+                ++failed;
+            } else {
+                EXPECT_TRUE(got[i].ok)
+                    << "iter " << iter << ": " << got[i].error;
+                EXPECT_TRUE(wisync::workloads::bitIdentical(
+                    got[i].result, expect[i].result))
+                    << "iter " << iter << " point " << i;
+            }
+        }
+        EXPECT_EQ(svc.lastBatch().errors, failed);
+
+        // Disarmed rerun of the clean request on the SAME service:
+        // clean points answer from cache, faulted ones simulate fresh
+        // (an aborted point must never have been cached).
+        svc.setBodyProbe({});
+        const auto healed = svc.runBatch(request, threads);
+        EXPECT_EQ(svc.lastBatch().cacheHits, n - failed);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_TRUE(healed[i].ok) << healed[i].error;
+            EXPECT_TRUE(wisync::workloads::bitIdentical(
+                healed[i].result, expect[i].result))
+                << "iter " << iter << " point " << i;
+        }
+    }
+}
+
+/** Random bit flips and truncations of a warm cache file: loading
+ *  must never crash, hits must equal exactly what the salvage
+ *  reported, and a rerun stays bit-identical to the reference. */
+TEST(FuzzFaultInjection, CorruptedCacheFilesNeverCrashAndRerunsMatch)
+{
+    using wisync::service::CacheStore;
+    using wisync::service::FaultPlan;
+    using wisync::service::SweepService;
+
+    wisync::sim::Rng rng(0xC0F5);
+    const std::string path =
+        ::testing::TempDir() + "wisync_fuzz_corrupt_" +
+        std::to_string(static_cast<long long>(::getpid())) + ".bin";
+    std::remove(path.c_str());
+
+    const auto request = faultFuzzRequest(rng, 5);
+    SweepService reference(0);
+    const auto expect = reference.runBatch(request, 1);
+
+    std::string golden;
+    {
+        SweepService warm(64);
+        warm.runBatch(request, 1);
+        std::string error;
+        ASSERT_TRUE(CacheStore::save(warm.cache(), path, &error))
+            << error;
+        std::ifstream f(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        golden = ss.str();
+    }
+
+    for (int round = 0; round < 10; ++round) {
+        {
+            std::ofstream f(path, std::ios::binary | std::ios::trunc);
+            f.write(golden.data(),
+                    static_cast<std::streamsize>(golden.size()));
+        }
+        if (round % 2 == 0)
+            ASSERT_TRUE(FaultPlan::flipBit(path, rng.next()));
+        else
+            ASSERT_TRUE(FaultPlan::truncateFile(
+                path, rng.below(golden.size() + 1)));
+
+        SweepService svc(64);
+        const auto stats = CacheStore::load(svc.cache(), path);
+        EXPECT_LE(stats.loaded, request.points.size());
+        const auto got = svc.runBatch(request, 1);
+        EXPECT_EQ(svc.lastBatch().cacheHits, stats.loaded)
+            << "round " << round
+            << ": every salvaged record must hit, nothing else";
+        EXPECT_EQ(svc.lastBatch().errors, 0u);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_TRUE(got[i].ok) << got[i].error;
+            EXPECT_TRUE(wisync::workloads::bitIdentical(
+                got[i].result, expect[i].result))
+                << "round " << round << " point " << i;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+/** Byte-mangled request lines against a live daemon: one response
+ *  per nonempty line, each either results or a typed error, and the
+ *  daemon keeps answering clean requests perfectly afterwards. */
+TEST(FuzzFaultInjection, MutatedRequestLinesNeverKillTheDaemon)
+{
+    using wisync::service::ConfigCodec;
+    using wisync::service::Daemon;
+    using wisync::service::DaemonOptions;
+    using wisync::service::FaultPlan;
+
+    wisync::sim::Rng rng(0xDAE0);
+    auto request = faultFuzzRequest(rng, 3);
+    // Budget every point so a mutation that inflates a numeric field
+    // (iterations, cores) can cost at most 20000 simulated cycles —
+    // it then answers a typed DeadlineExceeded error, not a hang.
+    for (auto &point : request.points)
+        point.workload.maxCycles = 20000;
+    const std::string canonical = ConfigCodec::serializeRequest(request);
+
+    DaemonOptions opt;
+    opt.threads = 2;
+    Daemon daemon(opt);
+    for (int iter = 0; iter < 25; ++iter) {
+        const std::string mangled =
+            FaultPlan::mutateLine(canonical, rng);
+        std::istringstream in(mangled + "\n" + canonical + "\n");
+        std::ostringstream out;
+        const std::size_t expected = mangled.empty() ? 1u : 2u;
+        EXPECT_EQ(daemon.serve(in, out), expected) << "iter " << iter;
+
+        std::istringstream lines(out.str());
+        std::string line;
+        std::size_t count = 0;
+        std::string last;
+        while (std::getline(lines, line)) {
+            ++count;
+            EXPECT_FALSE(line.empty());
+            EXPECT_EQ(line.front(), '{');
+            EXPECT_TRUE(line.find("\"results\"") != std::string::npos ||
+                        line.find("\"error\"") != std::string::npos)
+                << line;
+            last = line;
+        }
+        EXPECT_EQ(count, expected);
+        // The canonical line always comes last and must be served
+        // cleanly no matter what the mangled one did.
+        EXPECT_NE(last.find("\"results\""), std::string::npos);
+        EXPECT_NE(last.find("\"errors\":0"), std::string::npos);
+    }
+}
+
+// ---- JSON parser dimension --------------------------------------
+
+/** Every strict prefix of a canonical request is invalid and must
+ *  fail with a typed error (never a crash, never an accept). */
+TEST(FuzzJsonParser, EveryPrefixFailsTyped)
+{
+    using wisync::service::ConfigCodec;
+    using wisync::service::JsonError;
+    using wisync::service::ParseError;
+
+    wisync::sim::Rng rng(0x9A12);
+    const std::string canonical =
+        ConfigCodec::serializeRequest(faultFuzzRequest(rng, 2));
+    for (std::size_t len = 0; len < canonical.size(); ++len) {
+        const std::string prefix = canonical.substr(0, len);
+        try {
+            ConfigCodec::parseRequest(prefix);
+            ADD_FAILURE() << "prefix of length " << len << " parsed";
+        } catch (const ParseError &e) {
+            EXPECT_FALSE(e.field().empty()) << "length " << len;
+        } catch (const JsonError &e) {
+            EXPECT_LE(e.offset(), len);
+        }
+    }
+}
+
+/** Random byte-level mutations: the parser either accepts (the
+ *  mutation kept the text valid) or throws a typed error naming a
+ *  field path / byte offset. Anything else escapes and fails. */
+TEST(FuzzJsonParser, ByteMutationsAlwaysFailTypedOrParseCleanly)
+{
+    using wisync::service::ConfigCodec;
+    using wisync::service::FaultPlan;
+    using wisync::service::JsonError;
+    using wisync::service::ParseError;
+
+    wisync::sim::Rng rng(0x15A9);
+    const std::string canonical =
+        ConfigCodec::serializeRequest(faultFuzzRequest(rng, 3));
+    int parsed = 0, field_errors = 0, syntax_errors = 0;
+    for (int iter = 0; iter < 300; ++iter) {
+        const std::string text = FaultPlan::mutateLine(canonical, rng);
+        try {
+            const auto request = ConfigCodec::parseRequest(text);
+            EXPECT_LE(request.points.size(), 3u);
+            ++parsed;
+        } catch (const ParseError &e) {
+            EXPECT_FALSE(e.field().empty());
+            ++field_errors;
+        } catch (const JsonError &e) {
+            EXPECT_LE(e.offset(), text.size());
+            ++syntax_errors;
+        }
+    }
+    // The corpus must actually exercise the error paths.
+    EXPECT_GT(field_errors + syntax_errors, 100);
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -27,6 +28,7 @@
 #include "service/result_cache.hh"
 #include "service/shard_planner.hh"
 #include "service/sweep_service.hh"
+#include "sim/engine.hh"
 #include "workloads/kernel_result.hh"
 #include "workloads/tight_loop.hh"
 
@@ -38,6 +40,7 @@ using wisync::core::MachineConfig;
 using wisync::core::Variant;
 using wisync::harness::ParallelSweep;
 using wisync::service::ConfigCodec;
+using wisync::service::DeadlineExceeded;
 using wisync::service::ParseError;
 using wisync::service::RequestPoint;
 using wisync::service::ResultCache;
@@ -664,6 +667,229 @@ TEST(ServiceSweepService, ObserverStreamsEveryPointExactlyOnce)
         EXPECT_EQ(count[i], 1) << "point " << i;
         EXPECT_TRUE(bitIdentical(streamed[i].result, got[i].result));
         EXPECT_EQ(streamed[i].cacheHit, got[i].cacheHit);
+    }
+}
+
+// ---- Forced fingerprint collisions ------------------------------
+
+TEST(ServiceResultCache, ForcedCollisionDegradesToAMissNeverAWrongResult)
+{
+    // A degenerate hasher maps every point to one key: the collision
+    // path (same key, different point) is unreachable through real
+    // 64-bit fingerprints, so force it.
+    ResultCache cache(4, [](const RequestPoint &) { return 42ull; });
+    const auto pa = pointWithSeed(1);
+    const auto pb = pointWithSeed(2);
+
+    cache.insert(pa, resultWithCycles(101));
+    EXPECT_EQ(cache.lookup(pb), nullptr)
+        << "a colliding lookup must never answer the other's result";
+    EXPECT_EQ(cache.stats().collisions, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    // Colliding insert: last writer wins the single slot.
+    cache.insert(pb, resultWithCycles(202));
+    EXPECT_EQ(cache.size(), 1u);
+    const auto *hit = cache.lookup(pb);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_TRUE(bitIdentical(*hit, resultWithCycles(202)));
+    EXPECT_EQ(cache.lookup(pa), nullptr);
+    EXPECT_EQ(cache.stats().collisions, 2u);
+}
+
+// ---- Deadlines --------------------------------------------------
+
+TEST(ServiceDeadline, RunWorkloadThrowsTypedAtTheExactCycle)
+{
+    Machine machine(MachineConfig::make(ConfigKind::WiSync, 8));
+    WorkloadSpec spec;
+    spec.tightLoop.iterations = 100000; // far past any 500-cycle run
+    spec.maxCycles = 500;
+    try {
+        wisync::service::runWorkload(spec, machine);
+        FAIL() << "expected DeadlineExceeded";
+    } catch (const DeadlineExceeded &e) {
+        EXPECT_EQ(e.maxCycles(), 500u);
+        EXPECT_EQ(e.atCycle(), 500u)
+            << "the abort cycle is exact, not 'somewhere past'";
+        EXPECT_EQ(machine.engine().now(), 500u);
+        EXPECT_NE(std::string(e.what()).find("DeadlineExceeded"),
+                  std::string::npos);
+    }
+}
+
+TEST(ServiceDeadline, GenerousBudgetNeverPerturbsTheRun)
+{
+    const auto cfg = MachineConfig::make(ConfigKind::WiSync, 8);
+    WorkloadSpec unlimited;
+    unlimited.tightLoop.iterations = 20;
+    WorkloadSpec bounded = unlimited;
+    bounded.maxCycles = 1'000'000'000ull;
+
+    Machine m1(cfg);
+    Machine m2(cfg);
+    const auto a = wisync::service::runWorkload(unlimited, m1);
+    const auto b = wisync::service::runWorkload(bounded, m2);
+    EXPECT_TRUE(bitIdentical(a, b))
+        << "an unhit deadline must be invisible to the simulation";
+    // The budget is still part of the point's identity (cache key).
+    EXPECT_NE(unlimited.fingerprint(), bounded.fingerprint());
+}
+
+TEST(ServiceDeadline, MachineIsReusableAfterADeadlineAbort)
+{
+    const auto cfg = MachineConfig::make(ConfigKind::WiSync, 8);
+    WorkloadSpec spec;
+    spec.tightLoop.iterations = 30;
+
+    Machine fresh(cfg);
+    const auto expect = wisync::service::runWorkload(spec, fresh);
+
+    Machine machine(cfg);
+    WorkloadSpec bounded = spec;
+    bounded.maxCycles = 200;
+    EXPECT_THROW(wisync::service::runWorkload(bounded, machine),
+                 DeadlineExceeded);
+    // The deadline is disarmed on the way out and reset() restores
+    // the machine: the rerun must match a never-aborted one exactly.
+    machine.reset();
+    const auto again = wisync::service::runWorkload(spec, machine);
+    EXPECT_TRUE(bitIdentical(expect, again));
+}
+
+TEST(ServiceDeadline, DeadlinePointIsATypedIsolatedDeterministicError)
+{
+    SweepRequest request;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        RequestPoint p;
+        p.config = MachineConfig::make(ConfigKind::WiSync, 4);
+        p.config.seed = seed;
+        p.workload.tightLoop.iterations = 20;
+        request.points.push_back(p);
+    }
+    SweepService reference(0);
+    const auto expect = reference.runBatch(request, 1);
+
+    SweepRequest bounded = request;
+    bounded.points[1].workload.maxCycles = 300;
+
+    std::string first_error;
+    for (const unsigned threads : {1u, 4u}) {
+        SweepService svc(32);
+        const auto got = svc.runBatch(bounded, threads);
+        ASSERT_EQ(got.size(), 3u);
+        EXPECT_TRUE(got[0].ok);
+        EXPECT_TRUE(bitIdentical(got[0].result, expect[0].result));
+        EXPECT_FALSE(got[1].ok);
+        EXPECT_NE(got[1].error.find("DeadlineExceeded"),
+                  std::string::npos);
+        EXPECT_NE(got[1].error.find("maxCycles=300"), std::string::npos);
+        EXPECT_NE(got[1].error.find("at cycle 300"), std::string::npos)
+            << got[1].error;
+        EXPECT_TRUE(got[2].ok);
+        EXPECT_TRUE(bitIdentical(got[2].result, expect[2].result))
+            << "a deadline abort must not perturb its neighbours";
+        EXPECT_EQ(svc.lastBatch().errors, 1u);
+        EXPECT_EQ(svc.cache().stats().insertions, 2u)
+            << "an aborted point must never be cached";
+
+        // The abort cycle is simulated time: identical at any thread
+        // count, on every rerun.
+        if (first_error.empty())
+            first_error = got[1].error;
+        else
+            EXPECT_EQ(first_error, got[1].error);
+    }
+}
+
+// ---- Cost-weighted shard planning -------------------------------
+
+/** Alternating heavy/light grid: strided sharding with k matching
+ *  the period sends every heavy point to shard 0. */
+SweepRequest
+stripedRequest(std::size_t n)
+{
+    SweepRequest request;
+    for (std::size_t i = 0; i < n; ++i) {
+        RequestPoint p;
+        const bool heavy = (i % 2) == 0;
+        p.config = MachineConfig::make(ConfigKind::WiSync,
+                                       heavy ? 16 : 4);
+        p.config.seed = i;
+        p.workload.tightLoop.iterations = heavy ? 10000 : 1;
+        request.points.push_back(p);
+    }
+    return request;
+}
+
+TEST(ServiceShardPlan, PlanByCostIsDisjointCoveringAndDeterministic)
+{
+    const auto request = stripedRequest(11);
+    for (const unsigned k : {1u, 2u, 3u, 4u}) {
+        std::set<std::size_t> seen;
+        for (unsigned s = 0; s < k; ++s) {
+            const auto idx = ShardPlanner::planByCost(request, s, k);
+            EXPECT_EQ(idx, ShardPlanner::planByCost(request, s, k))
+                << "the plan is a pure function of (request, s, k)";
+            for (std::size_t j = 1; j < idx.size(); ++j)
+                EXPECT_LT(idx[j - 1], idx[j]) << "indices ascend";
+            for (const auto i : idx)
+                EXPECT_TRUE(seen.insert(i).second)
+                    << "index " << i << " assigned twice";
+        }
+        EXPECT_EQ(seen.size(), request.points.size());
+    }
+}
+
+TEST(ServiceShardPlan, PlanByCostBalancesWhatStridingResonatesWith)
+{
+    const auto request = stripedRequest(12);
+    constexpr unsigned k = 2;
+
+    const auto load = [&](const std::vector<std::size_t> &idx) {
+        std::uint64_t sum = 0;
+        for (const auto i : idx)
+            sum += ShardPlanner::pointCost(request.points[i]);
+        return sum;
+    };
+    std::uint64_t max_point = 0;
+    for (const auto &p : request.points)
+        max_point = std::max(max_point, ShardPlanner::pointCost(p));
+
+    std::uint64_t strided_max = 0, plan_max = 0, plan_min = ~0ull;
+    for (unsigned s = 0; s < k; ++s) {
+        strided_max = std::max(
+            strided_max,
+            load(ShardPlanner::shardIndices(request.points.size(), s,
+                                            k)));
+        const auto cost = load(ShardPlanner::planByCost(request, s, k));
+        plan_max = std::max(plan_max, cost);
+        plan_min = std::min(plan_min, cost);
+    }
+    // Strided puts all 6 heavy points on shard 0; LPT splits them 3/3.
+    EXPECT_LT(plan_max, strided_max);
+    EXPECT_LE(plan_max - plan_min, max_point)
+        << "LPT greedy balances to within one point's cost";
+}
+
+TEST(ServiceShardPlan, PlanByCostMergesToTheSerialAnswer)
+{
+    const auto request = duplicateHeavyRequest();
+    SweepService reference(0);
+    const auto expect = reference.runBatch(request, 1);
+    const std::size_t n = request.points.size();
+
+    for (const unsigned k : {2u, 3u}) {
+        std::vector<ServiceOutcome> merged(n);
+        for (unsigned s = 0; s < k; ++s) {
+            SweepService svc(32);
+            const auto idx = ShardPlanner::planByCost(request, s, k);
+            auto part = svc.runBatch(
+                ShardPlanner::subRequest(request, idx), 2);
+            ShardPlanner::mergeByIndex(merged, idx, std::move(part));
+        }
+        expectSameOutcomes(expect, merged);
     }
 }
 
